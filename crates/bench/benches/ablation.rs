@@ -1,0 +1,77 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * checker strategy (BFS vs DFS vs parallel BFS) on the same model;
+//! * channel adversary strength (reliable → lossy+dup → +reordering) and
+//!   duplication budget vs state-space cost on the S2 attach model;
+//! * scenario budgets vs usage-model state-space growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mck::{ChanSemantics, Checker, SearchStrategy};
+
+use cnetverifier::models::attach::AttachModel;
+use cnetverifier::scenario::{UsageBudgets, UsageModel};
+
+fn strategy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_strategy");
+    for (name, strategy) in [
+        ("bfs", SearchStrategy::Bfs),
+        ("dfs", SearchStrategy::Dfs),
+        ("par2", SearchStrategy::ParallelBfs { workers: 2 }),
+        ("par4", SearchStrategy::ParallelBfs { workers: 4 }),
+    ] {
+        g.bench_function(BenchmarkId::new("attach_model", name), |b| {
+            b.iter(|| {
+                // Parallel BFS rejects Eventually properties; the attach
+                // model only carries a safety property, so all four run.
+                Checker::new(AttachModel::paper()).strategy(strategy).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn adversary_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_adversary");
+    let configs: [(&str, ChanSemantics, u8); 4] = [
+        ("reliable", ChanSemantics::reliable(4), 0),
+        ("lossy_dup_b1", ChanSemantics::unreliable(4), 1),
+        ("lossy_dup_b2", ChanSemantics::unreliable(4), 2),
+        ("adversarial", ChanSemantics::adversarial(4), 1),
+    ];
+    for (name, uplink, retries) in configs {
+        g.bench_function(BenchmarkId::new("attach_uplink", name), |b| {
+            b.iter(|| {
+                let model = AttachModel {
+                    uplink,
+                    downlink: ChanSemantics::reliable(4),
+                    tau_budget: 2,
+                    retry_budget: retries,
+                };
+                Checker::new(model).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn budget_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_budgets");
+    for switches in [1u8, 2, 3, 4] {
+        g.bench_function(BenchmarkId::new("usage_switch_budget", switches), |b| {
+            b.iter(|| {
+                let model = UsageModel {
+                    budgets: UsageBudgets {
+                        switches,
+                        ..UsageBudgets::default()
+                    },
+                    remedies: false,
+                };
+                Checker::new(model).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, strategy_ablation, adversary_ablation, budget_ablation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: state-space exploration throughput of the screening
+//! models (the paper's phase-1 workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mck::{Checker, SearchStrategy};
+
+use cnetverifier::models::attach::AttachModel;
+use cnetverifier::models::csfb_rrc::CsfbRrcModel;
+use cnetverifier::models::holblock::HolBlockModel;
+use cnetverifier::models::switchctx::SwitchContextModel;
+use cnetverifier::scenario::UsageModel;
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("screening");
+    g.bench_function("attach_s2_bfs", |b| {
+        b.iter(|| Checker::new(AttachModel::paper()).run())
+    });
+    g.bench_function("switchctx_s1_bfs", |b| {
+        b.iter(|| Checker::new(SwitchContextModel::paper()).run())
+    });
+    g.bench_function("csfb_s3_dfs", |b| {
+        b.iter(|| {
+            Checker::new(CsfbRrcModel::op2_high_rate())
+                .strategy(SearchStrategy::Dfs)
+                .run()
+        })
+    });
+    g.bench_function("holblock_s4_bfs", |b| {
+        b.iter(|| Checker::new(HolBlockModel::paper()).run())
+    });
+    g.bench_function("usage_model_bfs", |b| {
+        b.iter(|| Checker::new(UsageModel::paper()).run())
+    });
+    g.bench_function("usage_model_random_walks_200", |b| {
+        b.iter(|| {
+            mck::RandomWalk::seeded(1)
+                .walks(200)
+                .max_steps(12)
+                .run(&UsageModel::paper())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: the reliable shim layer (Figure 12-left workload) and
+//! raw shim frame processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remedies::{figure12_left_run, ShimEndpoint};
+
+fn bench_shim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shim");
+    g.bench_function("fig12_left_100cycles_5pct_with_shim", |b| {
+        b.iter(|| figure12_left_run(0.05, 100, true, 1))
+    });
+    g.bench_function("fig12_left_100cycles_5pct_without", |b| {
+        b.iter(|| figure12_left_run(0.05, 100, false, 1))
+    });
+    g.bench_function("frame_roundtrip_1k", |b| {
+        b.iter(|| {
+            let mut tx = ShimEndpoint::new();
+            let mut rx = ShimEndpoint::new();
+            for _ in 0..1_000 {
+                let f = tx.send(cellstack::NasMessage::AttachComplete);
+                let (_, ack) = rx.on_receive(f);
+                if let Some(a) = ack {
+                    tx.on_receive(a);
+                }
+            }
+            (tx.retransmissions, rx.duplicates_dropped)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shim);
+criterion_main!(benches);

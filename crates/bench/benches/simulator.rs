@@ -1,0 +1,74 @@
+//! Criterion bench: discrete-event simulator throughput (the phase-2
+//! validation workload): full CSFB episodes and drive tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cellstack::{PdpDeactivationCause, RatSystem};
+use netsim::{op_i, op_ii, Drive, Ev, Route, SimTime, World, WorldConfig};
+
+fn csfb_episode(seed: u64) -> u32 {
+    let mut w = World::new(WorldConfig::new(op_ii(), seed));
+    w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+    w.run_until(SimTime::from_secs(8));
+    w.cfg.auto_hangup_after_ms = Some(20_000);
+    w.schedule_in(500, Ev::DataStart { high_rate: true });
+    w.schedule_in(2_000, Ev::Dial);
+    w.schedule_in(90_000, Ev::DataSessionEnd);
+    w.run_until(SimTime::from_secs(400));
+    w.metrics.detach_count
+}
+
+fn s1_episode(seed: u64) -> u32 {
+    let mut w = World::new(WorldConfig::new(op_i(), seed));
+    w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+    w.run_until(SimTime::from_secs(8));
+    w.cfg.auto_hangup_after_ms = Some(15_000);
+    w.schedule_in(1_000, Ev::Dial);
+    w.schedule_in(
+        10_000,
+        Ev::NetworkDeactivatePdp(PdpDeactivationCause::OperatorDeterminedBarring),
+    );
+    w.run_until(SimTime::from_secs(300));
+    w.metrics.s1_events
+}
+
+fn drive_test(seed: u64) -> usize {
+    let mut w = World::new(WorldConfig::new(op_i(), seed));
+    w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+    w.run_until(SimTime::from_secs(8));
+    w.stack.serving = RatSystem::Utran3g;
+    w.stack.gmm.state = cellstack::gmm::GmmDeviceState::Registered;
+    w.start_drive(Drive::at_60mph(Route::route_1()));
+    let t = w.now.plus_secs(16 * 60);
+    w.run_until(t);
+    w.metrics.rssi_samples.len()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("csfb_episode_op2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            csfb_episode(seed)
+        })
+    });
+    g.bench_function("s1_episode_op1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            s1_episode(seed)
+        })
+    });
+    g.bench_function("route1_drive_15mi", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            drive_test(seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

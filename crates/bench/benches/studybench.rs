@@ -1,0 +1,39 @@
+//! Criterion bench: the two-week user-study population simulation
+//! (Tables 5/6 workload) and the radio model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("study");
+    g.bench_function("two_week_population", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            userstudy::run_study(seed, userstudy::Hazards::default())
+        })
+    });
+    g.bench_function("radio_rate_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..10_000u32 {
+                let cfg = netsim::ChannelConfig {
+                    modulation: cellstack::Modulation::Qam64,
+                    cs_sharing: i % 2 == 0,
+                    decoupled: false,
+                };
+                acc += netsim::achievable_kbps(
+                    cfg,
+                    i % 3 == 0,
+                    netsim::Rssi(-60.0 - f64::from(i % 50)),
+                    i % 24,
+                    i % 5 == 0,
+                );
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! ESM — 4G EPS Session Management (TS 24.301), device and MME side.
+//!
+//! In LTE the default EPS bearer is created *with* the attach (EMM carries
+//! the PDN connectivity request), so most bearer lifecycle already lives in
+//! [`crate::emm`]. ESM here covers the standalone procedures the findings
+//! need: re-activating a bearer while registered (the §8 S1 remedy "the
+//! device should immediately activate EPS bearer after inter-system 3G→4G
+//! switching") and bearer deactivation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::{EpsBearerContext, IpAddr, QosProfile};
+use crate::msg::NasMessage;
+use crate::types::RatSystem;
+
+/// Device-side ESM states (per default bearer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EsmDeviceState {
+    /// No bearer.
+    Inactive,
+    /// Activation in flight.
+    ActivatePending,
+    /// Bearer active.
+    Active,
+}
+
+/// Inputs to the device-side ESM machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EsmDeviceInput {
+    /// Request a (re)activation of the default bearer (S1 remedy path).
+    ActivateRequest,
+    /// EMM installed a bearer (attach or context migration).
+    BearerInstalled(EpsBearerContext),
+    /// EMM deleted the bearer (detach, reject, migration failure).
+    BearerRemoved,
+    /// A NAS message arrived from the MME.
+    Network(NasMessage),
+}
+
+/// Outputs of the device-side ESM machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EsmDeviceOutput {
+    /// Send a NAS message to the MME.
+    Send(NasMessage),
+    /// The bearer became usable (PS service available).
+    BearerActive(EpsBearerContext),
+    /// The bearer is gone (PS service unavailable in 4G ⇒ out of service,
+    /// since 4G is PS-only).
+    BearerInactive,
+}
+
+/// Device-side ESM machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EsmDevice {
+    /// Current state.
+    pub state: EsmDeviceState,
+    /// The bearer context.
+    pub bearer: Option<EpsBearerContext>,
+}
+
+impl EsmDevice {
+    /// A machine with no bearer.
+    pub fn new() -> Self {
+        Self {
+            state: EsmDeviceState::Inactive,
+            bearer: None,
+        }
+    }
+
+    /// Is PS service available?
+    pub fn service_available(&self) -> bool {
+        self.state == EsmDeviceState::Active
+    }
+
+    /// Feed an input; outputs are appended to `out`.
+    pub fn on_input(&mut self, input: EsmDeviceInput, out: &mut Vec<EsmDeviceOutput>) {
+        match input {
+            EsmDeviceInput::ActivateRequest => {
+                if self.state == EsmDeviceState::Inactive {
+                    self.state = EsmDeviceState::ActivatePending;
+                    out.push(EsmDeviceOutput::Send(NasMessage::SessionActivateRequest {
+                        system: RatSystem::Lte4g,
+                    }));
+                }
+            }
+            EsmDeviceInput::BearerInstalled(bearer) => {
+                self.state = EsmDeviceState::Active;
+                self.bearer = Some(bearer);
+                out.push(EsmDeviceOutput::BearerActive(bearer));
+            }
+            EsmDeviceInput::BearerRemoved => {
+                if self.state != EsmDeviceState::Inactive {
+                    self.state = EsmDeviceState::Inactive;
+                    self.bearer = None;
+                    out.push(EsmDeviceOutput::BearerInactive);
+                }
+            }
+            EsmDeviceInput::Network(msg) => match (self.state, msg) {
+                (EsmDeviceState::ActivatePending, NasMessage::SessionActivateAccept) => {
+                    let bearer =
+                        EpsBearerContext::active(5, IpAddr(0x0a00_0001), QosProfile::best_effort());
+                    self.state = EsmDeviceState::Active;
+                    self.bearer = Some(bearer);
+                    out.push(EsmDeviceOutput::BearerActive(bearer));
+                }
+                (EsmDeviceState::ActivatePending, NasMessage::SessionActivateReject) => {
+                    self.state = EsmDeviceState::Inactive;
+                    out.push(EsmDeviceOutput::BearerInactive);
+                }
+                (
+                    _,
+                    NasMessage::SessionDeactivate {
+                        network_initiated: true,
+                        ..
+                    },
+                ) => {
+                    self.state = EsmDeviceState::Inactive;
+                    self.bearer = None;
+                    out.push(EsmDeviceOutput::Send(NasMessage::SessionDeactivateAccept));
+                    out.push(EsmDeviceOutput::BearerInactive);
+                }
+                _ => {}
+            },
+        }
+    }
+}
+
+impl Default for EsmDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// MME-side standalone ESM handling: answers bearer (re)activation requests
+/// from registered UEs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MmeEsm {
+    /// Accept standalone activations only when the UE is registered; the
+    /// EMM layer keeps this in sync.
+    pub ue_registered: bool,
+}
+
+impl MmeEsm {
+    /// An MME-side ESM for an unregistered UE.
+    pub fn new() -> Self {
+        Self {
+            ue_registered: false,
+        }
+    }
+
+    /// Feed an uplink activation request; replies appended to `out`.
+    pub fn on_uplink(&mut self, msg: NasMessage, out: &mut Vec<NasMessage>) {
+        if let NasMessage::SessionActivateRequest { .. } = msg {
+            if self.ue_registered {
+                out.push(NasMessage::SessionActivateAccept);
+            } else {
+                out.push(NasMessage::SessionActivateReject);
+            }
+        }
+    }
+}
+
+impl Default for MmeEsm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(m: &mut EsmDevice, i: EsmDeviceInput) -> Vec<EsmDeviceOutput> {
+        let mut out = Vec::new();
+        m.on_input(i, &mut out);
+        out
+    }
+
+    #[test]
+    fn standalone_activation_roundtrip() {
+        let mut m = EsmDevice::new();
+        let out = run(&mut m, EsmDeviceInput::ActivateRequest);
+        assert!(matches!(
+            out[0],
+            EsmDeviceOutput::Send(NasMessage::SessionActivateRequest {
+                system: RatSystem::Lte4g
+            })
+        ));
+        let out = run(
+            &mut m,
+            EsmDeviceInput::Network(NasMessage::SessionActivateAccept),
+        );
+        assert!(matches!(out[0], EsmDeviceOutput::BearerActive(_)));
+        assert!(m.service_available());
+    }
+
+    #[test]
+    fn install_from_emm_activates_directly() {
+        let mut m = EsmDevice::new();
+        let bearer = EpsBearerContext::active(5, IpAddr(9), QosProfile::best_effort());
+        let out = run(&mut m, EsmDeviceInput::BearerInstalled(bearer));
+        assert_eq!(out, vec![EsmDeviceOutput::BearerActive(bearer)]);
+    }
+
+    #[test]
+    fn removal_reports_inactive_once() {
+        let mut m = EsmDevice::new();
+        let bearer = EpsBearerContext::active(5, IpAddr(9), QosProfile::best_effort());
+        run(&mut m, EsmDeviceInput::BearerInstalled(bearer));
+        let out = run(&mut m, EsmDeviceInput::BearerRemoved);
+        assert_eq!(out, vec![EsmDeviceOutput::BearerInactive]);
+        let out = run(&mut m, EsmDeviceInput::BearerRemoved);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn network_deactivation_acked() {
+        let mut m = EsmDevice::new();
+        let bearer = EpsBearerContext::active(5, IpAddr(9), QosProfile::best_effort());
+        run(&mut m, EsmDeviceInput::BearerInstalled(bearer));
+        let out = run(
+            &mut m,
+            EsmDeviceInput::Network(NasMessage::SessionDeactivate {
+                cause: crate::causes::PdpDeactivationCause::RegularDeactivation,
+                network_initiated: true,
+            }),
+        );
+        assert!(out.contains(&EsmDeviceOutput::Send(NasMessage::SessionDeactivateAccept)));
+        assert!(!m.service_available());
+    }
+
+    #[test]
+    fn mme_esm_gates_on_registration() {
+        let mut esm = MmeEsm::new();
+        let mut out = Vec::new();
+        esm.on_uplink(
+            NasMessage::SessionActivateRequest {
+                system: RatSystem::Lte4g,
+            },
+            &mut out,
+        );
+        assert_eq!(out, vec![NasMessage::SessionActivateReject]);
+        out.clear();
+        esm.ue_registered = true;
+        esm.on_uplink(
+            NasMessage::SessionActivateRequest {
+                system: RatSystem::Lte4g,
+            },
+            &mut out,
+        );
+        assert_eq!(out, vec![NasMessage::SessionActivateAccept]);
+    }
+
+    #[test]
+    fn activation_reject_reports_inactive() {
+        let mut m = EsmDevice::new();
+        run(&mut m, EsmDeviceInput::ActivateRequest);
+        let out = run(
+            &mut m,
+            EsmDeviceInput::Network(NasMessage::SessionActivateReject),
+        );
+        assert_eq!(out, vec![EsmDeviceOutput::BearerInactive]);
+    }
+}

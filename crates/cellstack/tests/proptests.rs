@@ -1,0 +1,464 @@
+//! Property-based tests for the protocol state machines: invariants that
+//! must hold under *arbitrary* event sequences, not just the scripted
+//! flows the unit tests exercise.
+
+use proptest::prelude::*;
+
+use cellstack::context::{ContextState, EpsBearerContext, IpAddr, PdpContext, QosProfile};
+use cellstack::emm::{EmmDevice, EmmDeviceInput, EmmDeviceState, MmeEmm, MmeInput};
+use cellstack::mm::{MmDevice, MmDeviceInput, MmDeviceState};
+use cellstack::rrc3g::{Rrc3g, Rrc3gEvent, Rrc3gState};
+use cellstack::rrc4g::{Rrc4g, Rrc4gEvent};
+use cellstack::{
+    DeviceStack, Domain, EmmCause, NasMessage, PdpDeactivationCause, RatSystem, SwitchMechanism,
+    UpdateKind,
+};
+
+// ---------------------------------------------------------------------
+// Context migration
+// ---------------------------------------------------------------------
+
+fn qos() -> impl Strategy<Value = QosProfile> {
+    (1u32..100_000, 1u32..100_000, 0u8..10).prop_map(|(dl, ul, qci)| QosProfile {
+        max_dl_kbps: dl,
+        max_ul_kbps: ul,
+        qci,
+    })
+}
+
+proptest! {
+    /// PDP → EPS bearer → PDP preserves IP and QoS for any active context.
+    #[test]
+    fn context_migration_roundtrip(ip in any::<u32>(), q in qos(), nsapi in 0u8..16) {
+        let pdp = PdpContext::active(nsapi, IpAddr(ip), q);
+        let eps = pdp.to_eps_bearer(5).unwrap();
+        prop_assert_eq!(eps.ip, pdp.ip);
+        prop_assert_eq!(eps.qos, pdp.qos);
+        let back = eps.to_pdp(nsapi).unwrap();
+        prop_assert_eq!(back.ip, pdp.ip);
+        prop_assert_eq!(back.qos, pdp.qos);
+    }
+
+    /// Inactive contexts never migrate (the S1 precondition).
+    #[test]
+    fn inactive_contexts_never_migrate(ip in any::<u32>(), q in qos()) {
+        for state in [ContextState::Inactive, ContextState::ActivatePending, ContextState::DeactivatePending] {
+            let pdp = PdpContext { nsapi: 5, ip: IpAddr(ip), qos: q, state };
+            prop_assert!(pdp.to_eps_bearer(5).is_none());
+            let eps = EpsBearerContext { ebi: 5, ip: IpAddr(ip), qos: q, state };
+            prop_assert!(eps.to_pdp(5).is_none());
+        }
+    }
+
+    /// The deactivation remedy only salvages avoidable causes, and a
+    /// salvaged context stays migratable.
+    #[test]
+    fn remedy_salvage_consistency(ip in any::<u32>(), q in qos(), cause_idx in 0usize..6) {
+        let cause = PdpDeactivationCause::ALL[cause_idx];
+        let mut pdp = PdpContext::active(5, IpAddr(ip), q);
+        let outcome = pdp.deactivate(cause, true);
+        if cause.deactivation_avoidable() {
+            prop_assert!(pdp.is_active(), "{cause:?}: {outcome:?}");
+            prop_assert!(pdp.to_eps_bearer(5).is_some());
+        } else {
+            prop_assert!(!pdp.is_active());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3G RRC under arbitrary event sequences
+// ---------------------------------------------------------------------
+
+fn rrc3g_event() -> impl Strategy<Value = Rrc3gEvent> {
+    prop_oneof![
+        Just(Rrc3gEvent::CsCallStart),
+        Just(Rrc3gEvent::CsCallEnd),
+        any::<bool>().prop_map(|h| Rrc3gEvent::PsTrafficStart { high_rate: h }),
+        Just(Rrc3gEvent::PsTrafficStop),
+        Just(Rrc3gEvent::SignalingActivity),
+        Just(Rrc3gEvent::InactivityTimeout),
+        Just(Rrc3gEvent::ConnectionRelease),
+    ]
+}
+
+proptest! {
+    /// Core 3G-RRC invariants for any event sequence:
+    /// an active CS call implies CELL_DCH; cell reselection is allowed
+    /// exactly in IDLE; handover exactly in DCH.
+    #[test]
+    fn rrc3g_invariants(events in proptest::collection::vec(rrc3g_event(), 0..60)) {
+        let mut m = Rrc3g::new();
+        let mut out = Vec::new();
+        for ev in events {
+            m.on_event(ev, &mut out);
+            out.clear();
+            if m.cs_active {
+                prop_assert_eq!(m.state, Rrc3gState::CellDch, "voice always on DCH");
+            }
+            prop_assert_eq!(
+                m.switch_allowed(SwitchMechanism::CellReselection),
+                m.state == Rrc3gState::Idle
+            );
+            prop_assert_eq!(
+                m.switch_allowed(SwitchMechanism::InterSystemHandover),
+                m.state == Rrc3gState::CellDch
+            );
+            prop_assert_eq!(
+                m.switch_allowed(SwitchMechanism::ReleaseWithRedirect),
+                m.state.is_connected()
+            );
+            // S5 coupling: modulation downgraded iff a call shares the
+            // channel and no decoupling is applied.
+            let coupled = m.shared_channel_modulation(false);
+            let decoupled = m.shared_channel_modulation(true);
+            prop_assert!(decoupled >= coupled);
+            if !m.cs_active {
+                prop_assert_eq!(coupled, decoupled);
+            }
+        }
+    }
+
+    /// ConnectionRelease always lands in IDLE regardless of history.
+    #[test]
+    fn rrc3g_release_always_idles(events in proptest::collection::vec(rrc3g_event(), 0..40)) {
+        let mut m = Rrc3g::new();
+        let mut out = Vec::new();
+        for ev in events {
+            m.on_event(ev, &mut out);
+        }
+        m.on_event(Rrc3gEvent::ConnectionRelease, &mut out);
+        prop_assert_eq!(m.state, Rrc3gState::Idle);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4G RRC
+// ---------------------------------------------------------------------
+
+fn rrc4g_event() -> impl Strategy<Value = Rrc4gEvent> {
+    prop_oneof![
+        Just(Rrc4gEvent::Activity),
+        Just(Rrc4gEvent::InactivityTimeout),
+        Just(Rrc4gEvent::ConnectionRelease { redirect_to: None }),
+        Just(Rrc4gEvent::ConnectionRelease {
+            redirect_to: Some(RatSystem::Utran3g)
+        }),
+        Just(Rrc4gEvent::HandoverCommand {
+            target: RatSystem::Utran3g
+        }),
+    ]
+}
+
+proptest! {
+    /// Activity always reaches CONNECTED(Continuous); three inactivity
+    /// steps from there always reach IDLE.
+    #[test]
+    fn rrc4g_drx_ladder(events in proptest::collection::vec(rrc4g_event(), 0..30)) {
+        let mut m = Rrc4g::new();
+        let mut out = Vec::new();
+        for ev in events {
+            m.on_event(ev, &mut out);
+        }
+        m.on_event(Rrc4gEvent::Activity, &mut out);
+        prop_assert!(m.state.is_connected());
+        for _ in 0..3 {
+            m.on_event(Rrc4gEvent::InactivityTimeout, &mut out);
+        }
+        prop_assert!(!m.state.is_connected());
+    }
+}
+
+// ---------------------------------------------------------------------
+// EMM device machine
+// ---------------------------------------------------------------------
+
+fn emm_input() -> impl Strategy<Value = EmmDeviceInput> {
+    prop_oneof![
+        Just(EmmDeviceInput::AttachTrigger),
+        Just(EmmDeviceInput::TauTrigger),
+        Just(EmmDeviceInput::DetachTrigger),
+        Just(EmmDeviceInput::RetryTimer),
+        Just(EmmDeviceInput::SwitchedIn { pdp: None }),
+        Just(EmmDeviceInput::Network(NasMessage::AttachAccept)),
+        Just(EmmDeviceInput::Network(NasMessage::DetachAccept)),
+        Just(EmmDeviceInput::Network(NasMessage::UpdateAccept(
+            UpdateKind::TrackingArea
+        ))),
+        Just(EmmDeviceInput::Network(NasMessage::UpdateReject(
+            UpdateKind::TrackingArea,
+            EmmCause::ImplicitlyDetached
+        ))),
+        Just(EmmDeviceInput::Network(NasMessage::NetworkDetach(
+            EmmCause::ImplicitlyDetached
+        ))),
+    ]
+}
+
+proptest! {
+    /// For any input sequence: a deregistered device holds no bearer, and
+    /// `out_of_service` tracks the state machine.
+    #[test]
+    fn emm_device_invariants(
+        inputs in proptest::collection::vec(emm_input(), 0..80),
+        quirk in any::<bool>(),
+        remedy in any::<bool>(),
+    ) {
+        let mut dev = EmmDevice::new();
+        dev.quirk_tau_before_detach = quirk;
+        dev.remedy_reactivate_bearer = remedy;
+        let mut out = Vec::new();
+        for input in inputs {
+            dev.on_input(input, &mut out);
+            out.clear();
+            if dev.state == EmmDeviceState::Deregistered {
+                prop_assert!(dev.bearer.is_none(), "deregistered implies no bearer");
+            }
+            prop_assert_eq!(
+                dev.out_of_service(),
+                matches!(
+                    dev.state,
+                    EmmDeviceState::Deregistered | EmmDeviceState::RegisteredInitiated
+                )
+            );
+            prop_assert!(dev.attach_attempts <= dev.max_attach_attempts + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MM device machine
+// ---------------------------------------------------------------------
+
+fn mm_input() -> impl Strategy<Value = MmDeviceInput> {
+    prop_oneof![
+        Just(MmDeviceInput::LocationUpdateTrigger),
+        Just(MmDeviceInput::CmServiceRequest),
+        Just(MmDeviceInput::NetworkCommandDone),
+        Just(MmDeviceInput::ConnectionRelease),
+        Just(MmDeviceInput::Network(NasMessage::UpdateAccept(
+            UpdateKind::LocationArea
+        ))),
+        Just(MmDeviceInput::Network(NasMessage::CmServiceAccept)),
+        Just(MmDeviceInput::Network(NasMessage::CmServiceReject)),
+        Just(MmDeviceInput::Network(NasMessage::Paging)),
+    ]
+}
+
+proptest! {
+    /// With the parallel remedy, a CM service request arriving during a
+    /// location update is served immediately, never queued behind the
+    /// update — the S4 guarantee — for any preceding interleaving.
+    /// (Queueing behind *another call* remains legal.)
+    #[test]
+    fn remedied_mm_never_queues_behind_updates(
+        inputs in proptest::collection::vec(mm_input(), 0..60)
+    ) {
+        let mut mm = MmDevice::new().with_remedy();
+        let mut out = Vec::new();
+        for input in inputs {
+            let updating = matches!(
+                mm.state,
+                MmDeviceState::LocationUpdating | MmDeviceState::WaitForNetworkCommand
+            );
+            let is_request = matches!(input, MmDeviceInput::CmServiceRequest);
+            out.clear();
+            mm.on_input(input, &mut out);
+            if updating && is_request {
+                prop_assert!(
+                    out.iter().any(|o| matches!(
+                        o,
+                        cellstack::mm::MmDeviceOutput::Send(NasMessage::CmServiceRequest)
+                    )),
+                    "remedied MM must serve the request concurrently"
+                );
+            }
+        }
+    }
+
+    /// The standard machine never loses a queued request: it is either
+    /// still queued or the machine has left the blocking states.
+    #[test]
+    fn standard_mm_releases_queued_requests(inputs in proptest::collection::vec(mm_input(), 0..60)) {
+        let mut mm = MmDevice::new();
+        let mut out = Vec::new();
+        let mut queued_seen = false;
+        let mut sent = 0u32;
+        for input in inputs {
+            mm.on_input(input.clone(), &mut out);
+            for o in &out {
+                if matches!(o, cellstack::mm::MmDeviceOutput::Send(NasMessage::CmServiceRequest)) {
+                    sent += 1;
+                }
+                if matches!(o, cellstack::mm::MmDeviceOutput::ServiceRequestQueued) {
+                    queued_seen = true;
+                }
+            }
+            out.clear();
+        }
+        // Drain: complete any pending update and the hold.
+        mm.on_input(
+            MmDeviceInput::Network(NasMessage::UpdateAccept(UpdateKind::LocationArea)),
+            &mut out,
+        );
+        mm.on_input(MmDeviceInput::NetworkCommandDone, &mut out);
+        mm.on_input(MmDeviceInput::ConnectionRelease, &mut out);
+        for o in &out {
+            if matches!(o, cellstack::mm::MmDeviceOutput::Send(NasMessage::CmServiceRequest)) {
+                sent += 1;
+            }
+        }
+        if queued_seen {
+            prop_assert!(
+                sent > 0 || mm.queued_service_request,
+                "queued requests must not vanish"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Device ↔ MME pair under arbitrary lossless interleavings
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Over a lossless in-order transport, any schedule of attach/TAU/
+    /// detach triggers keeps device and MME registration consistent after
+    /// the queues drain.
+    #[test]
+    fn lossless_transport_keeps_sides_consistent(
+        triggers in proptest::collection::vec(0u8..3, 0..12)
+    ) {
+        let mut dev = EmmDevice::new();
+        let mut mme = MmeEmm::new();
+        let mut ul: Vec<NasMessage> = Vec::new();
+        let mut dl: Vec<NasMessage> = Vec::new();
+
+        let step = |dev: &mut EmmDevice, mme: &mut MmeEmm, ul: &mut Vec<NasMessage>, dl: &mut Vec<NasMessage>| {
+            // Drain both directions to quiescence.
+            for _ in 0..16 {
+                if ul.is_empty() && dl.is_empty() {
+                    break;
+                }
+                let mut out = Vec::new();
+                for m in ul.drain(..) {
+                    mme.on_input(MmeInput::Uplink(m), &mut out);
+                }
+                for o in out {
+                    if let cellstack::emm::MmeOutput::Send(m) = o {
+                        dl.push(m);
+                    }
+                }
+                let mut out = Vec::new();
+                for m in dl.drain(..) {
+                    dev.on_input(EmmDeviceInput::Network(m), &mut out);
+                }
+                for o in out {
+                    if let cellstack::emm::EmmDeviceOutput::Send(m) = o {
+                        ul.push(m);
+                    }
+                }
+            }
+        };
+
+        for t in triggers {
+            let input = match t {
+                0 => EmmDeviceInput::AttachTrigger,
+                1 => EmmDeviceInput::TauTrigger,
+                _ => EmmDeviceInput::DetachTrigger,
+            };
+            let mut out = Vec::new();
+            dev.on_input(input, &mut out);
+            for o in out {
+                if let cellstack::emm::EmmDeviceOutput::Send(m) = o {
+                    ul.push(m);
+                }
+            }
+            step(&mut dev, &mut mme, &mut ul, &mut dl);
+        }
+
+        // After draining, the two sides agree (the S2 divergence needs
+        // loss or duplication, which this transport excludes).
+        let dev_reg = dev.state == EmmDeviceState::Registered;
+        let mme_reg = mme.state == cellstack::emm::MmeUeState::Registered;
+        prop_assert_eq!(dev_reg, mme_reg, "dev={:?} mme={:?}", dev.state, mme.state);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full stack fuzz: no panics, coherent service flags
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum StackOp {
+    Dial,
+    Hangup,
+    DataOn(bool),
+    DataOff(usize),
+    Switch,
+    Update(u8),
+    DeliverAccept,
+}
+
+fn stack_op() -> impl Strategy<Value = StackOp> {
+    prop_oneof![
+        Just(StackOp::Dial),
+        Just(StackOp::Hangup),
+        any::<bool>().prop_map(StackOp::DataOn),
+        (0usize..6).prop_map(StackOp::DataOff),
+        Just(StackOp::Switch),
+        (0u8..3).prop_map(StackOp::Update),
+        Just(StackOp::DeliverAccept),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The composed stack never panics and keeps its service flags coherent
+    /// under arbitrary operation sequences.
+    #[test]
+    fn device_stack_fuzz(ops in proptest::collection::vec(stack_op(), 0..50)) {
+        let mut stack = DeviceStack::new();
+        let mut evs = Vec::new();
+        stack.power_on(RatSystem::Lte4g, &mut evs);
+        stack.deliver_nas(RatSystem::Lte4g, Domain::Ps, NasMessage::AttachAccept, &mut evs);
+        for op in ops {
+            evs.clear();
+            match op {
+                StackOp::Dial => stack.dial(&mut evs),
+                StackOp::Hangup => stack.hangup(&mut evs),
+                StackOp::DataOn(hr) => stack.data_on(hr, &mut evs),
+                StackOp::DataOff(i) => {
+                    stack.data_off(PdpDeactivationCause::ALL[i], &mut evs)
+                }
+                StackOp::Switch => match stack.serving {
+                    RatSystem::Lte4g => stack.switch_4g_to_3g(&mut evs),
+                    RatSystem::Utran3g => stack.switch_3g_to_4g(&mut evs),
+                },
+                StackOp::Update(k) => {
+                    let kind = match k {
+                        0 => UpdateKind::LocationArea,
+                        1 => UpdateKind::RoutingArea,
+                        _ => UpdateKind::TrackingArea,
+                    };
+                    stack.trigger_update(kind, &mut evs);
+                }
+                StackOp::DeliverAccept => {
+                    let (system, domain) = (stack.serving, Domain::Ps);
+                    stack.deliver_nas(system, domain, NasMessage::AttachAccept, &mut evs);
+                }
+            }
+            // Coherence: data service implies an active context on the
+            // serving side.
+            if stack.data_service_available() {
+                match stack.serving {
+                    RatSystem::Utran3g => prop_assert!(stack.sm.active_context().is_some()),
+                    RatSystem::Lte4g => prop_assert!(stack.esm.service_available()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! `cnetverifier` — the diagnosis tool as a command-line program.
+//!
+//! ```text
+//! cnetverifier screen   [--remedied] [--json]       # phase 1
+//! cnetverifier validate [--seed N]   [--json]       # phase 2
+//! cnetverifier sample   [--walks N] [--seed N]      # §3.2.1 random sampling
+//! cnetverifier report                               # Tables 1/2/3/4 + insights
+//! ```
+
+use cnetverifier::scenario::UsageModel;
+use cnetverifier::{props, validate_all};
+use mck::RandomWalk;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+
+    match cmd {
+        "screen" => screen(flag("--remedied"), flag("--json")),
+        "validate" => validate(value("--seed").unwrap_or(2014), flag("--json")),
+        "sample" => sample(
+            value("--walks").unwrap_or(2_000) as usize,
+            value("--seed").unwrap_or(0xCE11),
+        ),
+        "report" => report(),
+        _ => {
+            eprintln!(
+                "usage: cnetverifier <screen [--remedied] [--json] | \
+                 validate [--seed N] [--json] | sample [--walks N] [--seed N] | report>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn screen(remedied: bool, json: bool) {
+    let report = if remedied {
+        cnetverifier::run_screening_remedied()
+    } else {
+        cnetverifier::run_screening()
+    };
+    if json {
+        let findings: Vec<_> = report.findings().collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&findings).expect("findings serialize")
+        );
+        return;
+    }
+    println!(
+        "screening {} model families ({} states total):\n",
+        report.runs.len(),
+        report.total_states()
+    );
+    for run in &report.runs {
+        println!("  {:<36} {}", run.model_name, run.stats);
+        for f in &run.findings {
+            println!("    -> {}: {}", f.instance, f.instance.problem());
+            println!(
+                "       violates {} ({} steps{})",
+                f.property,
+                f.steps,
+                if f.lasso { ", lasso" } else { "" }
+            );
+            for (i, step) in f.witness.iter().enumerate() {
+                println!("         {:>2}. {step}", i + 1);
+            }
+            let insight = cnetverifier::insight_for(f.instance);
+            println!("       insight {}: {}", insight.number, insight.text);
+        }
+    }
+    let n = report.findings().count();
+    println!(
+        "\n{n} finding(s).{}",
+        if remedied && n == 0 {
+            " The Section-8 remedies hold."
+        } else {
+            ""
+        }
+    );
+    if !remedied && n == 0 {
+        std::process::exit(1); // screening is expected to find S1-S4
+    }
+}
+
+fn validate(seed: u64, json: bool) {
+    let outcomes = validate_all(seed);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")
+        );
+        return;
+    }
+    for v in &outcomes {
+        println!(
+            "{} on {:>5}: observed={:<5} {}",
+            v.instance, v.operator, v.observed, v.evidence
+        );
+    }
+    let observed = outcomes.iter().filter(|v| v.observed).count();
+    println!("\n{observed}/{} instance-carrier pairs observed.", outcomes.len());
+}
+
+fn sample(walks: usize, seed: u64) {
+    println!("sampling {walks} usage scenarios (seed {seed})...");
+    let report = RandomWalk::seeded(seed)
+        .walks(walks)
+        .max_steps(12)
+        .run(&UsageModel::paper());
+    for prop in props::ALL {
+        println!("  {:<18} violated in {} walks", prop, report.violations_of(prop));
+    }
+    if let Some(witness) = report.witness(props::PACKET_SERVICE_OK) {
+        use mck::Model;
+        let model = UsageModel::paper();
+        println!("\none witness for {}:", props::PACKET_SERVICE_OK);
+        for (i, a) in witness.actions().enumerate() {
+            println!("  {:>2}. {}", i + 1, model.format_action(a));
+        }
+    }
+}
+
+fn report() {
+    println!("{}", cnetverifier::report::table1());
+    println!("{}", cnetverifier::report::table2());
+    println!("{}", cnetverifier::report::table3());
+    println!("{}", cnetverifier::report::table4());
+    for ins in cnetverifier::INSIGHTS {
+        println!("Insight {} ({}): {}", ins.number, ins.instance, ins.text);
+    }
+    println!();
+    for lesson in cnetverifier::LESSONS {
+        println!("[{}] {}", lesson.dimension, lesson.text);
+    }
+}

@@ -1,0 +1,248 @@
+//! Findings: the instances S1–S6 and their classification (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use cellstack::{Dimension, IssueKind, Protocol};
+
+/// The six problematic-interaction instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Instance {
+    /// Out-of-service during 3G→4G switching (unprotected shared context).
+    S1,
+    /// Out-of-service during attach (out-of-sequence signaling).
+    S2,
+    /// Stuck in 3G after a CSFB call (inconsistent RRC state policy).
+    S3,
+    /// Outgoing call/data delayed by location update (HOL blocking).
+    S4,
+    /// PS rate collapse during CS service (fate sharing on the channel).
+    S5,
+    /// Out-of-service after 3G→4G switch (3G failure propagated to 4G).
+    S6,
+}
+
+impl Instance {
+    /// All instances in order.
+    pub const ALL: [Instance; 6] = [
+        Instance::S1,
+        Instance::S2,
+        Instance::S3,
+        Instance::S4,
+        Instance::S5,
+        Instance::S6,
+    ];
+
+    /// Table 1 problem statement.
+    pub fn problem(self) -> &'static str {
+        match self {
+            Instance::S1 => {
+                "User device is temporarily \"out-of-service\" during 3G->4G switching."
+            }
+            Instance::S2 => {
+                "User device is temporarily \"out-of-service\" during the attach procedure."
+            }
+            Instance::S3 => "User device gets stuck in 3G.",
+            Instance::S4 => "Outgoing call/Internet access is delayed.",
+            Instance::S5 => "PS rate declines (e.g., 96.1% in OP-II) during ongoing CS service.",
+            Instance::S6 => {
+                "User device is temporarily \"out-of-service\" after 3G->4G switching."
+            }
+        }
+    }
+
+    /// Table 1 type column.
+    pub fn kind(self) -> IssueKind {
+        match self {
+            Instance::S1 | Instance::S2 | Instance::S3 | Instance::S4 => IssueKind::Design,
+            Instance::S5 | Instance::S6 => IssueKind::Operational,
+        }
+    }
+
+    /// Table 1 protocols column.
+    pub fn protocols(self) -> &'static [Protocol] {
+        match self {
+            Instance::S1 => &[Protocol::Sm, Protocol::Esm, Protocol::Gmm, Protocol::Emm],
+            Instance::S2 => &[Protocol::Emm, Protocol::Rrc4g],
+            Instance::S3 => &[Protocol::Rrc3g, Protocol::CmCc, Protocol::Sm],
+            Instance::S4 => &[Protocol::CmCc, Protocol::Mm, Protocol::Sm, Protocol::Gmm],
+            Instance::S5 => &[Protocol::Rrc3g, Protocol::CmCc, Protocol::Sm],
+            Instance::S6 => &[Protocol::Mm, Protocol::Emm],
+        }
+    }
+
+    /// Table 1 dimension column (S3 spans two dimensions).
+    pub fn dimensions(self) -> &'static [Dimension] {
+        match self {
+            Instance::S1 => &[Dimension::CrossSystem],
+            Instance::S2 => &[Dimension::CrossLayer],
+            Instance::S3 => &[Dimension::CrossDomain, Dimension::CrossSystem],
+            Instance::S4 => &[Dimension::CrossLayer],
+            Instance::S5 => &[Dimension::CrossDomain],
+            Instance::S6 => &[Dimension::CrossSystem],
+        }
+    }
+
+    /// Table 1 root-cause column.
+    pub fn root_cause(self) -> &'static str {
+        match self {
+            Instance::S1 => {
+                "States are shared but unprotected between 3G and 4G; \
+                 states are deleted during inter-system switching (5.1)"
+            }
+            Instance::S2 => {
+                "MME assumes reliable transfer of signals by RRC; \
+                 RRC cannot ensure it (5.2)"
+            }
+            Instance::S3 => {
+                "RRC state change policy is inconsistent for inter-system switching (5.3)"
+            }
+            Instance::S4 => {
+                "Location update does not need to be, but is served with \
+                 higher priority than outgoing call/data requests (6.1)"
+            }
+            Instance::S5 => {
+                "3G-RRC configures the shared channel with a single \
+                 modulation scheme for both data and voice (6.2)"
+            }
+            Instance::S6 => {
+                "Information and action on location update failure in 3G \
+                 are exposed to 4G (6.3)"
+            }
+        }
+    }
+
+    /// Table 1 category (the two problem classes of §4).
+    pub fn category(self) -> Category {
+        match self {
+            Instance::S1 | Instance::S2 | Instance::S3 => Category::NecessaryButProblematic,
+            Instance::S4 | Instance::S5 | Instance::S6 => Category::IndependentButCoupled,
+        }
+    }
+
+    /// Which phase of the tool discovers the instance (§4: "we first
+    /// identify four instances S1-S4 in the screening phase and then
+    /// uncover two more operational issues S5 and S6 in the validation
+    /// phase").
+    pub fn discovered_by(self) -> Phase {
+        match self {
+            Instance::S1 | Instance::S2 | Instance::S3 | Instance::S4 => Phase::Screening,
+            Instance::S5 | Instance::S6 => Phase::Validation,
+        }
+    }
+
+    /// The property each instance violates.
+    pub fn property(self) -> &'static str {
+        match self {
+            Instance::S1 | Instance::S2 => crate::props::PACKET_SERVICE_OK,
+            Instance::S4 | Instance::S5 => crate::props::CALL_SERVICE_OK,
+            Instance::S3 | Instance::S6 => crate::props::MM_OK,
+        }
+    }
+}
+
+impl std::fmt::Display for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The two problem classes of §4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// "Necessary but problematic cooperations."
+    NecessaryButProblematic,
+    /// "Independent but coupled operations."
+    IndependentButCoupled,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::NecessaryButProblematic => write!(f, "Necessary but problematic cooperations"),
+            Category::IndependentButCoupled => write!(f, "Independent but coupled operations"),
+        }
+    }
+}
+
+/// Which tool phase discovered an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Model-checking screening (§3.2).
+    Screening,
+    /// Carrier-side (here: simulated) validation (§3.3).
+    Validation,
+}
+
+/// A concrete finding produced by the tool: an instance plus its witness.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Finding {
+    /// Which instance.
+    pub instance: Instance,
+    /// The violated property.
+    pub property: String,
+    /// Human-readable counterexample steps (screening) or observed evidence
+    /// (validation).
+    pub witness: Vec<String>,
+    /// Counterexample length in transitions (0 for validation findings).
+    pub steps: usize,
+    /// True when the witness ends in a lasso (a forever-delayed service).
+    pub lasso: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_instances() {
+        assert_eq!(Instance::ALL.len(), 6);
+    }
+
+    #[test]
+    fn table1_types() {
+        assert_eq!(Instance::S1.kind(), IssueKind::Design);
+        assert_eq!(Instance::S4.kind(), IssueKind::Design);
+        assert_eq!(Instance::S5.kind(), IssueKind::Operational);
+        assert_eq!(Instance::S6.kind(), IssueKind::Operational);
+    }
+
+    #[test]
+    fn table1_dimensions() {
+        assert_eq!(Instance::S2.dimensions(), &[Dimension::CrossLayer]);
+        assert_eq!(
+            Instance::S3.dimensions(),
+            &[Dimension::CrossDomain, Dimension::CrossSystem]
+        );
+        assert_eq!(Instance::S6.dimensions(), &[Dimension::CrossSystem]);
+    }
+
+    #[test]
+    fn categories_split_three_three() {
+        let necessary = Instance::ALL
+            .iter()
+            .filter(|i| i.category() == Category::NecessaryButProblematic)
+            .count();
+        assert_eq!(necessary, 3);
+    }
+
+    #[test]
+    fn discovery_phases_match_section4() {
+        assert_eq!(Instance::S4.discovered_by(), Phase::Screening);
+        assert_eq!(Instance::S5.discovered_by(), Phase::Validation);
+        assert_eq!(Instance::S6.discovered_by(), Phase::Validation);
+    }
+
+    #[test]
+    fn properties_assigned() {
+        assert_eq!(Instance::S1.property(), "PacketService_OK");
+        assert_eq!(Instance::S4.property(), "CallService_OK");
+        assert_eq!(Instance::S3.property(), "MM_OK");
+    }
+
+    #[test]
+    fn protocols_match_table1() {
+        assert!(Instance::S2.protocols().contains(&Protocol::Rrc4g));
+        assert!(Instance::S6.protocols().contains(&Protocol::Mm));
+        assert!(Instance::S6.protocols().contains(&Protocol::Emm));
+    }
+}

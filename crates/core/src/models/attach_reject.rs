@@ -1,0 +1,250 @@
+//! Screening sweep over the attach-reject cause space.
+//!
+//! §3.2.1: "Upon receiving a user request, the network accepts or rejects
+//! it. We equally test with all the possibilities, including the reject
+//! with various error causes. For example, more than 30 error causes are
+//! defined in the 4G attach procedure."
+//!
+//! This model enumerates every [`AttachRejectCause`] as an operator
+//! response and checks the device's reaction: on *temporary* causes it
+//! keeps retrying (bounded by the attempt counter) and eventually either
+//! registers or falls back to 3G; on *permanent* causes it stops retrying
+//! immediately. A device that retried a permanent cause, or kept spinning
+//! forever, would be a defect — the 3GPP behaviour verified here is one of
+//! the "other issues revealed ... but not reported" checks the paper
+//! alludes to in §4.
+
+use mck::{Model, Property};
+
+use cellstack::causes::AttachRejectCause;
+use cellstack::emm::{EmmDevice, EmmDeviceInput, EmmDeviceOutput, EmmDeviceState};
+use cellstack::{NasMessage, RatSystem};
+
+use crate::props;
+
+/// The model: one attach attempt against an operator that may reject with
+/// any cause (or accept).
+#[derive(Clone, Debug)]
+pub struct AttachRejectModel;
+
+/// Global state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AttachRejectState {
+    /// Device EMM.
+    pub dev: EmmDevice,
+    /// The cause the operator answered with, if it rejected.
+    pub rejected_with: Option<AttachRejectCause>,
+    /// An attach request is waiting at the network.
+    pub request_pending: bool,
+    /// The device retried after a permanent reject — the defect this model
+    /// hunts for.
+    pub retried_after_permanent: bool,
+    /// The device reached a final state (registered or gave up).
+    pub settled: bool,
+}
+
+/// Transition labels.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AttachRejectAction {
+    /// The operator accepts the pending request.
+    Accept,
+    /// The operator rejects the pending request with a cause.
+    Reject(AttachRejectCause),
+    /// The device's retry timer fires.
+    RetryTimer,
+}
+
+impl Model for AttachRejectModel {
+    type State = AttachRejectState;
+    type Action = AttachRejectAction;
+
+    fn init_states(&self) -> Vec<AttachRejectState> {
+        let mut dev = EmmDevice::new();
+        let mut out = Vec::new();
+        dev.on_input(EmmDeviceInput::AttachTrigger, &mut out);
+        vec![AttachRejectState {
+            dev,
+            rejected_with: None,
+            request_pending: true,
+            retried_after_permanent: false,
+            settled: false,
+        }]
+    }
+
+    fn actions(&self, state: &AttachRejectState, out: &mut Vec<AttachRejectAction>) {
+        if state.settled || state.retried_after_permanent {
+            return;
+        }
+        if state.request_pending {
+            out.push(AttachRejectAction::Accept);
+            for cause in AttachRejectCause::ALL {
+                out.push(AttachRejectAction::Reject(cause));
+            }
+        } else if state.dev.state == EmmDeviceState::RegisteredInitiated {
+            out.push(AttachRejectAction::RetryTimer);
+        }
+    }
+
+    fn next_state(
+        &self,
+        state: &AttachRejectState,
+        action: &AttachRejectAction,
+    ) -> Option<AttachRejectState> {
+        let mut s = state.clone();
+        let mut out = Vec::new();
+        match action {
+            AttachRejectAction::Accept => {
+                s.request_pending = false;
+                s.dev
+                    .on_input(EmmDeviceInput::Network(NasMessage::AttachAccept), &mut out);
+                s.settled = true;
+            }
+            AttachRejectAction::Reject(cause) => {
+                s.request_pending = false;
+                let prev_reject = s.rejected_with;
+                s.rejected_with = Some(*cause);
+                s.dev.on_input(
+                    EmmDeviceInput::Network(NasMessage::AttachReject(*cause)),
+                    &mut out,
+                );
+                // The device may auto-retry (T3411) — observe its outputs.
+                if out.iter().any(|o| {
+                    matches!(o, EmmDeviceOutput::Send(NasMessage::AttachRequest { .. }))
+                }) {
+                    s.request_pending = true;
+                    if let Some(prev) = prev_reject {
+                        if !prev.retry_allowed() {
+                            s.retried_after_permanent = true;
+                        }
+                    }
+                    if !cause.retry_allowed() {
+                        s.retried_after_permanent = true;
+                    }
+                } else if out
+                    .iter()
+                    .any(|o| matches!(o, EmmDeviceOutput::FallbackTo(RatSystem::Utran3g)))
+                {
+                    s.settled = true; // retries exhausted; falls back to 3G
+                }
+            }
+            AttachRejectAction::RetryTimer => {
+                s.dev.on_input(EmmDeviceInput::RetryTimer, &mut out);
+                let retried = out.iter().any(|o| {
+                    matches!(o, EmmDeviceOutput::Send(NasMessage::AttachRequest { .. }))
+                });
+                if retried {
+                    s.request_pending = true;
+                    if let Some(cause) = s.rejected_with {
+                        if !cause.retry_allowed() {
+                            s.retried_after_permanent = true;
+                        }
+                    }
+                } else if out
+                    .iter()
+                    .any(|o| matches!(o, EmmDeviceOutput::FallbackTo(RatSystem::Utran3g)))
+                {
+                    s.settled = true; // gave up and fell back — final
+                }
+            }
+        }
+        if s.dev.state == EmmDeviceState::Deregistered
+            && s.rejected_with.map(|c| !c.retry_allowed()).unwrap_or(false)
+        {
+            s.settled = true; // permanently barred — final
+        }
+        Some(s)
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![
+            // The device must never retry a permanently-rejected attach.
+            Property::never(
+                "NoRetryAfterPermanentReject",
+                |_: &AttachRejectModel, s: &AttachRejectState| s.retried_after_permanent,
+            ),
+            // Every maximal path settles: accepted, barred, or fallen back.
+            Property::eventually(props::MM_OK, |_: &AttachRejectModel, s: &AttachRejectState| {
+                s.settled
+            }),
+        ]
+    }
+
+    fn format_action(&self, action: &AttachRejectAction) -> String {
+        match action {
+            AttachRejectAction::Accept => "operator accepts the attach".into(),
+            AttachRejectAction::Reject(c) => format!("operator rejects attach: {c:?}"),
+            AttachRejectAction::RetryTimer => "device retry timer fires".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mck::{Checker, SearchStrategy};
+
+    #[test]
+    fn all_32_reject_causes_are_explored_safely() {
+        let result = Checker::new(AttachRejectModel)
+            .strategy(SearchStrategy::Dfs)
+            .run();
+        assert!(
+            result.holds(),
+            "the standards-conforming device handles every cause: {:?}",
+            result.violations
+        );
+        // The sweep really covered the cause space: ≥ 32 reject branches
+        // from the initial state alone.
+        assert!(result.stats.transitions >= 33);
+    }
+
+    #[test]
+    fn permanent_reject_settles_without_retry() {
+        let model = AttachRejectModel;
+        let mut s = model.init_states().remove(0);
+        s = model
+            .next_state(
+                &s,
+                &AttachRejectAction::Reject(AttachRejectCause::PlmnNotAllowed),
+            )
+            .unwrap();
+        assert!(s.settled, "permanently barred is final");
+        let mut acts = Vec::new();
+        model.actions(&s, &mut acts);
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn temporary_reject_retries_until_fallback() {
+        let model = AttachRejectModel;
+        let mut s = model.init_states().remove(0);
+        s = model
+            .next_state(
+                &s,
+                &AttachRejectAction::Reject(AttachRejectCause::Congestion),
+            )
+            .unwrap();
+        assert!(!s.settled);
+        // Retry until the attempt counter forces the 3G fallback.
+        let mut hops = 0;
+        while !s.settled && hops < 32 {
+            let mut acts = Vec::new();
+            model.actions(&s, &mut acts);
+            let act = acts
+                .iter()
+                .find(|a| {
+                    matches!(
+                        a,
+                        AttachRejectAction::RetryTimer
+                            | AttachRejectAction::Reject(AttachRejectCause::Congestion)
+                    )
+                })
+                .cloned()
+                .expect("something to do");
+            s = model.next_state(&s, &act).unwrap();
+            hops += 1;
+        }
+        assert!(s.settled, "the retry loop terminates via fallback");
+        assert!(!s.retried_after_permanent);
+    }
+}

@@ -1,0 +1,41 @@
+//! The three cellular-oriented properties (paper §3.2.2).
+//!
+//! * [`PACKET_SERVICE_OK`] — "Packet data services should be always
+//!   available once device attached to 3G/4G, unless being explicitly
+//!   deactivated."
+//! * [`CALL_SERVICE_OK`] — "Call services should also be always available.
+//!   In particular, each call request should not be rejected or delayed
+//!   without any explicit user operation."
+//! * [`MM_OK`] — "Inter-system mobility support should be offered upon
+//!   request. For example, a 3G↔4G switch request should be served if both
+//!   3G/4G are available."
+//!
+//! Each screening model in [`crate::models`] instantiates the relevant
+//! property as an `mck::Property` over its own state type; the string
+//! constants here keep the names uniform across models, findings and
+//! reports.
+
+/// Name of the packet-service availability property.
+pub const PACKET_SERVICE_OK: &str = "PacketService_OK";
+
+/// Name of the call-service availability property.
+pub const CALL_SERVICE_OK: &str = "CallService_OK";
+
+/// Name of the inter-system mobility property.
+pub const MM_OK: &str = "MM_OK";
+
+/// All three property names.
+pub const ALL: [&str; 3] = [PACKET_SERVICE_OK, CALL_SERVICE_OK, MM_OK];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PACKET_SERVICE_OK, "PacketService_OK");
+        assert_eq!(CALL_SERVICE_OK, "CallService_OK");
+        assert_eq!(MM_OK, "MM_OK");
+        assert_eq!(ALL.len(), 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for the screening layer: sampled witnesses must
+//! replay exactly, and the remedied stack must hold under sampling from
+//! arbitrary seeds.
+
+use proptest::prelude::*;
+
+use cnetverifier::props;
+use cnetverifier::scenario::UsageModel;
+use mck::{Model, RandomWalk};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every witness the sampler returns is a real execution of the model.
+    #[test]
+    fn sampled_witnesses_replay(seed in any::<u64>()) {
+        let model = UsageModel::paper();
+        let report = RandomWalk::seeded(seed).walks(150).max_steps(10).run(&model);
+        for prop in props::ALL {
+            if let Some(witness) = report.witness(prop) {
+                let inits = model.init_states();
+                prop_assert!(inits.iter().any(|s| s == witness.init_state()));
+                let mut cur = witness.init_state().clone();
+                for (action, expected) in witness.steps() {
+                    let next = model.next_state(&cur, action);
+                    prop_assert!(next.is_some(), "witness step must be valid");
+                    cur = next.unwrap();
+                    prop_assert!(&cur == expected, "witness state must match");
+                }
+            }
+        }
+    }
+
+    /// The remedied stack never violates either safety property, no matter
+    /// which seed drives the sampler.
+    #[test]
+    fn remedied_stack_clean_under_sampling(seed in any::<u64>()) {
+        let report = RandomWalk::seeded(seed)
+            .walks(200)
+            .max_steps(10)
+            .run(&UsageModel::remedied());
+        prop_assert_eq!(report.violations_of(props::PACKET_SERVICE_OK), 0);
+        prop_assert_eq!(report.violations_of(props::CALL_SERVICE_OK), 0);
+    }
+
+    /// The defective stack is caught by sampling regardless of seed, given
+    /// enough walks (§3.2.1: increasing the sampling rate reveals defects).
+    #[test]
+    fn defective_stack_always_caught_with_enough_walks(seed in any::<u64>()) {
+        let report = RandomWalk::seeded(seed)
+            .walks(400)
+            .max_steps(12)
+            .run(&UsageModel::paper());
+        prop_assert!(report.violations_of(props::PACKET_SERVICE_OK) > 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Message channels with configurable (un)reliability.
+//!
+//! Cellular signaling crosses links with different guarantees: the paper's
+//! S2 instance hinges on RRC *not* providing reliable in-sequence delivery
+//! between phone and MME (§5.2), while the BS↔core leg is reliable. A
+//! [`Chan`] models a FIFO queue whose delivery semantics the checker can
+//! branch on: besides delivering the head message, a lossy channel adds a
+//! "drop" transition, a duplicating channel a "deliver but keep" transition,
+//! and a reordering channel allows delivering any queued message.
+//!
+//! Channels are plain data (they live inside a model's `State` and must be
+//! `Clone + Hash + Eq`); the *checker* turns [`Chan::delivery_choices`] into
+//! explicit actions, which is exactly how Spin models lossy channels with a
+//! daemon process.
+
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Delivery guarantees of a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ChanSemantics {
+    /// Messages may be silently dropped (adds `DropFront` choices).
+    pub lossy: bool,
+    /// Messages may be delivered more than once (adds `DuplicateFront`).
+    pub duplicating: bool,
+    /// Messages may overtake each other (adds `DeliverAt(i)` for i > 0).
+    pub reordering: bool,
+    /// Maximum queue length; `send` on a full channel drops the message if
+    /// lossy, otherwise reports an error. Bounding keeps state spaces finite.
+    pub capacity: usize,
+}
+
+impl ChanSemantics {
+    /// Reliable, in-order, bounded — like the paper's BS↔core TCP leg.
+    pub fn reliable(capacity: usize) -> Self {
+        Self {
+            lossy: false,
+            duplicating: false,
+            reordering: false,
+            capacity,
+        }
+    }
+
+    /// Lossy and duplicating but in-order per message — like the paper's
+    /// phone↔BS RRC leg (§5.2: "RRC does not always ensure reliable
+    /// delivery"). Duplication arises end-to-end when a retransmitted NAS
+    /// message and the original both reach the MME via different BSes.
+    pub fn unreliable(capacity: usize) -> Self {
+        Self {
+            lossy: true,
+            duplicating: true,
+            reordering: false,
+            capacity,
+        }
+    }
+
+    /// Fully adversarial: loss, duplication and reordering.
+    pub fn adversarial(capacity: usize) -> Self {
+        Self {
+            lossy: true,
+            duplicating: true,
+            reordering: true,
+            capacity,
+        }
+    }
+}
+
+/// One way the checker may exercise a channel in the current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeliveryChoice {
+    /// Dequeue and deliver the message at index `i` (0 = head; `i > 0` only
+    /// on reordering channels).
+    DeliverAt(usize),
+    /// Silently drop the head message (lossy channels).
+    DropFront,
+    /// Deliver the head message but also keep a copy queued (duplicating
+    /// channels). Bounded by [`Chan::dup_budget`] to keep the space finite.
+    DuplicateFront,
+}
+
+/// A bounded FIFO signaling channel.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Chan<T> {
+    queue: VecDeque<T>,
+    semantics: ChanSemantics,
+    /// Remaining duplications the checker may still inject. Without a budget
+    /// a duplicating channel generates an infinite state space.
+    dup_budget: u8,
+    /// Messages silently dropped because the queue was full.
+    overflow_drops: u32,
+}
+
+impl<T: Clone + Debug> Chan<T> {
+    /// An empty channel with the given semantics and a default duplication
+    /// budget of 1 (one spurious copy is enough to expose S2-style bugs).
+    pub fn new(semantics: ChanSemantics) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            semantics,
+            dup_budget: 1,
+            overflow_drops: 0,
+        }
+    }
+
+    /// Override the duplication budget.
+    pub fn with_dup_budget(mut self, budget: u8) -> Self {
+        self.dup_budget = budget;
+        self
+    }
+
+    /// The channel's semantics.
+    pub fn semantics(&self) -> ChanSemantics {
+        self.semantics
+    }
+
+    /// Remaining duplication budget.
+    pub fn dup_budget(&self) -> u8 {
+        self.dup_budget
+    }
+
+    /// Number of messages dropped due to a full queue.
+    pub fn overflow_drops(&self) -> u32 {
+        self.overflow_drops
+    }
+
+    /// Queue a message. On a full queue: lossy channels drop it (counting
+    /// the overflow), reliable channels return `Err` — a modeling error,
+    /// since a reliable channel must be sized for its traffic.
+    pub fn send(&mut self, msg: T) -> Result<(), ChanFull> {
+        if self.queue.len() >= self.semantics.capacity {
+            if self.semantics.lossy {
+                self.overflow_drops += 1;
+                return Ok(());
+            }
+            return Err(ChanFull);
+        }
+        self.queue.push_back(msg);
+        Ok(())
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Peek at the head message.
+    pub fn front(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Peek at an arbitrary queued message.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.queue.get(i)
+    }
+
+    /// Enumerate the delivery choices available in the current state.
+    pub fn delivery_choices(&self, out: &mut Vec<DeliveryChoice>) {
+        if self.queue.is_empty() {
+            return;
+        }
+        out.push(DeliveryChoice::DeliverAt(0));
+        if self.semantics.reordering {
+            for i in 1..self.queue.len() {
+                out.push(DeliveryChoice::DeliverAt(i));
+            }
+        }
+        if self.semantics.lossy {
+            out.push(DeliveryChoice::DropFront);
+        }
+        if self.semantics.duplicating && self.dup_budget > 0 {
+            out.push(DeliveryChoice::DuplicateFront);
+        }
+    }
+
+    /// Apply a delivery choice, returning the delivered message (if the
+    /// choice delivers one). Returns `None` for `DropFront` and for choices
+    /// that are invalid in the current state (e.g. an index past the queue),
+    /// which callers treat as a discarded transition.
+    pub fn apply(&mut self, choice: DeliveryChoice) -> Option<T> {
+        match choice {
+            DeliveryChoice::DeliverAt(i) => self.queue.remove(i),
+            DeliveryChoice::DropFront => {
+                self.queue.pop_front();
+                None
+            }
+            DeliveryChoice::DuplicateFront => {
+                if self.dup_budget == 0 {
+                    return None;
+                }
+                let msg = self.queue.front().cloned()?;
+                self.dup_budget -= 1;
+                Some(msg)
+            }
+        }
+    }
+}
+
+/// Error: `send` on a full reliable channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChanFull;
+
+impl std::fmt::Display for ChanFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reliable channel full: increase capacity in the model")
+    }
+}
+
+impl std::error::Error for ChanFull {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choices<T: Clone + Debug>(c: &Chan<T>) -> Vec<DeliveryChoice> {
+        let mut v = Vec::new();
+        c.delivery_choices(&mut v);
+        v
+    }
+
+    #[test]
+    fn reliable_fifo_order() {
+        let mut c = Chan::new(ChanSemantics::reliable(4));
+        c.send(1).unwrap();
+        c.send(2).unwrap();
+        assert_eq!(c.apply(DeliveryChoice::DeliverAt(0)), Some(1));
+        assert_eq!(c.apply(DeliveryChoice::DeliverAt(0)), Some(2));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reliable_full_errors() {
+        let mut c = Chan::new(ChanSemantics::reliable(1));
+        c.send(1).unwrap();
+        assert_eq!(c.send(2), Err(ChanFull));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lossy_full_drops_silently() {
+        let mut c = Chan::new(ChanSemantics::unreliable(1));
+        c.send(1).unwrap();
+        c.send(2).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.overflow_drops(), 1);
+    }
+
+    #[test]
+    fn reliable_channel_offers_only_delivery() {
+        let mut c = Chan::new(ChanSemantics::reliable(4));
+        c.send("a").unwrap();
+        assert_eq!(choices(&c), vec![DeliveryChoice::DeliverAt(0)]);
+    }
+
+    #[test]
+    fn unreliable_channel_offers_drop_and_duplicate() {
+        let mut c = Chan::new(ChanSemantics::unreliable(4));
+        c.send("a").unwrap();
+        let ch = choices(&c);
+        assert!(ch.contains(&DeliveryChoice::DeliverAt(0)));
+        assert!(ch.contains(&DeliveryChoice::DropFront));
+        assert!(ch.contains(&DeliveryChoice::DuplicateFront));
+    }
+
+    #[test]
+    fn empty_channel_offers_nothing() {
+        let c: Chan<u8> = Chan::new(ChanSemantics::adversarial(4));
+        assert!(choices(&c).is_empty());
+    }
+
+    #[test]
+    fn reordering_offers_every_index() {
+        let mut c = Chan::new(ChanSemantics::adversarial(4));
+        c.send(10).unwrap();
+        c.send(20).unwrap();
+        c.send(30).unwrap();
+        let ch = choices(&c);
+        assert!(ch.contains(&DeliveryChoice::DeliverAt(1)));
+        assert!(ch.contains(&DeliveryChoice::DeliverAt(2)));
+        // Out-of-order delivery really removes the middle message.
+        let mut c2 = c.clone();
+        assert_eq!(c2.apply(DeliveryChoice::DeliverAt(1)), Some(20));
+        assert_eq!(c2.front(), Some(&10));
+        assert_eq!(c2.len(), 2);
+    }
+
+    #[test]
+    fn drop_front_discards_head() {
+        let mut c = Chan::new(ChanSemantics::unreliable(4));
+        c.send(1).unwrap();
+        c.send(2).unwrap();
+        assert_eq!(c.apply(DeliveryChoice::DropFront), None);
+        assert_eq!(c.front(), Some(&2));
+    }
+
+    #[test]
+    fn duplicate_consumes_budget_and_keeps_message() {
+        let mut c = Chan::new(ChanSemantics::unreliable(4)).with_dup_budget(1);
+        c.send(9).unwrap();
+        assert_eq!(c.apply(DeliveryChoice::DuplicateFront), Some(9));
+        assert_eq!(c.front(), Some(&9), "copy stays queued");
+        assert_eq!(c.dup_budget(), 0);
+        // Budget exhausted: further duplication refused and not offered.
+        assert_eq!(c.apply(DeliveryChoice::DuplicateFront), None);
+        assert!(!choices(&c).contains(&DeliveryChoice::DuplicateFront));
+    }
+
+    #[test]
+    fn deliver_past_end_is_discarded() {
+        let mut c = Chan::new(ChanSemantics::reliable(4));
+        c.send(1).unwrap();
+        assert_eq!(c.apply(DeliveryChoice::DeliverAt(5)), None);
+        assert_eq!(c.len(), 1, "invalid choice must not mutate the queue");
+    }
+
+    #[test]
+    fn channel_state_hash_distinguishes_budgets() {
+        use crate::fingerprint::fingerprint;
+        let a: Chan<i32> = Chan::new(ChanSemantics::unreliable(4)).with_dup_budget(1);
+        let b = Chan::<i32>::new(ChanSemantics::unreliable(4)).with_dup_budget(0);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+}

@@ -1,0 +1,290 @@
+//! Sequential breadth-first exploration.
+//!
+//! Nodes live in an arena so a counterexample path can be rebuilt by walking
+//! parent links. The arena stores full states (not just fingerprints): the
+//! protocol models this crate serves stay well under 10^7 nodes, and keeping
+//! states makes counterexamples exact rather than re-executed.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use crate::checker::{ebits_for, split_properties, CheckResult, Checker, Violation};
+use crate::fingerprint::fingerprint_with_ebits;
+use crate::model::Model;
+use crate::path::Path;
+use crate::stats::CheckStats;
+
+struct Node<M: Model> {
+    state: M::State,
+    ebits: u32,
+    parent: Option<(usize, M::Action)>,
+    depth: usize,
+}
+
+fn rebuild_path<M: Model>(arena: &[Node<M>], mut idx: usize) -> Path<M::State, M::Action> {
+    let mut rev: Vec<(M::Action, M::State)> = Vec::new();
+    loop {
+        let node = &arena[idx];
+        match &node.parent {
+            Some((pidx, action)) => {
+                rev.push((action.clone(), node.state.clone()));
+                idx = *pidx;
+            }
+            None => {
+                let mut path = Path::new(node.state.clone());
+                for (a, s) in rev.into_iter().rev() {
+                    path.push(a, s);
+                }
+                return path;
+            }
+        }
+    }
+}
+
+pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
+    let model = &checker.model;
+    let props = split_properties(model);
+    let all_ebits: u32 = if props.eventually.is_empty() {
+        0
+    } else {
+        (1u32 << props.eventually.len()) - 1
+    };
+
+    let start = Instant::now();
+    let mut stats = CheckStats::default();
+    let mut violations: Vec<Violation<M>> = Vec::new();
+    let mut violated_names: Vec<&'static str> = Vec::new();
+    let mut complete = true;
+
+    let mut arena: Vec<Node<M>> = Vec::new();
+    let mut visited: HashMap<u64, ()> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut actions: Vec<M::Action> = Vec::new();
+
+    // Reports a violation once per property; returns true if the search
+    // should stop entirely.
+    macro_rules! report {
+        ($name:expr, $expectation:expr, $idx:expr, $lasso:expr) => {{
+            if !violated_names.contains(&$name) {
+                violated_names.push($name);
+                violations.push(Violation {
+                    property: $name,
+                    expectation: $expectation,
+                    path: rebuild_path(&arena, $idx),
+                    lasso: $lasso,
+                });
+            }
+            checker.fail_fast
+        }};
+    }
+
+    for init in model.init_states() {
+        let ebits = ebits_for(model, &props.eventually, &init, 0);
+        let fp = fingerprint_with_ebits(&init, ebits);
+        if visited.insert(fp, ()).is_none() {
+            arena.push(Node {
+                state: init,
+                ebits,
+                parent: None,
+                depth: 0,
+            });
+            queue.push_back(arena.len() - 1);
+        }
+    }
+
+    'search: while let Some(idx) = queue.pop_front() {
+        stats.unique_states += 1;
+        stats.max_depth = stats.max_depth.max(arena[idx].depth);
+
+        // Safety properties at every node.
+        for p in &props.safety {
+            if p.violated_at(model, &arena[idx].state)
+                && report!(p.name, p.expectation, idx, false)
+            {
+                complete = false;
+                break 'search;
+            }
+        }
+
+        if stats.unique_states >= checker.max_states {
+            complete = false;
+            break;
+        }
+
+        let within = model.within_boundary(&arena[idx].state) && arena[idx].depth < checker.max_depth;
+        if !within {
+            stats.boundary_hits += 1;
+        }
+
+        actions.clear();
+        if within {
+            model.actions(&arena[idx].state, &mut actions);
+        }
+
+        if actions.is_empty() {
+            if within {
+                stats.terminal_states += 1;
+            }
+            // A maximal (or truncated) path: every unsatisfied Eventually
+            // property is violated along it.
+            let missing = all_ebits & !arena[idx].ebits;
+            if missing != 0 {
+                for (i, p) in props.eventually.iter().enumerate() {
+                    if missing & (1 << i) != 0 && report!(p.name, p.expectation, idx, false) {
+                        complete = false;
+                        break 'search;
+                    }
+                }
+            }
+            continue;
+        }
+
+        let parent_depth = arena[idx].depth;
+        let parent_ebits = arena[idx].ebits;
+        let acts = std::mem::take(&mut actions);
+        for action in &acts {
+            stats.transitions += 1;
+            let Some(next) = model.next_state(&arena[idx].state, action) else {
+                continue;
+            };
+            let ebits = ebits_for(model, &props.eventually, &next, parent_ebits);
+            let fp = fingerprint_with_ebits(&next, ebits);
+            if visited.insert(fp, ()).is_none() {
+                arena.push(Node {
+                    state: next,
+                    ebits,
+                    parent: Some((idx, action.clone())),
+                    depth: parent_depth + 1,
+                });
+                queue.push_back(arena.len() - 1);
+            }
+        }
+        actions = acts;
+    }
+
+    stats.duration = start.elapsed();
+    CheckResult {
+        stats,
+        violations,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::checker::testmodels::Counter;
+    use crate::checker::{Checker, SearchStrategy};
+    use crate::property::Expectation;
+
+    #[test]
+    fn finds_shortest_safety_counterexample() {
+        let checker = Checker::new(Counter {
+            max: 10,
+            forbid: Some(5),
+            must_reach: None,
+        })
+        .strategy(SearchStrategy::Bfs);
+        let result = checker.run();
+        let v = result.violation("forbidden").expect("must violate");
+        assert_eq!(v.expectation, Expectation::Never);
+        assert_eq!(*v.path.last_state(), 5);
+        // Shortest path to 5 with steps {1,2}: 2+2+1 = 3 steps.
+        assert_eq!(v.path.len(), 3);
+    }
+
+    #[test]
+    fn safety_holds_when_unreachable() {
+        // Steps are 1 or 2 from 0 with max 10: every value 0..=10 reachable,
+        // so forbid 11 (never generated because of max).
+        let result = Checker::new(Counter {
+            max: 10,
+            forbid: Some(11),
+            must_reach: None,
+        })
+        .run();
+        assert!(result.holds());
+        assert_eq!(result.stats.unique_states, 11);
+    }
+
+    #[test]
+    fn eventually_violated_on_terminal_path() {
+        // From 0, +2 repeatedly reaches 10 while skipping 9... but +1 paths
+        // hit every value; requiring 9 on *every* path must fail because the
+        // all-+2 path ends at 10 without passing 9.
+        let result = Checker::new(Counter {
+            max: 10,
+            forbid: None,
+            must_reach: Some(9),
+        })
+        .run();
+        let v = result.violation("reached").expect("must violate");
+        assert!(!v.lasso);
+        assert!(!v.path.any_state(|s| *s == 9));
+    }
+
+    #[test]
+    fn eventually_holds_when_all_paths_pass() {
+        // Every path from 0 with steps {1,2} and max 2 ends at 2 (0->2 or
+        // 0->1->2): requiring 2 holds on all maximal paths.
+        let result = Checker::new(Counter {
+            max: 2,
+            forbid: None,
+            must_reach: Some(2),
+        })
+        .run();
+        assert!(result.holds(), "violations: {:?}", result.violations);
+    }
+
+    #[test]
+    fn max_states_truncates_and_reports_incomplete() {
+        let result = Checker::new(Counter {
+            max: 200,
+            forbid: None,
+            must_reach: None,
+        })
+        .max_states(10)
+        .run();
+        assert!(!result.complete);
+        assert!(result.stats.unique_states <= 10);
+    }
+
+    #[test]
+    fn max_depth_counts_boundary() {
+        let result = Checker::new(Counter {
+            max: 200,
+            forbid: None,
+            must_reach: None,
+        })
+        .max_depth(3)
+        .run();
+        assert!(result.stats.boundary_hits > 0);
+        assert!(result.stats.max_depth <= 3);
+    }
+
+    #[test]
+    fn fail_fast_stops_early() {
+        let slow = Checker::new(Counter {
+            max: 100,
+            forbid: Some(1),
+            must_reach: None,
+        })
+        .fail_fast(true)
+        .run();
+        assert!(!slow.complete);
+        assert_eq!(slow.violations.len(), 1);
+    }
+
+    #[test]
+    fn transition_and_terminal_counters() {
+        let result = Checker::new(Counter {
+            max: 3,
+            forbid: None,
+            must_reach: None,
+        })
+        .run();
+        // States 0,1,2,3. Terminal: 2 can +1, 3 cannot move => terminal.
+        assert_eq!(result.stats.unique_states, 4);
+        assert_eq!(result.stats.terminal_states, 1);
+        assert!(result.stats.transitions >= 4);
+    }
+}

@@ -1,0 +1,354 @@
+//! Sequential depth-first exploration with lasso detection.
+//!
+//! DFS keeps the current path on an explicit stack. A transition back into a
+//! node that is *on the stack* closes a cycle in the product graph; because
+//! eventually-bits are monotone along a path and part of node identity, every
+//! node on that cycle carries the same `ebits`, so any eventually-property
+//! whose bit is unset there is violated by the infinite run looping on the
+//! cycle. This is the finite-graph equivalent of Spin's acceptance-cycle
+//! detection, and is what exposes "request delayed forever" defects (paper
+//! instances S3/S4).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::checker::{ebits_for, split_properties, CheckResult, Checker, Violation};
+use crate::fingerprint::fingerprint_with_ebits;
+use crate::model::Model;
+use crate::path::Path;
+use crate::stats::CheckStats;
+
+/// Bookkeeping for one node on the DFS stack.
+struct Frame<M: Model> {
+    state: M::State,
+    ebits: u32,
+    fp: u64,
+    /// Actions not yet tried from this node (popped from the back).
+    pending: Vec<M::Action>,
+}
+
+/// Outcome signals threaded out of the traversal helpers.
+enum Flow {
+    Continue,
+    StopAll,
+}
+
+pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
+    Dfs::new(checker).run()
+}
+
+struct Dfs<'a, M: Model> {
+    checker: &'a Checker<M>,
+    safety: Vec<crate::property::Property<M>>,
+    eventually: Vec<crate::property::Property<M>>,
+    all_ebits: u32,
+    stats: CheckStats,
+    violations: Vec<Violation<M>>,
+    violated_names: Vec<&'static str>,
+    complete: bool,
+    /// fingerprint -> on_stack flag.
+    visited: HashMap<u64, bool>,
+    stack: Vec<Frame<M>>,
+    path: Option<Path<M::State, M::Action>>,
+}
+
+impl<'a, M: Model> Dfs<'a, M> {
+    fn new(checker: &'a Checker<M>) -> Self {
+        let props = split_properties(&checker.model);
+        let all_ebits = if props.eventually.is_empty() {
+            0
+        } else {
+            (1u32 << props.eventually.len()) - 1
+        };
+        Self {
+            checker,
+            safety: props.safety,
+            eventually: props.eventually,
+            all_ebits,
+            stats: CheckStats::default(),
+            violations: Vec::new(),
+            violated_names: Vec::new(),
+            complete: true,
+            visited: HashMap::new(),
+            stack: Vec::new(),
+            path: None,
+        }
+    }
+
+    fn record(&mut self, name: &'static str, expectation: crate::Expectation, lasso: bool,
+              witness: Path<M::State, M::Action>) -> Flow {
+        if !self.violated_names.contains(&name) {
+            self.violated_names.push(name);
+            self.violations.push(Violation {
+                property: name,
+                expectation,
+                path: witness,
+                lasso,
+            });
+            if self.checker.fail_fast {
+                self.complete = false;
+                return Flow::StopAll;
+            }
+        }
+        Flow::Continue
+    }
+
+    fn check_missing_eventually(&mut self, ebits: u32, lasso: bool,
+                                witness: &Path<M::State, M::Action>) -> Flow {
+        let missing = self.all_ebits & !ebits;
+        if missing == 0 {
+            return Flow::Continue;
+        }
+        let hits: Vec<(usize, &'static str, crate::Expectation)> = self
+            .eventually
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| missing & (1 << i) != 0)
+            .map(|(i, p)| (i, p.name, p.expectation))
+            .collect();
+        for (_, name, exp) in hits {
+            if let Flow::StopAll = self.record(name, exp, lasso, witness.clone()) {
+                return Flow::StopAll;
+            }
+        }
+        Flow::Continue
+    }
+
+    /// Inspect a node just pushed on the stack: counters, safety checks,
+    /// action enumeration, terminal-path eventually checks.
+    fn inspect_top(&mut self) -> Flow {
+        self.stats.unique_states += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.stack.len() - 1);
+
+        let state = self.stack.last().unwrap().state.clone();
+        let safety_hits: Vec<(&'static str, crate::Expectation)> = self
+            .safety
+            .iter()
+            .filter(|p| p.violated_at(&self.checker.model, &state))
+            .map(|p| (p.name, p.expectation))
+            .collect();
+        for (name, exp) in safety_hits {
+            let witness = self.path.as_ref().unwrap().clone();
+            if let Flow::StopAll = self.record(name, exp, false, witness) {
+                return Flow::StopAll;
+            }
+        }
+
+        if self.stats.unique_states >= self.checker.max_states {
+            self.complete = false;
+            return Flow::StopAll;
+        }
+
+        let within = self.checker.model.within_boundary(&state)
+            && self.stack.len() - 1 < self.checker.max_depth;
+        if !within {
+            self.stats.boundary_hits += 1;
+        }
+
+        if within {
+            let mut pending = Vec::new();
+            self.checker.model.actions(&state, &mut pending);
+            pending.reverse(); // try the first enumerated action first
+            if pending.is_empty() {
+                self.stats.terminal_states += 1;
+            }
+            self.stack.last_mut().unwrap().pending = pending;
+        }
+
+        if self.stack.last().unwrap().pending.is_empty() {
+            let ebits = self.stack.last().unwrap().ebits;
+            let witness = self.path.as_ref().unwrap().clone();
+            return self.check_missing_eventually(ebits, false, &witness);
+        }
+        Flow::Continue
+    }
+
+    fn run(mut self) -> CheckResult<M> {
+        let start = Instant::now();
+        let model = &self.checker.model;
+
+        for init in model.init_states() {
+            let ebits = ebits_for(model, &self.eventually, &init, 0);
+            let fp = fingerprint_with_ebits(&init, ebits);
+            if self.visited.contains_key(&fp) {
+                continue;
+            }
+            self.visited.insert(fp, true);
+            self.path = Some(Path::new(init.clone()));
+            self.stack.push(Frame {
+                state: init,
+                ebits,
+                fp,
+                pending: Vec::new(),
+            });
+            if let Flow::StopAll = self.inspect_top() {
+                self.stack.clear();
+                break;
+            }
+
+            'tree: while !self.stack.is_empty() {
+                let maybe_action = self.stack.last_mut().unwrap().pending.pop();
+                let Some(action) = maybe_action else {
+                    let frame = self.stack.pop().unwrap();
+                    self.visited.insert(frame.fp, false);
+                    self.path.as_mut().unwrap().pop();
+                    continue;
+                };
+
+                self.stats.transitions += 1;
+                let (next, ebits) = {
+                    let top = self.stack.last().unwrap();
+                    let Some(next) = model.next_state(&top.state, &action) else {
+                        continue;
+                    };
+                    let ebits = ebits_for(model, &self.eventually, &next, top.ebits);
+                    (next, ebits)
+                };
+                let fp = fingerprint_with_ebits(&next, ebits);
+
+                match self.visited.get(&fp).copied() {
+                    Some(true) => {
+                        // Back edge into the stack: cycle with frozen ebits.
+                        let mut witness = self.path.as_ref().unwrap().clone();
+                        witness.push(action, next);
+                        if let Flow::StopAll =
+                            self.check_missing_eventually(ebits, true, &witness)
+                        {
+                            self.stack.clear();
+                            break 'tree;
+                        }
+                    }
+                    Some(false) => {} // fully explored elsewhere
+                    None => {
+                        self.visited.insert(fp, true);
+                        self.path.as_mut().unwrap().push(action, next.clone());
+                        self.stack.push(Frame {
+                            state: next,
+                            ebits,
+                            fp,
+                            pending: Vec::new(),
+                        });
+                        if let Flow::StopAll = self.inspect_top() {
+                            self.stack.clear();
+                            break 'tree;
+                        }
+                    }
+                }
+            }
+            if !self.complete {
+                break;
+            }
+        }
+
+        self.stats.duration = start.elapsed();
+        CheckResult {
+            stats: self.stats,
+            violations: self.violations,
+            complete: self.complete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::checker::testmodels::{Counter, CycleEscape};
+    use crate::checker::{Checker, SearchStrategy};
+
+    fn dfs<M: crate::Model>(model: M) -> Checker<M> {
+        Checker::new(model).strategy(SearchStrategy::Dfs)
+    }
+
+    #[test]
+    fn finds_safety_violation() {
+        let result = dfs(Counter {
+            max: 10,
+            forbid: Some(7),
+            must_reach: None,
+        })
+        .run();
+        let v = result.violation("forbidden").unwrap();
+        assert_eq!(*v.path.last_state(), 7);
+    }
+
+    #[test]
+    fn explores_same_state_count_as_bfs() {
+        let d = dfs(Counter {
+            max: 30,
+            forbid: None,
+            must_reach: None,
+        })
+        .run();
+        let b = Checker::new(Counter {
+            max: 30,
+            forbid: None,
+            must_reach: None,
+        })
+        .run();
+        assert_eq!(d.stats.unique_states, b.stats.unique_states);
+        assert!(d.complete && b.complete);
+    }
+
+    #[test]
+    fn detects_lasso_for_unescaped_cycle() {
+        let result = dfs(CycleEscape).run();
+        let v = result.violation("escapes").expect("cycle must violate");
+        assert!(v.lasso, "witness should be a lasso");
+        // The closing state must already appear earlier on the path.
+        let last = *v.path.last_state();
+        let seen_before = v
+            .path
+            .states()
+            .take(v.path.len())
+            .filter(|s| **s == last)
+            .count();
+        assert!(seen_before >= 1);
+    }
+
+    #[test]
+    fn eventually_terminal_violation_found() {
+        let result = dfs(Counter {
+            max: 10,
+            forbid: None,
+            must_reach: Some(9),
+        })
+        .run();
+        assert!(result.violation("reached").is_some());
+    }
+
+    #[test]
+    fn eventually_holds_on_forced_passage() {
+        let result = dfs(Counter {
+            max: 2,
+            forbid: None,
+            must_reach: Some(2),
+        })
+        .run();
+        assert!(result.holds(), "{:?}", result.violations);
+    }
+
+    #[test]
+    fn fail_fast_returns_single_violation() {
+        let result = dfs(Counter {
+            max: 50,
+            forbid: Some(2),
+            must_reach: Some(49),
+        })
+        .fail_fast(true)
+        .run();
+        assert_eq!(result.violations.len(), 1);
+        assert!(!result.complete);
+    }
+
+    #[test]
+    fn depth_bound_prunes() {
+        let result = dfs(Counter {
+            max: 100,
+            forbid: None,
+            must_reach: None,
+        })
+        .max_depth(5)
+        .run();
+        assert!(result.stats.max_depth <= 5);
+        assert!(result.stats.boundary_hits > 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! State-space exploration engines.
+//!
+//! Three strategies are provided:
+//!
+//! * [`SearchStrategy::Bfs`] — breadth-first; counterexamples for safety
+//!   properties are shortest. `Eventually` properties are checked against
+//!   terminal and boundary states (paths that provably end).
+//! * [`SearchStrategy::Dfs`] — depth-first; additionally detects **lassos**
+//!   (cycles on which an `Eventually` property never holds), the finite-state
+//!   reading of a request delayed forever — this is how the paper's S3
+//!   "stuck in 3G" and S4 "HOL blocking" manifest.
+//! * [`SearchStrategy::ParallelBfs`] — multi-worker breadth-first for large
+//!   state spaces; safety properties only (liveness needs path context that
+//!   is expensive to share across workers).
+//!
+//! All strategies use the *product construction* for `Eventually`: a node is
+//! a `(state, ebits)` pair where `ebits` records which eventually-properties
+//! have already held along the path. Revisiting a state with new `ebits` is a
+//! fresh node, so satisfaction on one path never masks a violation on
+//! another.
+
+mod bfs;
+mod dfs;
+mod parallel;
+
+use std::fmt;
+
+use crate::model::Model;
+use crate::path::Path;
+use crate::property::{Expectation, Property};
+use crate::stats::CheckStats;
+
+/// Which exploration algorithm [`Checker::run`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Breadth-first search (shortest safety counterexamples).
+    Bfs,
+    /// Depth-first search (detects liveness lassos).
+    Dfs,
+    /// Layer-synchronous parallel BFS with the given worker count
+    /// (0 = number of available CPUs). Safety properties only.
+    ParallelBfs {
+        /// Worker thread count; 0 picks `available_parallelism`.
+        workers: usize,
+    },
+}
+
+/// A property violation with its counterexample.
+pub struct Violation<M: Model> {
+    /// Name of the violated property.
+    pub property: &'static str,
+    /// The property's quantifier.
+    pub expectation: Expectation,
+    /// Witness path from an initial state to the violating state (for
+    /// safety) or to the state closing the lasso / the terminal state (for
+    /// liveness).
+    pub path: Path<M::State, M::Action>,
+    /// For liveness violations: whether the witness ends by closing a cycle
+    /// (`true`) or in a terminal/boundary state (`false`).
+    pub lasso: bool,
+}
+
+impl<M: Model> Clone for Violation<M> {
+    fn clone(&self) -> Self {
+        Self {
+            property: self.property,
+            expectation: self.expectation,
+            path: self.path.clone(),
+            lasso: self.lasso,
+        }
+    }
+}
+
+impl<M: Model> fmt::Debug for Violation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Violation")
+            .field("property", &self.property)
+            .field("expectation", &self.expectation)
+            .field("steps", &self.path.len())
+            .field("lasso", &self.lasso)
+            .finish()
+    }
+}
+
+/// The outcome of a checking run.
+pub struct CheckResult<M: Model> {
+    /// Exploration counters.
+    pub stats: CheckStats,
+    /// At most one violation per property (the first one found).
+    pub violations: Vec<Violation<M>>,
+    /// True when the reachable space (within bounds) was exhausted.
+    pub complete: bool,
+}
+
+impl<M: Model> CheckResult<M> {
+    /// Look up the violation of a property by name.
+    pub fn violation(&self, property: &str) -> Option<&Violation<M>> {
+        self.violations.iter().find(|v| v.property == property)
+    }
+
+    /// True when no property was violated **and** the space was exhausted.
+    pub fn holds(&self) -> bool {
+        self.complete && self.violations.is_empty()
+    }
+}
+
+impl<M: Model> fmt::Debug for CheckResult<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckResult")
+            .field("stats", &self.stats)
+            .field("violations", &self.violations)
+            .field("complete", &self.complete)
+            .finish()
+    }
+}
+
+/// Builder/driver for a verification run.
+pub struct Checker<M: Model> {
+    pub(crate) model: M,
+    pub(crate) strategy: SearchStrategy,
+    pub(crate) max_depth: usize,
+    pub(crate) max_states: u64,
+    pub(crate) fail_fast: bool,
+}
+
+impl<M: Model> Checker<M> {
+    /// A checker over `model` with BFS, a 10k-step depth bound and a
+    /// 50M-node bound (effectively unbounded for this crate's users).
+    pub fn new(model: M) -> Self {
+        Self {
+            model,
+            strategy: SearchStrategy::Bfs,
+            max_depth: 10_000,
+            max_states: 50_000_000,
+            fail_fast: false,
+        }
+    }
+
+    /// Select the exploration strategy.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Bound the exploration depth (nodes deeper are treated like boundary
+    /// nodes).
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Bound the number of unique nodes explored.
+    pub fn max_states(mut self, states: u64) -> Self {
+        self.max_states = states;
+        self
+    }
+
+    /// Stop the whole run at the first violation instead of continuing to
+    /// look for one violation per property.
+    pub fn fail_fast(mut self, yes: bool) -> Self {
+        self.fail_fast = yes;
+        self
+    }
+
+    /// Borrow the model under check.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Run the verification.
+    ///
+    /// The `Sync`/`Send` bounds exist for the parallel strategy; every model
+    /// in this workspace is plain data plus `fn` pointers and satisfies them
+    /// automatically.
+    pub fn run(&self) -> CheckResult<M>
+    where
+        M: Sync,
+        M::State: Send + Sync,
+        M::Action: Send + Sync,
+    {
+        match self.strategy {
+            SearchStrategy::Bfs => bfs::run(self),
+            SearchStrategy::Dfs => dfs::run(self),
+            SearchStrategy::ParallelBfs { workers } => parallel::run(self, workers),
+        }
+    }
+}
+
+/// Partition of a model's properties into the groups each engine needs.
+pub(crate) struct PropertySets<M: Model> {
+    pub safety: Vec<Property<M>>,
+    pub eventually: Vec<Property<M>>,
+}
+
+pub(crate) fn split_properties<M: Model>(model: &M) -> PropertySets<M> {
+    let mut safety = Vec::new();
+    let mut eventually = Vec::new();
+    for p in model.properties() {
+        match p.expectation {
+            Expectation::Always | Expectation::Never => safety.push(p),
+            Expectation::Eventually => eventually.push(p),
+        }
+    }
+    assert!(
+        eventually.len() <= 32,
+        "at most 32 Eventually properties supported (ebits is a u32)"
+    );
+    PropertySets { safety, eventually }
+}
+
+/// Compute the eventually-bits of a state: bit i set ⇔ eventually-property i
+/// holds in `state` (merged with the bits inherited from the path).
+pub(crate) fn ebits_for<M: Model>(
+    model: &M,
+    props: &[Property<M>],
+    state: &M::State,
+    inherited: u32,
+) -> u32 {
+    let mut bits = inherited;
+    for (i, p) in props.iter().enumerate() {
+        if (p.condition)(model, state) {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+pub(crate) mod testmodels {
+    //! Shared toy models for engine tests.
+
+    use crate::model::Model;
+    use crate::property::Property;
+
+    /// Counts 0..=max by +1/+2; properties configurable via flags.
+    pub struct Counter {
+        pub max: u8,
+        pub forbid: Option<u8>,
+        pub must_reach: Option<u8>,
+    }
+
+    impl Model for Counter {
+        type State = u8;
+        type Action = u8;
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u8, out: &mut Vec<u8>) {
+            for step in [1u8, 2] {
+                if state.saturating_add(step) <= self.max {
+                    out.push(step);
+                }
+            }
+        }
+
+        fn next_state(&self, state: &u8, action: &u8) -> Option<u8> {
+            Some(state + action)
+        }
+
+        fn properties(&self) -> Vec<Property<Self>> {
+            let mut props = Vec::new();
+            if self.forbid.is_some() {
+                props.push(Property::never("forbidden", |m: &Counter, s| {
+                    Some(*s) == m.forbid
+                }));
+            }
+            if self.must_reach.is_some() {
+                props.push(Property::eventually("reached", |m: &Counter, s| {
+                    Some(*s) == m.must_reach
+                }));
+            }
+            props
+        }
+    }
+
+    /// A two-state cycle `0 -> 1 -> 0` plus an exit `1 -> 2`; property:
+    /// eventually reach 2. DFS must find the `0 -> 1 -> 0` lasso.
+    pub struct CycleEscape;
+
+    impl Model for CycleEscape {
+        type State = u8;
+        type Action = &'static str;
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u8, out: &mut Vec<&'static str>) {
+            match state {
+                0 => out.push("go"),
+                1 => {
+                    out.push("back");
+                    out.push("exit");
+                }
+                _ => {}
+            }
+        }
+
+        fn next_state(&self, state: &u8, action: &&'static str) -> Option<u8> {
+            Some(match (state, *action) {
+                (0, "go") => 1,
+                (1, "back") => 0,
+                (1, "exit") => 2,
+                _ => return None,
+            })
+        }
+
+        fn properties(&self) -> Vec<Property<Self>> {
+            vec![Property::eventually("escapes", |_, s| *s == 2)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testmodels::Counter;
+    use super::*;
+
+    #[test]
+    fn split_properties_partitions() {
+        let m = Counter {
+            max: 5,
+            forbid: Some(3),
+            must_reach: Some(5),
+        };
+        let sets = split_properties(&m);
+        assert_eq!(sets.safety.len(), 1);
+        assert_eq!(sets.eventually.len(), 1);
+    }
+
+    #[test]
+    fn ebits_accumulate_monotonically() {
+        let m = Counter {
+            max: 5,
+            forbid: None,
+            must_reach: Some(2),
+        };
+        let props = split_properties(&m).eventually;
+        let bits0 = ebits_for(&m, &props, &0, 0);
+        assert_eq!(bits0, 0);
+        let bits2 = ebits_for(&m, &props, &2, bits0);
+        assert_eq!(bits2, 1);
+        // Inherited bits survive even when the condition no longer holds.
+        let bits3 = ebits_for(&m, &props, &3, bits2);
+        assert_eq!(bits3, 1);
+    }
+
+    #[test]
+    fn holds_requires_completeness() {
+        let r: CheckResult<Counter> = CheckResult {
+            stats: CheckStats::default(),
+            violations: Vec::new(),
+            complete: false,
+        };
+        assert!(!r.holds());
+    }
+}

@@ -1,0 +1,312 @@
+//! Layer-synchronous parallel breadth-first exploration.
+//!
+//! Each BFS layer is split across scoped worker threads. The visited set is
+//! sharded 64 ways behind `parking_lot::Mutex`es so
+//! workers rarely contend. Only safety properties are checked — liveness
+//! needs per-path context that is not worth sharing across workers; use
+//! [`SearchStrategy::Dfs`](crate::SearchStrategy::Dfs) for `Eventually`
+//! properties (the screening models in `cnetverifier` do exactly that).
+//!
+//! Counterexample paths are rebuilt from a shared parent arena. Exploration
+//! order inside a layer is nondeterministic, but the *set* of reachable
+//! states — and therefore whether each property holds — is not.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::checker::{split_properties, CheckResult, Checker, Violation};
+use crate::fingerprint::fingerprint_with_ebits;
+use crate::model::Model;
+use crate::path::Path;
+use crate::stats::CheckStats;
+
+const SHARDS: usize = 64;
+
+struct Node<M: Model> {
+    state: M::State,
+    parent: Option<(usize, M::Action)>,
+}
+
+fn rebuild_path<M: Model>(arena: &[Node<M>], mut idx: usize) -> Path<M::State, M::Action> {
+    let mut rev: Vec<(M::Action, M::State)> = Vec::new();
+    loop {
+        let node = &arena[idx];
+        match &node.parent {
+            Some((pidx, action)) => {
+                rev.push((action.clone(), node.state.clone()));
+                idx = *pidx;
+            }
+            None => {
+                let mut path = Path::new(node.state.clone());
+                for (a, s) in rev.into_iter().rev() {
+                    path.push(a, s);
+                }
+                return path;
+            }
+        }
+    }
+}
+
+pub(crate) fn run<M: Model + Sync>(checker: &Checker<M>, workers: usize) -> CheckResult<M>
+where
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+{
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        workers
+    };
+
+    let model = &checker.model;
+    let props = split_properties(model);
+    assert!(
+        props.eventually.is_empty(),
+        "ParallelBfs checks safety properties only; use Dfs for Eventually properties"
+    );
+
+    let start = Instant::now();
+    let visited: Vec<Mutex<std::collections::HashSet<u64>>> =
+        (0..SHARDS).map(|_| Mutex::new(Default::default())).collect();
+    let arena: Mutex<Vec<Node<M>>> = Mutex::new(Vec::new());
+    // (property index, arena index) of the first violation found per property.
+    let found: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+    let stop = AtomicBool::new(false);
+    let transitions = AtomicU64::new(0);
+    let terminal = AtomicU64::new(0);
+    let boundary = AtomicU64::new(0);
+    let truncated = AtomicBool::new(false);
+    let state_budget = AtomicI64::new(i64::try_from(checker.max_states).unwrap_or(i64::MAX));
+
+    let mark_visited = |fp: u64| -> bool {
+        let shard = (fp as usize) % SHARDS;
+        visited[shard].lock().insert(fp)
+    };
+
+    let mut frontier: Vec<usize> = Vec::new();
+    {
+        let mut arena_guard = arena.lock();
+        for init in model.init_states() {
+            let fp = fingerprint_with_ebits(&init, 0);
+            if mark_visited(fp) {
+                arena_guard.push(Node {
+                    state: init,
+                    parent: None,
+                });
+                frontier.push(arena_guard.len() - 1);
+            }
+        }
+    }
+
+    let mut depth = 0usize;
+    while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
+        if depth >= checker.max_depth {
+            boundary.fetch_add(frontier.len() as u64, Ordering::Relaxed);
+            truncated.store(true, Ordering::Relaxed);
+            break;
+        }
+        let layer = std::mem::take(&mut frontier);
+        let chunk = layer.len().div_ceil(workers).max(1);
+        let next: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+        // Shared-by-reference captures for the worker closures.
+        let next_ref = &next;
+        let arena_ref = &arena;
+        let found_ref = &found;
+        let stop_ref = &stop;
+        let transitions_ref = &transitions;
+        let terminal_ref = &terminal;
+        let boundary_ref = &boundary;
+        let truncated_ref = &truncated;
+        let budget_ref = &state_budget;
+        let visited_ref = &visited;
+        let props_ref = &props;
+
+        std::thread::scope(|scope| {
+            for slice in layer.chunks(chunk) {
+                scope.spawn(move || {
+                    let mut actions: Vec<M::Action> = Vec::new();
+                    let mut local_next: Vec<usize> = Vec::new();
+                    for &idx in slice {
+                        if stop_ref.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if budget_ref.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                            // Budget exhausted: stop expanding. The counter
+                            // may go slightly negative under contention,
+                            // which is harmless.
+                            truncated_ref.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let state = { arena_ref.lock()[idx].state.clone() };
+
+                        for (pi, p) in props_ref.safety.iter().enumerate() {
+                            if p.violated_at(model, &state) {
+                                let mut f = found_ref.lock();
+                                if !f.iter().any(|(fpi, _)| *fpi == pi) {
+                                    f.push((pi, idx));
+                                    // Like the sequential engines, keep
+                                    // exploring unless fail-fast was asked:
+                                    // `complete` then reflects exhaustion.
+                                    if checker.fail_fast {
+                                        stop_ref.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+
+                        if !model.within_boundary(&state) {
+                            boundary_ref.fetch_add(1, Ordering::Relaxed);
+                            truncated_ref.store(true, Ordering::Relaxed);
+                            continue;
+                        }
+
+                        actions.clear();
+                        model.actions(&state, &mut actions);
+                        if actions.is_empty() {
+                            terminal_ref.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        for action in &actions {
+                            transitions_ref.fetch_add(1, Ordering::Relaxed);
+                            let Some(ns) = model.next_state(&state, action) else {
+                                continue;
+                            };
+                            let fp = fingerprint_with_ebits(&ns, 0);
+                            if visited_ref[(fp as usize) % SHARDS].lock().insert(fp) {
+                                let mut arena_guard = arena_ref.lock();
+                                arena_guard.push(Node {
+                                    state: ns,
+                                    parent: Some((idx, action.clone())),
+                                });
+                                local_next.push(arena_guard.len() - 1);
+                            }
+                        }
+                    }
+                    next_ref.lock().extend(local_next);
+                });
+            }
+        });
+
+        frontier = next.into_inner();
+        depth += 1;
+    }
+
+    let arena = arena.into_inner();
+    let found = found.into_inner();
+    let unique_states = arena.len() as u64;
+    let violations: Vec<Violation<M>> = found
+        .into_iter()
+        .map(|(pi, idx)| Violation {
+            property: props.safety[pi].name,
+            expectation: props.safety[pi].expectation,
+            path: rebuild_path(&arena, idx),
+            lasso: false,
+        })
+        .collect();
+
+    let stats = CheckStats {
+        unique_states,
+        transitions: transitions.load(Ordering::Relaxed),
+        max_depth: depth,
+        boundary_hits: boundary.load(Ordering::Relaxed),
+        terminal_states: terminal.load(Ordering::Relaxed),
+        duration: start.elapsed(),
+    };
+    let complete = !truncated.load(Ordering::Relaxed) && !stop.load(Ordering::Relaxed);
+    CheckResult {
+        stats,
+        violations,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::checker::testmodels::Counter;
+    use crate::checker::{Checker, SearchStrategy};
+
+    fn par(model: Counter, workers: usize) -> Checker<Counter> {
+        Checker::new(model).strategy(SearchStrategy::ParallelBfs { workers })
+    }
+
+    #[test]
+    fn matches_sequential_state_count() {
+        let p = par(
+            Counter {
+                max: 60,
+                forbid: None,
+                must_reach: None,
+            },
+            4,
+        )
+        .run();
+        let s = Checker::new(Counter {
+            max: 60,
+            forbid: None,
+            must_reach: None,
+        })
+        .run();
+        assert_eq!(p.stats.unique_states, s.stats.unique_states);
+        assert_eq!(p.stats.terminal_states, s.stats.terminal_states);
+    }
+
+    #[test]
+    fn finds_safety_violation_with_valid_path() {
+        let result = par(
+            Counter {
+                max: 40,
+                forbid: Some(17),
+                must_reach: None,
+            },
+            4,
+        )
+        .run();
+        let v = result.violation("forbidden").expect("must violate");
+        assert_eq!(*v.path.last_state(), 17);
+        // Path must be a real execution: replay it.
+        let model = Counter {
+            max: 40,
+            forbid: Some(17),
+            must_reach: None,
+        };
+        let mut cur = *v.path.init_state();
+        for (a, s) in v.path.steps() {
+            use crate::Model;
+            cur = model.next_state(&cur, a).unwrap();
+            assert_eq!(cur, *s);
+        }
+    }
+
+    #[test]
+    fn zero_workers_picks_default() {
+        let result = par(
+            Counter {
+                max: 10,
+                forbid: None,
+                must_reach: None,
+            },
+            0,
+        )
+        .run();
+        assert!(result.holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "safety properties only")]
+    fn rejects_eventually_properties() {
+        par(
+            Counter {
+                max: 5,
+                forbid: None,
+                must_reach: Some(3),
+            },
+            2,
+        )
+        .run();
+    }
+}

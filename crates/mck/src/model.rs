@@ -1,0 +1,121 @@
+//! The [`Model`] trait: how a system under verification is described.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::property::Property;
+
+/// A transition system to be explored by the checker.
+///
+/// A model describes a (finite) directed graph implicitly:
+///
+/// * [`Model::init_states`] gives the roots,
+/// * [`Model::actions`] enumerates the outgoing transitions of a state,
+/// * [`Model::next_state`] computes a successor (returning `None` lets a
+///   model veto an action late, e.g. when two guards race).
+///
+/// States must be cheap-ish to clone and hashable; the checker stores a
+/// fingerprint per visited state, not the state itself, so models may carry
+/// rich state (queues, contexts) without exhausting memory.
+///
+/// The protocol models in the `cnetverifier` crate compose several pure
+/// protocol FSMs (device-side and network-side) plus message channels into
+/// one `State` struct, exactly like a Promela model composes `proctype`s
+/// around shared channels.
+pub trait Model {
+    /// A global state of the system (all FSMs + channels + shared contexts).
+    type State: Clone + Hash + Eq + Debug;
+    /// A transition label. Carried in counterexamples, so it should render a
+    /// human-readable step ("deliver AttachAccept", "phone powers off", ...).
+    type Action: Clone + Debug;
+
+    /// The initial global states (usually one).
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Enumerate every action enabled in `state` into `out`.
+    ///
+    /// `out` is cleared by the caller. A state with no enabled actions is
+    /// *terminal*; `Eventually` properties are evaluated against terminal
+    /// states (a pending-but-never-served request manifests as a terminal or
+    /// cyclic path on which the goal never held).
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// Apply `action` to `state`. Returning `None` discards the transition.
+    fn next_state(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// The properties to verify. The default is no properties, which is
+    /// useful for state-space measurement only.
+    fn properties(&self) -> Vec<Property<Self>> {
+        Vec::new()
+    }
+
+    /// Prune exploration: states outside the boundary are recorded but not
+    /// expanded. Used to bound unbounded scenario parameters (retry counts,
+    /// repeated user events) the way the paper bounds its sampled scenarios.
+    fn within_boundary(&self, _state: &Self::State) -> bool {
+        true
+    }
+
+    /// Render a state for counterexample display. Defaults to `Debug`.
+    fn format_state(&self, state: &Self::State) -> String {
+        format!("{state:?}")
+    }
+
+    /// Render an action for counterexample display. Defaults to `Debug`.
+    fn format_action(&self, action: &Self::Action) -> String {
+        format!("{action:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially small model used to exercise the trait's defaults.
+    struct TwoStep;
+
+    impl Model for TwoStep {
+        type State = u8;
+        type Action = ();
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u8, out: &mut Vec<()>) {
+            if *state < 2 {
+                out.push(());
+            }
+        }
+
+        fn next_state(&self, state: &u8, _action: &()) -> Option<u8> {
+            Some(state + 1)
+        }
+    }
+
+    #[test]
+    fn default_properties_empty() {
+        assert!(TwoStep.properties().is_empty());
+    }
+
+    #[test]
+    fn default_boundary_is_unbounded() {
+        assert!(TwoStep.within_boundary(&255));
+    }
+
+    #[test]
+    fn default_formatting_uses_debug() {
+        assert_eq!(TwoStep.format_state(&7), "7");
+        assert_eq!(TwoStep.format_action(&()), "()");
+    }
+
+    #[test]
+    fn actions_enumerate_until_terminal() {
+        let mut out = Vec::new();
+        TwoStep.actions(&1, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        TwoStep.actions(&2, &mut out);
+        assert!(out.is_empty(), "state 2 must be terminal");
+    }
+}

@@ -1,0 +1,159 @@
+//! Properties checked during exploration.
+//!
+//! The paper defines three cellular-oriented properties (§3.2.2):
+//! `PacketService_OK`, `CallService_OK` and `MM_OK`, acting as "logical
+//! constraints on the PS/CS/mobility states". Two of them are state
+//! invariants, one is a service-delivery guarantee; we support both shapes:
+//!
+//! * [`Expectation::Always`] / [`Expectation::Never`] — invariants, checked
+//!   at every reachable state.
+//! * [`Expectation::Eventually`] — along every maximal path (one that ends in
+//!   a terminal state or closes a cycle) the condition must hold at least
+//!   once. This is the classic finite-graph reading of ◇p and is what "each
+//!   call request should not be ... delayed \[forever\]" compiles to.
+
+use crate::model::Model;
+
+/// How a property's condition is quantified over the state graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Expectation {
+    /// The condition must hold in **every** reachable state.
+    Always,
+    /// The condition must hold in **no** reachable state.
+    Never,
+    /// On **every** maximal path the condition holds at least once.
+    Eventually,
+}
+
+/// A named property over model states.
+///
+/// The condition receives the model itself so conditions can consult model
+/// configuration (e.g. which operator policy is being screened).
+pub struct Property<M: Model + ?Sized> {
+    /// Quantifier for `condition`.
+    pub expectation: Expectation,
+    /// Stable name, reported in violations (e.g. `"PacketService_OK"`).
+    pub name: &'static str,
+    /// The state predicate.
+    pub condition: fn(&M, &M::State) -> bool,
+}
+
+// Manual impls: `derive` would wrongly require `M: Clone`/`M: Debug`.
+impl<M: Model + ?Sized> Clone for Property<M> {
+    fn clone(&self) -> Self {
+        Self {
+            expectation: self.expectation,
+            name: self.name,
+            condition: self.condition,
+        }
+    }
+}
+
+impl<M: Model + ?Sized> std::fmt::Debug for Property<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Property")
+            .field("expectation", &self.expectation)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<M: Model + ?Sized> Property<M> {
+    /// An invariant: `condition` holds in every reachable state.
+    pub fn always(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+        Self {
+            expectation: Expectation::Always,
+            name,
+            condition,
+        }
+    }
+
+    /// An error-state detector: `condition` holds in no reachable state.
+    pub fn never(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+        Self {
+            expectation: Expectation::Never,
+            name,
+            condition,
+        }
+    }
+
+    /// A service guarantee: every maximal path satisfies `condition` at
+    /// least once.
+    pub fn eventually(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+        Self {
+            expectation: Expectation::Eventually,
+            name,
+            condition,
+        }
+    }
+
+    /// Does the state violate this property *locally*?
+    ///
+    /// Only meaningful for `Always`/`Never`; `Eventually` needs path context
+    /// and always returns `false` here.
+    pub fn violated_at(&self, model: &M, state: &M::State) -> bool {
+        match self.expectation {
+            Expectation::Always => !(self.condition)(model, state),
+            Expectation::Never => (self.condition)(model, state),
+            Expectation::Eventually => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    struct Dummy;
+
+    impl Model for Dummy {
+        type State = i32;
+        type Action = ();
+
+        fn init_states(&self) -> Vec<i32> {
+            vec![0]
+        }
+
+        fn actions(&self, _: &i32, _: &mut Vec<()>) {}
+
+        fn next_state(&self, _: &i32, _: &()) -> Option<i32> {
+            None
+        }
+    }
+
+    #[test]
+    fn always_violated_when_condition_false() {
+        let p = Property::<Dummy>::always("nonneg", |_, s| *s >= 0);
+        assert!(!p.violated_at(&Dummy, &3));
+        assert!(p.violated_at(&Dummy, &-1));
+    }
+
+    #[test]
+    fn never_violated_when_condition_true() {
+        let p = Property::<Dummy>::never("is-13", |_, s| *s == 13);
+        assert!(p.violated_at(&Dummy, &13));
+        assert!(!p.violated_at(&Dummy, &12));
+    }
+
+    #[test]
+    fn eventually_never_violates_locally() {
+        let p = Property::<Dummy>::eventually("served", |_, s| *s > 100);
+        assert!(!p.violated_at(&Dummy, &0));
+        assert!(!p.violated_at(&Dummy, &200));
+    }
+
+    #[test]
+    fn clone_preserves_fields() {
+        let p = Property::<Dummy>::never("x", |_, _| false);
+        let q = p.clone();
+        assert_eq!(q.name, "x");
+        assert_eq!(q.expectation, Expectation::Never);
+    }
+
+    #[test]
+    fn debug_renders_name() {
+        let p = Property::<Dummy>::always("inv", |_, _| true);
+        assert!(format!("{p:?}").contains("inv"));
+    }
+}

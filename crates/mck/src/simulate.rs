@@ -1,0 +1,315 @@
+//! Random-walk simulation over a model.
+//!
+//! The paper cannot enumerate unbounded usage scenarios (arbitrary user
+//! mobility, traffic arrivals), so it "assigns each usage scenario a certain
+//! probability and randomly samples all possible usage scenarios" (§3.2.1).
+//! [`RandomWalk`] is that sampler: it executes many seeded random walks over
+//! the model, checks safety properties at each visited state, and checks
+//! `Eventually` properties when a walk terminates. Increasing the walk count
+//! "increases the sampling rate" and thus the chance of exposing
+//! parameter-sensitive defects, exactly as the paper describes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::checker::split_properties;
+use crate::model::Model;
+use crate::path::Path;
+
+/// A stored violation witness: `(property, walk seed, path)`.
+pub type Witness<M> = (
+    &'static str,
+    u64,
+    Path<<M as Model>::State, <M as Model>::Action>,
+);
+
+/// How a single walk ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WalkOutcome {
+    /// Reached a state with no enabled actions.
+    Terminal,
+    /// Hit the step bound.
+    StepBound,
+    /// Left the model boundary.
+    Boundary,
+    /// A property was violated (walks stop at the first violation).
+    Violated(&'static str),
+}
+
+/// Aggregate result of a batch of random walks.
+#[derive(Debug)]
+pub struct WalkReport<M: Model> {
+    /// Number of walks executed.
+    pub walks: usize,
+    /// Total steps taken across all walks.
+    pub total_steps: u64,
+    /// Violations discovered: `(property, walk seed, witness path)`.
+    /// At most one witness is kept per property (the first found), but
+    /// `violation_counts` tallies every occurrence.
+    pub witnesses: Vec<Witness<M>>,
+    /// `(property name, number of walks that violated it)`.
+    pub violation_counts: Vec<(&'static str, usize)>,
+    /// Outcome tally: `(outcome, count)`.
+    pub outcomes: Vec<(WalkOutcome, usize)>,
+}
+
+impl<M: Model> WalkReport<M> {
+    /// Number of walks that violated `property`.
+    pub fn violations_of(&self, property: &str) -> usize {
+        self.violation_counts
+            .iter()
+            .find(|(n, _)| *n == property)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// The stored witness for `property`, if any walk violated it.
+    pub fn witness(&self, property: &str) -> Option<&Path<M::State, M::Action>> {
+        self.witnesses
+            .iter()
+            .find(|(n, _, _)| *n == property)
+            .map(|(_, _, p)| p)
+    }
+}
+
+/// Configuration for a batch of random walks.
+#[derive(Clone, Debug)]
+pub struct RandomWalk {
+    /// Base RNG seed; walk `i` uses `seed + i` so batches are reproducible
+    /// and individually replayable.
+    pub seed: u64,
+    /// Number of walks.
+    pub walks: usize,
+    /// Maximum steps per walk.
+    pub max_steps: usize,
+}
+
+impl Default for RandomWalk {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed,
+            walks: 1_000,
+            max_steps: 400,
+        }
+    }
+}
+
+impl RandomWalk {
+    /// A sampler with the given base seed and defaults otherwise.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the number of walks (the paper's "sampling rate").
+    pub fn walks(mut self, walks: usize) -> Self {
+        self.walks = walks;
+        self
+    }
+
+    /// Set the per-walk step bound.
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Run the batch against `model`.
+    pub fn run<M: Model>(&self, model: &M) -> WalkReport<M> {
+        let props = split_properties(model);
+        let mut witnesses: Vec<Witness<M>> = Vec::new();
+        let mut violation_counts: Vec<(&'static str, usize)> = Vec::new();
+        let mut outcomes: Vec<(WalkOutcome, usize)> = Vec::new();
+        let mut total_steps = 0u64;
+
+        let bump = |list: &mut Vec<(WalkOutcome, usize)>, outcome: WalkOutcome| {
+            if let Some(entry) = list.iter_mut().find(|(o, _)| *o == outcome) {
+                entry.1 += 1;
+            } else {
+                list.push((outcome, 1));
+            }
+        };
+
+        for walk in 0..self.walks {
+            let walk_seed = self.seed.wrapping_add(walk as u64);
+            let mut rng = StdRng::seed_from_u64(walk_seed);
+            let inits = model.init_states();
+            assert!(!inits.is_empty(), "model must have an initial state");
+            let init = inits[rng.gen_range(0..inits.len())].clone();
+            let mut ebits = 0u32;
+            for (i, p) in props.eventually.iter().enumerate() {
+                if (p.condition)(model, &init) {
+                    ebits |= 1 << i;
+                }
+            }
+            let mut path = Path::new(init);
+            let mut actions: Vec<M::Action> = Vec::new();
+            let mut outcome = WalkOutcome::StepBound;
+
+            'steps: for _ in 0..self.max_steps {
+                let state = path.last_state().clone();
+
+                for p in &props.safety {
+                    if p.violated_at(model, &state) {
+                        outcome = WalkOutcome::Violated(p.name);
+                        break 'steps;
+                    }
+                }
+                if !model.within_boundary(&state) {
+                    outcome = WalkOutcome::Boundary;
+                    break;
+                }
+
+                actions.clear();
+                model.actions(&state, &mut actions);
+                if actions.is_empty() {
+                    outcome = WalkOutcome::Terminal;
+                    break;
+                }
+                // Retry a few times if next_state vetoes the pick.
+                let mut advanced = false;
+                for _ in 0..actions.len().max(4) {
+                    let action = actions[rng.gen_range(0..actions.len())].clone();
+                    if let Some(next) = model.next_state(&state, &action) {
+                        for (i, p) in props.eventually.iter().enumerate() {
+                            if (p.condition)(model, &next) {
+                                ebits |= 1 << i;
+                            }
+                        }
+                        path.push(action, next);
+                        total_steps += 1;
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    outcome = WalkOutcome::Terminal;
+                    break;
+                }
+            }
+
+            // Terminal walks with unsatisfied Eventually properties violate
+            // them; step-bounded walks do not (the service might still come).
+            let mut violated: Vec<&'static str> = Vec::new();
+            if let WalkOutcome::Violated(name) = outcome {
+                violated.push(name);
+            } else if outcome == WalkOutcome::Terminal {
+                for (i, p) in props.eventually.iter().enumerate() {
+                    if ebits & (1 << i) == 0 {
+                        violated.push(p.name);
+                    }
+                }
+                if let Some(first) = violated.first() {
+                    outcome = WalkOutcome::Violated(first);
+                }
+            }
+
+            for name in violated {
+                if let Some(entry) = violation_counts.iter_mut().find(|(n, _)| *n == name) {
+                    entry.1 += 1;
+                } else {
+                    violation_counts.push((name, 1));
+                }
+                if !witnesses.iter().any(|(n, _, _)| *n == name) {
+                    witnesses.push((name, walk_seed, path.clone()));
+                }
+            }
+            bump(&mut outcomes, outcome);
+        }
+
+        WalkReport {
+            walks: self.walks,
+            total_steps,
+            witnesses,
+            violation_counts,
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::testmodels::Counter;
+
+    #[test]
+    fn walks_are_reproducible() {
+        let model = Counter {
+            max: 50,
+            forbid: Some(33),
+            must_reach: None,
+        };
+        let a = RandomWalk::seeded(7).walks(200).run(&model);
+        let b = RandomWalk::seeded(7).walks(200).run(&model);
+        assert_eq!(a.violations_of("forbidden"), b.violations_of("forbidden"));
+        assert_eq!(a.total_steps, b.total_steps);
+    }
+
+    #[test]
+    fn sampling_finds_reachable_violation() {
+        let model = Counter {
+            max: 50,
+            forbid: Some(3),
+            must_reach: None,
+        };
+        let report = RandomWalk::seeded(1).walks(500).run(&model);
+        assert!(report.violations_of("forbidden") > 0);
+        let witness = report.witness("forbidden").unwrap();
+        assert_eq!(*witness.last_state(), 3);
+    }
+
+    #[test]
+    fn higher_sampling_rate_finds_no_fewer_violations() {
+        let model = Counter {
+            max: 50,
+            forbid: Some(49),
+            must_reach: None,
+        };
+        let low = RandomWalk::seeded(3).walks(20).run(&model);
+        let high = RandomWalk::seeded(3).walks(2_000).run(&model);
+        assert!(high.violations_of("forbidden") >= low.violations_of("forbidden"));
+    }
+
+    #[test]
+    fn eventually_checked_only_on_terminal_walks() {
+        // Walks that reach max (terminal) without passing 9 violate; walks
+        // cut by the step bound do not.
+        let model = Counter {
+            max: 10,
+            forbid: None,
+            must_reach: Some(9),
+        };
+        let report = RandomWalk::seeded(11).walks(300).max_steps(50).run(&model);
+        assert!(report.violations_of("reached") > 0);
+        // ... but not every walk violates: some pass through 9.
+        assert!(report.violations_of("reached") < 300);
+    }
+
+    #[test]
+    fn step_bound_limits_walk_length() {
+        let model = Counter {
+            max: 200,
+            forbid: None,
+            must_reach: None,
+        };
+        let report = RandomWalk::seeded(5).walks(10).max_steps(3).run(&model);
+        assert!(report.total_steps <= 30);
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|(o, _)| *o == WalkOutcome::StepBound));
+    }
+
+    #[test]
+    fn outcome_tally_sums_to_walks() {
+        let model = Counter {
+            max: 30,
+            forbid: Some(10),
+            must_reach: None,
+        };
+        let report = RandomWalk::seeded(9).walks(123).run(&model);
+        let sum: usize = report.outcomes.iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, 123);
+    }
+}

@@ -1,0 +1,81 @@
+//! Exploration statistics.
+
+use std::time::Duration;
+
+/// Counters collected while exploring a state space.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct `(state, eventually-bits)` nodes visited.
+    pub unique_states: u64,
+    /// Transitions generated (including ones leading to already-visited
+    /// nodes and ones vetoed by `next_state`).
+    pub transitions: u64,
+    /// Deepest node expanded, in steps from an initial state.
+    pub max_depth: usize,
+    /// Nodes recorded but not expanded because `within_boundary` said no.
+    pub boundary_hits: u64,
+    /// Terminal nodes (no enabled action).
+    pub terminal_states: u64,
+    /// Wall-clock time of the run.
+    pub duration: Duration,
+}
+
+impl CheckStats {
+    /// Exploration throughput in unique states per second (0 when the run
+    /// was too fast to measure).
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.unique_states as f64 / secs
+    }
+}
+
+impl std::fmt::Display for CheckStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, depth {}, {} terminal, {} boundary, {:.1?}",
+            self.unique_states,
+            self.transitions,
+            self.max_depth,
+            self.terminal_states,
+            self.boundary_hits,
+            self.duration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_per_sec_zero_duration() {
+        let s = CheckStats::default();
+        assert_eq!(s.states_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn states_per_sec_computes_rate() {
+        let s = CheckStats {
+            unique_states: 1000,
+            duration: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((s.states_per_sec() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = CheckStats {
+            unique_states: 7,
+            transitions: 12,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("7 states"));
+        assert!(text.contains("12 transitions"));
+    }
+}

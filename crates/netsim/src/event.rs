@@ -1,0 +1,150 @@
+//! The discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: fires at `at`; `seq` breaks ties deterministically in
+/// insertion order.
+#[derive(Clone, Debug)]
+struct Pending<E> {
+    at: SimTime,
+    payload: E,
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events at equal times fire in insertion order, so runs are reproducible
+/// regardless of payload contents (no reliance on payload ordering).
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    // Payloads stored separately keyed by seq to avoid Ord bounds on E.
+    slots: std::collections::HashMap<u64, Pending<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slots: std::collections::HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `at`. Returns a handle that can
+    /// cancel it.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.slots.insert(seq, Pending { at, payload });
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if it was pending.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.slots.remove(&handle.0).is_some()
+    }
+
+    /// Pop the earliest pending event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse((_, seq))) = self.heap.pop() {
+            if let Some(p) = self.slots.remove(&seq) {
+                return Some((p.at, p.payload));
+            }
+            // Cancelled: skip.
+        }
+        None
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // The heap may contain cancelled entries; scan past them lazily.
+        self.heap
+            .iter()
+            .filter(|Reverse((_, seq))| self.slots.contains_key(seq))
+            .map(|Reverse((at, _))| *at)
+            .min()
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// No live events pending.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// Handle to a scheduled event, used for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), "keep1");
+        let h = q.schedule(SimTime::from_millis(2), "drop");
+        q.schedule(SimTime::from_millis(3), "keep2");
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "double-cancel is a no-op");
+        assert_eq!(q.len(), 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["keep1", "keep2"]);
+    }
+
+    #[test]
+    fn peek_time_ignores_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(9), ());
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

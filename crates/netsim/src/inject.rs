@@ -1,0 +1,134 @@
+//! Failure injection on the signaling path.
+//!
+//! The paper's §9.1 evaluation drops EMM messages at the base station
+//! "according to a given drop rate"; §5.2 needs duplication (two base
+//! stations relaying a retransmitted attach request) and delay. This module
+//! decides, per message, what the radio leg does to it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What happened to one injected message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Delivered, and a duplicate copy follows after `extra_delay_ms`.
+    Duplicate {
+        /// Additional delay of the duplicate copy.
+        extra_delay_ms: u64,
+    },
+    /// Delivered late by `extra_delay_ms` (e.g. held by a loaded BS).
+    Delay {
+        /// Additional delay.
+        extra_delay_ms: u64,
+    },
+}
+
+/// Per-leg injection policy.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Injection {
+    /// Probability a message is dropped (the §9.1 sweep parameter).
+    pub drop_rate: f64,
+    /// Probability a delivered message is duplicated.
+    pub dup_rate: f64,
+    /// Probability a delivered message is delayed.
+    pub delay_rate: f64,
+    /// Extra delay applied to duplicates/delays, ms.
+    pub extra_delay_ms: u64,
+}
+
+impl Injection {
+    /// No injection at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Drop-only injection at `rate` (the Figure 12-left sweep).
+    pub fn dropping(rate: f64) -> Self {
+        Self {
+            drop_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Duplication-only injection (the Figure 5b scenario).
+    pub fn duplicating(rate: f64, extra_delay_ms: u64) -> Self {
+        Self {
+            dup_rate: rate,
+            extra_delay_ms,
+            ..Self::default()
+        }
+    }
+
+    /// Decide the fate of one message.
+    pub fn fate(&self, rng: &mut StdRng) -> Fate {
+        let x: f64 = rng.gen();
+        if x < self.drop_rate {
+            return Fate::Drop;
+        }
+        let y: f64 = rng.gen();
+        if y < self.dup_rate {
+            return Fate::Duplicate {
+                extra_delay_ms: self.extra_delay_ms,
+            };
+        }
+        let z: f64 = rng.gen();
+        if z < self.delay_rate {
+            return Fate::Delay {
+                extra_delay_ms: self.extra_delay_ms,
+            };
+        }
+        Fate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn none_always_delivers() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..1_000 {
+            assert_eq!(Injection::none().fate(&mut rng), Fate::Deliver);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let mut rng = rng_from_seed(2);
+        let inj = Injection::dropping(0.10);
+        let n = 50_000;
+        let drops = (0..n)
+            .filter(|_| inj.fate(&mut rng) == Fate::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.10).abs() < 0.01, "observed {rate}");
+    }
+
+    #[test]
+    fn duplicates_carry_extra_delay() {
+        let mut rng = rng_from_seed(3);
+        let inj = Injection::duplicating(1.0, 750);
+        assert_eq!(
+            inj.fate(&mut rng),
+            Fate::Duplicate {
+                extra_delay_ms: 750
+            }
+        );
+    }
+
+    #[test]
+    fn full_drop_never_delivers() {
+        let mut rng = rng_from_seed(4);
+        let inj = Injection::dropping(1.0);
+        for _ in 0..100 {
+            assert_eq!(inj.fate(&mut rng), Fate::Drop);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The QXDM-style phone-side trace collector.
+//!
+//! §3.3: "we collect five types of information: (1) timestamp of the trace
+//! item using the format of hh:mm:ss.ms, (2) trace type (e.g., STATE), (3)
+//! network system (e.g., 3G or 4G), (4) the module generating the traces
+//! (e.g., MM or CM/CC), and (5) the basic trace description."
+
+use serde::{Deserialize, Serialize};
+
+use cellstack::{Protocol, RatSystem};
+
+use crate::time::SimTime;
+
+/// Trace item category (field 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceType {
+    /// A protocol state change.
+    State,
+    /// A signaling message sent or received.
+    Signaling,
+    /// A radio-configuration change (e.g. the Figure 10 modulation events).
+    RadioConfig,
+    /// A measurement sample (throughput, RSSI).
+    Measurement,
+    /// A user action (dial, hangup, data toggle).
+    UserAction,
+}
+
+/// One trace entry with the five fields of §3.3.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// (1) Timestamp.
+    pub ts: SimTime,
+    /// (2) Trace type.
+    pub trace_type: TraceType,
+    /// (3) Network system.
+    pub system: RatSystem,
+    /// (4) Originating module.
+    pub module: Protocol,
+    /// (5) Description.
+    pub desc: String,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {:>11} {} {:>6}  {}",
+            self.ts.hhmmss(),
+            format!("{:?}", self.trace_type).to_uppercase(),
+            self.system,
+            self.module.to_string(),
+            self.desc
+        )
+    }
+}
+
+/// The collector: an append-only log with query helpers.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceCollector {
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry.
+    pub fn record(
+        &mut self,
+        ts: SimTime,
+        trace_type: TraceType,
+        system: RatSystem,
+        module: Protocol,
+        desc: impl Into<String>,
+    ) {
+        self.entries.push(TraceEntry {
+            ts,
+            trace_type,
+            system,
+            module,
+            desc: desc.into(),
+        });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries whose description contains `needle`.
+    pub fn find<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.desc.contains(needle))
+    }
+
+    /// First entry matching `needle`, if any.
+    pub fn first(&self, needle: &str) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.desc.contains(needle))
+    }
+
+    /// Entries from a module.
+    pub fn by_module(&self, module: Protocol) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.module == module)
+    }
+
+    /// Render the whole log (the Figure 10 style dump).
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Serialize to JSON lines for offline analysis.
+    pub fn to_jsonl(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("trace entries serialize"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No entries recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceCollector {
+        let mut t = TraceCollector::new();
+        t.record(
+            SimTime::from_millis(1_234),
+            TraceType::Signaling,
+            RatSystem::Utran3g,
+            Protocol::Mm,
+            "Location Updating Request",
+        );
+        t.record(
+            SimTime::from_secs(2),
+            TraceType::RadioConfig,
+            RatSystem::Utran3g,
+            Protocol::Rrc3g,
+            "64QAM disabled during CS voice call",
+        );
+        t
+    }
+
+    #[test]
+    fn records_five_fields() {
+        let t = sample();
+        let e = &t.entries()[0];
+        assert_eq!(e.ts.hhmmss(), "00:00:01.234");
+        assert_eq!(e.trace_type, TraceType::Signaling);
+        assert_eq!(e.system, RatSystem::Utran3g);
+        assert_eq!(e.module, Protocol::Mm);
+        assert!(e.desc.contains("Location Updating"));
+    }
+
+    #[test]
+    fn display_contains_timestamp_and_module() {
+        let t = sample();
+        let line = t.entries()[0].to_string();
+        assert!(line.starts_with("00:00:01.234"));
+        assert!(line.contains("MM"));
+        assert!(line.contains("3G"));
+    }
+
+    #[test]
+    fn find_and_first() {
+        let t = sample();
+        assert_eq!(t.find("64QAM").count(), 1);
+        assert!(t.first("64QAM").is_some());
+        assert!(t.first("nonexistent").is_none());
+    }
+
+    #[test]
+    fn by_module_filters() {
+        let t = sample();
+        assert_eq!(t.by_module(Protocol::Rrc3g).count(), 1);
+        assert_eq!(t.by_module(Protocol::Emm).count(), 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let t = sample();
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: TraceEntry = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back, t.entries()[0]);
+    }
+
+    #[test]
+    fn dump_one_line_per_entry() {
+        let t = sample();
+        assert_eq!(t.dump().lines().count(), 2);
+    }
+}

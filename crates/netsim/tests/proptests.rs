@@ -1,0 +1,223 @@
+//! Property-based tests for the simulator substrate: the event queue, the
+//! distribution toolbox, the radio model, and whole-world determinism.
+
+use proptest::prelude::*;
+
+use netsim::rng::{rng_from_seed, DurationDist};
+use netsim::{
+    achievable_kbps, ChannelConfig, EventQueue, Injection, PathLoss, Rssi, SimTime,
+};
+
+// ---------------------------------------------------------------------
+// Event queue ordering under arbitrary schedules and cancellations
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Pops come out in nondecreasing time order, equal times in insertion
+    /// order, for arbitrary schedules.
+    #[test]
+    fn queue_pops_in_order(times in proptest::collection::vec(0u64..1_000, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut last_t = SimTime::ZERO;
+        let mut seen_at_t: Vec<usize> = Vec::new();
+        let mut popped = 0usize;
+        while let Some((t, idx)) = q.pop() {
+            popped += 1;
+            prop_assert!(t >= last_t);
+            if t > last_t {
+                seen_at_t.clear();
+                last_t = t;
+            }
+            // Insertion order within equal timestamps.
+            if let Some(&prev) = seen_at_t.last() {
+                prop_assert!(idx > prev, "tie broken by insertion order");
+            }
+            seen_at_t.push(idx);
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelled events never pop; everything else does.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..500, 1..60),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            handles.push((i, q.schedule(SimTime::from_millis(t), i)));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, h) in &handles {
+            if *cancel_mask.get(*i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*h));
+                cancelled.insert(*i);
+            }
+        }
+        let mut popped = std::collections::HashSet::new();
+        while let Some((_, idx)) = q.pop() {
+            popped.insert(idx);
+        }
+        for i in 0..times.len() {
+            prop_assert_eq!(popped.contains(&i), !cancelled.contains(&i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every distribution respects its clamps for arbitrary parameters.
+    #[test]
+    fn duration_dists_respect_bounds(
+        seed in any::<u64>(),
+        mean in 1.0f64..10_000.0,
+        sd in 0.0f64..5_000.0,
+        lo in 0u64..1_000,
+        span in 1u64..10_000,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let hi = lo + span;
+        let dists = [
+            DurationDist::Fixed(lo),
+            DurationDist::Uniform { lo, hi },
+            DurationDist::Normal { mean_ms: mean, sd_ms: sd, min_ms: lo, max_ms: hi },
+            DurationDist::LogNormal { mu: mean.ln(), sigma: 0.7, min_ms: lo, max_ms: hi },
+        ];
+        for d in dists {
+            for _ in 0..50 {
+                let v = d.sample_ms(&mut rng);
+                prop_assert!(v >= lo.min(hi) && v <= hi, "{d:?} -> {v}");
+            }
+        }
+    }
+
+    /// Injection drop rates 0 and 1 behave exactly.
+    #[test]
+    fn injection_extremes(seed in any::<u64>()) {
+        let mut rng = rng_from_seed(seed);
+        prop_assert_eq!(Injection::none().fate(&mut rng), netsim::Fate::Deliver);
+        prop_assert_eq!(Injection::dropping(1.0).fate(&mut rng), netsim::Fate::Drop);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Radio model monotonicity
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// RSSI is monotonically nonincreasing in distance.
+    #[test]
+    fn rssi_monotone_in_distance(d1 in 1.0f64..20_000.0, d2 in 1.0f64..20_000.0) {
+        let pl = PathLoss::default();
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(pl.rssi_at(near).0 >= pl.rssi_at(far).0);
+    }
+
+    /// Achievable rate is monotone in RSSI and never negative; the coupled
+    /// call configuration never beats the call-free one.
+    #[test]
+    fn rate_monotone_and_coupling_costs(
+        rssi_a in -130.0f64..-40.0,
+        rssi_b in -130.0f64..-40.0,
+        hour in 0u32..24,
+        uplink in any::<bool>(),
+        aggressive in any::<bool>(),
+    ) {
+        let free = ChannelConfig {
+            modulation: cellstack::Modulation::Qam64,
+            cs_sharing: false,
+            decoupled: false,
+        };
+        let coupled = ChannelConfig {
+            modulation: cellstack::Modulation::Qam16,
+            cs_sharing: true,
+            decoupled: false,
+        };
+        let (hi, lo) = if rssi_a >= rssi_b { (rssi_a, rssi_b) } else { (rssi_b, rssi_a) };
+        let r_hi = achievable_kbps(free, uplink, Rssi(hi), hour, aggressive);
+        let r_lo = achievable_kbps(free, uplink, Rssi(lo), hour, aggressive);
+        prop_assert!(r_hi >= r_lo);
+        prop_assert!(r_lo > 0.0);
+        let r_coupled = achievable_kbps(coupled, uplink, Rssi(hi), hour, aggressive);
+        prop_assert!(r_coupled < r_hi, "a shared call never speeds data up");
+    }
+}
+
+// ---------------------------------------------------------------------
+// SimTime
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// hh:mm:ss.mmm formatting is faithful.
+    #[test]
+    fn simtime_formatting_faithful(ms in 0u64..86_400_000) {
+        let t = SimTime::from_millis(ms);
+        let s = t.hhmmss();
+        let parts: Vec<&str> = s.split(&[':', '.'][..]).collect();
+        prop_assert_eq!(parts.len(), 4);
+        let h: u64 = parts[0].parse().unwrap();
+        let m: u64 = parts[1].parse().unwrap();
+        let sec: u64 = parts[2].parse().unwrap();
+        let milli: u64 = parts[3].parse().unwrap();
+        prop_assert_eq!(((h * 60 + m) * 60 + sec) * 1_000 + milli, ms);
+        prop_assert!(m < 60 && sec < 60 && milli < 1_000);
+    }
+
+    /// since() is the inverse of plus on the happy path, and saturates.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..1_000_000, d in 0u64..1_000_000) {
+        let t = SimTime::from_millis(a);
+        prop_assert_eq!(t.plus_millis(d).since(t), d);
+        prop_assert_eq!(t.since(t.plus_millis(d + 1)), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-world determinism for arbitrary scenario schedules
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two worlds with the same seed and the same (arbitrary) scenario are
+    /// bit-identical in their metrics and traces.
+    #[test]
+    fn world_is_deterministic(
+        seed in any::<u64>(),
+        dial_at in 1u64..30_000,
+        data_at in 1u64..30_000,
+        deact_at in 1u64..60_000,
+        hangup_after in 5_000u64..30_000,
+    ) {
+        use cellstack::{PdpDeactivationCause, RatSystem};
+        use netsim::{op_ii, Ev, World, WorldConfig};
+        let run = || {
+            let mut w = World::new(WorldConfig::new(op_ii(), seed));
+            w.cfg.auto_hangup_after_ms = Some(hangup_after);
+            w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+            w.schedule_in(dial_at + 8_000, Ev::Dial);
+            w.schedule_in(data_at + 8_000, Ev::DataStart { high_rate: true });
+            w.schedule_in(
+                deact_at + 8_000,
+                Ev::NetworkDeactivatePdp(PdpDeactivationCause::RegularDeactivation),
+            );
+            w.schedule_in(120_000, Ev::DataSessionEnd);
+            w.run_until(SimTime::from_secs(400));
+            (
+                w.metrics.detach_count,
+                w.metrics.call_setups.len(),
+                w.metrics.stuck_in_3g_ms.clone(),
+                w.trace.len(),
+                w.stack.serving,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,266 @@
+//! The study journal: the raw event records a participant's phone logs
+//! during the two weeks, and the per-instance detectors that classify them.
+//!
+//! The paper's §7 analysis works exactly this way: the volunteers' phones
+//! log signaling events (calls, switches, updates, attaches) and the
+//! authors *post-process* the logs to count instance occurrences ("we
+//! check whether there is any location area update done in 1.2 s right
+//! after the outgoing call starts"). Keeping the raw journal separate from
+//! the detectors makes the counting rules auditable and testable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::population::Carrier;
+
+/// One logged study event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StudyEvent {
+    /// A CSFB call by a 4G participant.
+    CsfbCall {
+        /// Participant id.
+        user: u32,
+        /// Carrier.
+        carrier: Carrier,
+        /// Mobile data was on during the call.
+        data_on: bool,
+        /// The PDP context was deactivated during the 3G dwell.
+        pdp_deactivated: bool,
+        /// The CSFB double-location-update race was lost.
+        lu_race_lost: bool,
+        /// Time spent in 3G after the call ended, ms.
+        stuck_ms: u64,
+    },
+    /// A plain 3G CS call by a 3G-only participant.
+    CsCall {
+        /// Participant id.
+        user: u32,
+        /// Outgoing (vs incoming).
+        outgoing: bool,
+        /// Data traffic was ongoing during the call.
+        data_traffic: bool,
+        /// A location-area update landed within 1.2 s of the call start.
+        lau_within_window: bool,
+        /// Call duration, seconds.
+        duration_s: f64,
+        /// Data volume transferred during the call, KB.
+        data_kb: f64,
+    },
+    /// A non-CSFB inter-system switch (coverage / carrier-initiated).
+    Switch {
+        /// Participant id.
+        user: u32,
+        /// Mobile data was on.
+        data_on: bool,
+        /// The PDP context was deactivated before the return leg.
+        pdp_deactivated: bool,
+    },
+    /// An attach (power cycle or auto recovery).
+    Attach {
+        /// Participant id.
+        user: u32,
+        /// Signal loss corrupted the attach exchange.
+        loss_detach: bool,
+    },
+}
+
+impl StudyEvent {
+    /// The participant who logged the event.
+    pub fn user(&self) -> u32 {
+        match self {
+            StudyEvent::CsfbCall { user, .. }
+            | StudyEvent::CsCall { user, .. }
+            | StudyEvent::Switch { user, .. }
+            | StudyEvent::Attach { user, .. } => *user,
+        }
+    }
+}
+
+/// Counters produced by running the detectors over a journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorCounts {
+    /// S1 occurrences / opportunities (4G→3G switches with data on).
+    pub s1: (u32, u32),
+    /// S2 occurrences / attaches.
+    pub s2: (u32, u32),
+    /// S3 occurrences / CSFB-with-data calls.
+    pub s3: (u32, u32),
+    /// S4 occurrences / outgoing CS calls.
+    pub s4: (u32, u32),
+    /// S5 occurrences / CS calls.
+    pub s5: (u32, u32),
+    /// S6 occurrences / CSFB calls.
+    pub s6: (u32, u32),
+}
+
+/// The §7 counting rules, one detector per instance.
+pub mod detect {
+    use super::StudyEvent;
+    use crate::population::Carrier;
+
+    /// S1: a data-on excursion whose PDP context was deactivated while in
+    /// 3G (the return then fails).
+    pub fn s1(ev: &StudyEvent) -> Option<bool> {
+        match ev {
+            StudyEvent::CsfbCall {
+                data_on: true,
+                pdp_deactivated,
+                ..
+            } => Some(*pdp_deactivated),
+            StudyEvent::Switch {
+                data_on: true,
+                pdp_deactivated,
+                ..
+            } => Some(*pdp_deactivated),
+            _ => None,
+        }
+    }
+
+    /// S2: an attach that failed from signal loss.
+    pub fn s2(ev: &StudyEvent) -> Option<bool> {
+        match ev {
+            StudyEvent::Attach { loss_detach, .. } => Some(*loss_detach),
+            _ => None,
+        }
+    }
+
+    /// S3: a data-on CSFB call that did not return to 4G promptly. §7 uses
+    /// the carrier policy as the discriminator: reselection (OP-II) users
+    /// wait for the session; redirect (OP-I) users return in seconds.
+    pub fn s3(ev: &StudyEvent) -> Option<bool> {
+        match ev {
+            StudyEvent::CsfbCall {
+                data_on: true,
+                carrier,
+                ..
+            } => Some(*carrier == Carrier::OpII),
+            _ => None,
+        }
+    }
+
+    /// S4: "any location area update done in 1.2 s right after the outgoing
+    /// call starts".
+    pub fn s4(ev: &StudyEvent) -> Option<bool> {
+        match ev {
+            StudyEvent::CsCall {
+                outgoing: true,
+                lau_within_window,
+                ..
+            } => Some(*lau_within_window),
+            _ => None,
+        }
+    }
+
+    /// S5: a CS call overlapping ongoing data traffic.
+    pub fn s5(ev: &StudyEvent) -> Option<bool> {
+        match ev {
+            StudyEvent::CsCall { data_traffic, .. } => Some(*data_traffic),
+            _ => None,
+        }
+    }
+
+    /// S6: a CSFB call whose location-update race was lost.
+    pub fn s6(ev: &StudyEvent) -> Option<bool> {
+        match ev {
+            StudyEvent::CsfbCall { lu_race_lost, .. } => Some(*lu_race_lost),
+            _ => None,
+        }
+    }
+}
+
+/// Run all six detectors over a journal.
+pub fn run_detectors(journal: &[StudyEvent]) -> DetectorCounts {
+    let mut c = DetectorCounts::default();
+    let apply = |slot: &mut (u32, u32), verdict: Option<bool>| {
+        if let Some(hit) = verdict {
+            slot.1 += 1;
+            if hit {
+                slot.0 += 1;
+            }
+        }
+    };
+    for ev in journal {
+        apply(&mut c.s1, detect::s1(ev));
+        apply(&mut c.s2, detect::s2(ev));
+        apply(&mut c.s3, detect::s3(ev));
+        apply(&mut c.s4, detect::s4(ev));
+        apply(&mut c.s5, detect::s5(ev));
+        apply(&mut c.s6, detect::s6(ev));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csfb(data_on: bool, carrier: Carrier, pdp: bool, race: bool) -> StudyEvent {
+        StudyEvent::CsfbCall {
+            user: 1,
+            carrier,
+            data_on,
+            pdp_deactivated: pdp,
+            lu_race_lost: race,
+            stuck_ms: 0,
+        }
+    }
+
+    fn cs(outgoing: bool, data: bool, lau: bool) -> StudyEvent {
+        StudyEvent::CsCall {
+            user: 2,
+            outgoing,
+            data_traffic: data,
+            lau_within_window: lau,
+            duration_s: 60.0,
+            data_kb: 100.0,
+        }
+    }
+
+    #[test]
+    fn s1_counts_only_data_on_excursions() {
+        let journal = vec![
+            csfb(true, Carrier::OpI, true, false),
+            csfb(true, Carrier::OpI, false, false),
+            csfb(false, Carrier::OpI, true, false), // data off: not counted
+        ];
+        let c = run_detectors(&journal);
+        assert_eq!(c.s1, (1, 2));
+    }
+
+    #[test]
+    fn s3_is_policy_deterministic() {
+        let journal = vec![
+            csfb(true, Carrier::OpII, false, false),
+            csfb(true, Carrier::OpI, false, false),
+            csfb(false, Carrier::OpII, false, false), // data off: excluded
+        ];
+        let c = run_detectors(&journal);
+        assert_eq!(c.s3, (1, 2));
+    }
+
+    #[test]
+    fn s4_only_outgoing_calls_count() {
+        let journal = vec![
+            cs(true, false, true),
+            cs(true, false, false),
+            cs(false, false, true), // incoming: excluded from S4
+        ];
+        let c = run_detectors(&journal);
+        assert_eq!(c.s4, (1, 2));
+        assert_eq!(c.s5, (0, 3), "every CS call is an S5 opportunity");
+    }
+
+    #[test]
+    fn s6_denominator_is_all_csfb_calls() {
+        let journal = vec![
+            csfb(true, Carrier::OpII, false, true),
+            csfb(false, Carrier::OpI, false, false),
+        ];
+        let c = run_detectors(&journal);
+        assert_eq!(c.s6, (1, 2));
+    }
+
+    #[test]
+    fn empty_journal_all_zero() {
+        assert_eq!(run_detectors(&[]), DetectorCounts::default());
+    }
+}

@@ -1,0 +1,37 @@
+//! `userstudy` — population simulation of the paper's §7 user study.
+//!
+//! "To assess the real-world impact, we conduct \[a\] two-week user study
+//! with 20 volunteers ... 12 people use 4G-capable phones, while others use
+//! 3G-only phones. We observe 190 CSFB calls, 146 CS calls in 3G, 436
+//! inter-system switches (380 switches are caused by 190 CSFB calls), and
+//! 30 attaches."
+//!
+//! [`study::run_study`] regenerates that event volume from per-participant
+//! behaviour models and detects each instance S1–S6 with its causal
+//! mechanism, producing the Table 5 occurrence probabilities and the
+//! Table 6 stuck-in-3G quantiles (rendered by [`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! let result = userstudy::run_study(2014, userstudy::Hazards::default());
+//! // Event volume near the paper's: 190 CSFB calls observed.
+//! assert!((150..=230).contains(&result.csfb_calls));
+//! // S5 dominates, S2 is absent — the Table 5 ordering.
+//! assert!(result.s5.probability() > result.s3.probability());
+//! assert_eq!(result.s2.events, 0);
+//! println!("{}", userstudy::table5(&result));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod population;
+pub mod stats;
+pub mod study;
+
+pub use journal::{run_detectors, DetectorCounts, StudyEvent};
+pub use population::{build_population, Carrier, Participant, Persona, STUDY_DAYS};
+pub use stats::{table5, table6};
+pub use study::{run_study, Hazards, Occurrence, StudyResult};

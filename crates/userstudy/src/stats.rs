@@ -1,0 +1,87 @@
+//! Table renderers for the user study (paper Tables 5 and 6).
+
+use netsim::Metrics;
+
+use crate::study::StudyResult;
+
+/// Render Table 5 — "Summary of user-based study on S1-S6".
+pub fn table5(r: &StudyResult) -> String {
+    let row = |o: &crate::study::Occurrence| {
+        format!(
+            "{:>6.1}% ({}/{})",
+            o.probability() * 100.0,
+            o.events,
+            o.denominator
+        )
+    };
+    let mut s = String::new();
+    s.push_str("Problem      S1          S2          S3          S4          S5          S6\n");
+    s.push_str(&format!(
+        "Observed     {:<11} {:<11} {:<11} {:<11} {:<11} {:<11}\n",
+        tick(r.s1.events),
+        tick(r.s2.events),
+        tick(r.s3.events),
+        tick(r.s4.events),
+        tick(r.s5.events),
+        tick(r.s6.events),
+    ));
+    s.push_str(&format!(
+        "Occurrence   {:<11} {:<11} {:<11} {:<11} {:<11} {:<11}\n",
+        row(&r.s1),
+        row(&r.s2),
+        row(&r.s3),
+        row(&r.s4),
+        row(&r.s5),
+        row(&r.s6),
+    ));
+    s
+}
+
+fn tick(events: u32) -> &'static str {
+    if events > 0 {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Render Table 6 — "Duration in 3G after the CSFB call ends".
+pub fn table6(r: &StudyResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<10} {:>8} {:>8} {:>8} {:>16} {:>8}\n",
+        "Operator", "Min", "Median", "Max", "90th percentile", "Avg"
+    ));
+    for (name, series) in [("OP-I", &r.stuck_op1_ms), ("OP-II", &r.stuck_op2_ms)] {
+        let (min, med, max, p90, avg) = Metrics::table6_row(series);
+        s.push_str(&format!(
+            "{:<10} {:>7.1}s {:>7.1}s {:>7.1}s {:>15.1}s {:>7.1}s\n",
+            name, min, med, max, p90, avg
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{run_study, Hazards};
+
+    #[test]
+    fn table5_renders_all_instances() {
+        let r = run_study(2014, Hazards::default());
+        let t = table5(&r);
+        assert!(t.contains("S1") && t.contains("S6"));
+        assert!(t.contains('%'));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn table6_renders_both_operators() {
+        let r = run_study(2014, Hazards::default());
+        let t = table6(&r);
+        assert!(t.contains("OP-I"));
+        assert!(t.contains("OP-II"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the user-study journal and detectors.
+
+use proptest::prelude::*;
+
+use userstudy::journal::{run_detectors, StudyEvent};
+use userstudy::{run_study, Carrier, Hazards};
+
+fn study_event() -> impl Strategy<Value = StudyEvent> {
+    prop_oneof![
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            0u64..300_000
+        )
+            .prop_map(|(op2, data_on, pdp, race, stuck)| StudyEvent::CsfbCall {
+                user: 1,
+                carrier: if op2 { Carrier::OpII } else { Carrier::OpI },
+                data_on,
+                pdp_deactivated: pdp && data_on,
+                lu_race_lost: race,
+                stuck_ms: stuck,
+            }),
+        (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(out, data, lau)| {
+            StudyEvent::CsCall {
+                user: 2,
+                outgoing: out,
+                data_traffic: data,
+                lau_within_window: lau && out,
+                duration_s: 60.0,
+                data_kb: 100.0,
+            }
+        }),
+        (any::<bool>(), any::<bool>()).prop_map(|(d, pdp)| StudyEvent::Switch {
+            user: 3,
+            data_on: d,
+            pdp_deactivated: pdp && d,
+        }),
+        any::<bool>().prop_map(|l| StudyEvent::Attach {
+            user: 4,
+            loss_detach: l,
+        }),
+    ]
+}
+
+proptest! {
+    /// Detector counts are coherent for arbitrary journals: occurrences
+    /// never exceed denominators, and denominators match the event mix.
+    #[test]
+    fn detector_counts_are_coherent(journal in proptest::collection::vec(study_event(), 0..200)) {
+        let c = run_detectors(&journal);
+        for (ev, den) in [c.s1, c.s2, c.s3, c.s4, c.s5, c.s6] {
+            prop_assert!(ev <= den);
+        }
+        let csfb = journal.iter().filter(|e| matches!(e, StudyEvent::CsfbCall { .. })).count() as u32;
+        let cs = journal.iter().filter(|e| matches!(e, StudyEvent::CsCall { .. })).count() as u32;
+        let attaches = journal.iter().filter(|e| matches!(e, StudyEvent::Attach { .. })).count() as u32;
+        prop_assert_eq!(c.s6.1, csfb, "every CSFB call is an S6 opportunity");
+        prop_assert_eq!(c.s5.1, cs, "every CS call is an S5 opportunity");
+        prop_assert_eq!(c.s2.1, attaches);
+        // S3's denominator is the data-on subset of CSFB calls.
+        prop_assert!(c.s3.1 <= csfb);
+    }
+
+    /// A full study is internally consistent for any seed: the detectors'
+    /// denominators reconcile with the event totals, and Table 6 samples
+    /// exist iff S3 opportunities exist.
+    #[test]
+    fn study_is_internally_consistent(seed in any::<u64>()) {
+        let r = run_study(seed, Hazards::default());
+        prop_assert_eq!(r.s6.denominator, r.csfb_calls);
+        prop_assert_eq!(r.s5.denominator, r.cs_calls_3g);
+        prop_assert_eq!(r.s2.denominator, r.attaches);
+        prop_assert!(r.s3.denominator <= r.csfb_calls);
+        prop_assert_eq!(
+            (r.stuck_op1_ms.len() + r.stuck_op2_ms.len()) as u32,
+            r.s3.denominator,
+            "one Table 6 sample per data-on CSFB call"
+        );
+        prop_assert_eq!(r.s5_affected_kb.len() as u32, r.s5.events);
+        // The journal carries everything the counters summarize.
+        prop_assert_eq!(
+            r.journal.len() as u32,
+            r.csfb_calls + r.cs_calls_3g + (r.switches - 2 * r.csfb_calls) + r.attaches
+        );
+    }
+
+    /// Zeroed hazards zero exactly the hazard-driven instances, at any seed.
+    #[test]
+    fn zero_hazards_only_policy_instances_remain(seed in any::<u64>()) {
+        let r = run_study(
+            seed,
+            Hazards {
+                pdp_deact_per_dwell: 0.0,
+                attach_loss_good_coverage: 0.0,
+                lau_collision_per_call: 0.0,
+                lu_race_per_csfb: 0.0,
+            },
+        );
+        prop_assert_eq!(r.s1.events, 0);
+        prop_assert_eq!(r.s2.events, 0);
+        prop_assert_eq!(r.s4.events, 0);
+        prop_assert_eq!(r.s6.events, 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the CNetVerifier reproduction workspace.
+//!
+//! Re-exports every member crate so the examples and integration tests under
+//! the repository root can reach the whole public API through one dependency.
+//! Library users should depend on the individual crates instead.
+
+pub use cellstack;
+pub use cnetverifier;
+pub use mck;
+pub use netsim;
+pub use remedies;
+pub use userstudy;

@@ -1,0 +1,172 @@
+//! Integration: the reproduced tables and figures keep the paper's
+//! *shapes* — who wins, by roughly what factor, where the crossovers fall.
+//!
+//! Absolute values come from a simulator, not the authors' testbed, so the
+//! assertions here check ordering and factor bands rather than exact
+//! numbers (see EXPERIMENTS.md for the side-by-side record).
+
+use cellstack::UpdateKind;
+use cnv_bench as bench;
+use netsim::{op_i, op_ii};
+
+#[test]
+fn figure4_recovery_times_span_seconds_not_millis() {
+    for op in bench::carriers() {
+        let times = bench::figure4_recovery_times(op, 15, 77);
+        let s = bench::series_stats(&times);
+        assert!(s.n >= 10);
+        assert!(s.min_s >= 1.0, "{}: min {}", op.name, s.min_s);
+        assert!(s.max_s <= 30.0, "{}: max {}", op.name, s.max_s);
+        assert!(s.median_s >= 2.0, "{}: median {}", op.name, s.median_s);
+    }
+}
+
+#[test]
+fn figure7_updates_inflate_call_setup() {
+    let (calls, _) = bench::figure7_route1(3);
+    let plain: Vec<f64> = calls
+        .iter()
+        .filter(|c| !c.during_update)
+        .map(|c| c.setup_s)
+        .collect();
+    let during: Vec<f64> = calls
+        .iter()
+        .filter(|c| c.during_update)
+        .map(|c| c.setup_s)
+        .collect();
+    assert!(!plain.is_empty() && !during.is_empty());
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (p, d) = (avg(&plain), avg(&during));
+    // Paper: 11.4 s plain vs 19.7 s during updates — several seconds apart.
+    assert!((9.0..=14.0).contains(&p), "plain setup {p:.1}");
+    assert!(d > p + 3.0, "during-update {d:.1} vs plain {p:.1}");
+}
+
+#[test]
+fn figure8_op1_lau_slower_than_op2() {
+    let op1 = bench::figure8_durations(op_i(), UpdateKind::LocationArea, 100, 5);
+    let op2 = bench::figure8_durations(op_ii(), UpdateKind::LocationArea, 100, 5);
+    let m1 = bench::quantile_s(&op1, 0.5);
+    let m2 = bench::quantile_s(&op2, 0.5);
+    // Paper 8(a): OP-I ≈3 s, OP-II ≈1.9 s.
+    assert!(m1 > m2, "OP-I median {m1} vs OP-II {m2}");
+    assert!(op1.iter().all(|&v| v > 2_000), "OP-I: all > 2 s");
+}
+
+#[test]
+fn figure8_rau_flips_the_ordering() {
+    // Paper 8(b): on routing-area updates OP-II is *slower* (90% within
+    // 1.6-4.1 s vs OP-I's 75% within 1-3.6 s).
+    let op1 = bench::figure8_durations(op_i(), UpdateKind::RoutingArea, 100, 5);
+    let op2 = bench::figure8_durations(op_ii(), UpdateKind::RoutingArea, 100, 5);
+    assert!(bench::quantile_s(&op2, 0.5) > bench::quantile_s(&op1, 0.5));
+}
+
+#[test]
+fn figure9_drop_factors_match_paper_bands() {
+    // Downlink ≈74% on both carriers.
+    for op in bench::carriers() {
+        let bins = bench::figure9(op, false, 9);
+        for b in &bins {
+            let drop = 1.0 - b.with_call_mbps / b.without_call_mbps;
+            assert!(
+                (0.65..=0.85).contains(&drop),
+                "{} downlink {}: {drop:.2}",
+                op.name,
+                b.label
+            );
+        }
+    }
+    // Uplink: OP-I ≈51%, OP-II ≈96%.
+    let op1 = bench::figure9(op_i(), true, 9);
+    let drop1 = 1.0 - op1[0].with_call_mbps / op1[0].without_call_mbps;
+    assert!((0.40..=0.65).contains(&drop1), "OP-I uplink {drop1:.2}");
+    let op2 = bench::figure9(op_ii(), true, 9);
+    let drop2 = 1.0 - op2[0].with_call_mbps / op2[0].without_call_mbps;
+    assert!(drop2 > 0.85, "OP-II uplink {drop2:.2}");
+}
+
+#[test]
+fn figure9_evening_slower_than_night() {
+    let bins = bench::figure9(op_i(), false, 13);
+    let evening = bins.iter().find(|b| b.label == "17-20").unwrap();
+    let night = bins.iter().find(|b| b.label == "23-2").unwrap();
+    assert!(
+        night.without_call_mbps > evening.without_call_mbps,
+        "hour-of-day load shapes the absolute speeds"
+    );
+}
+
+#[test]
+fn figure10_trace_has_the_event_sequence() {
+    let trace = bench::figure10_trace(1);
+    let disabled = trace.find("64QAM disabled").expect("downgrade present");
+    let reenabled = trace.find("64QAM re-enabled").expect("upgrade present");
+    assert!(disabled < reenabled, "downgrade precedes re-enable");
+    let connected = trace.find("call connected").expect("call connects");
+    assert!(
+        disabled <= connected,
+        "modulation drops when the call starts (Figure 10)"
+    );
+}
+
+#[test]
+fn table6_quantiles_keep_the_carrier_gap() {
+    let op1 = bench::table6_stuck_durations(op_i(), 10, 21);
+    let op2 = bench::table6_stuck_durations(op_ii(), 10, 21);
+    let s1 = bench::series_stats(&op1);
+    let s2 = bench::series_stats(&op2);
+    // Paper: OP-I median 2.3 s vs OP-II 24.3 s — an order of magnitude.
+    assert!(
+        s2.median_s > s1.median_s * 3.0,
+        "OP-II {:.1}s vs OP-I {:.1}s",
+        s2.median_s,
+        s1.median_s
+    );
+    assert!(s1.min_s >= 1.0, "OP-I min {:.1}", s1.min_s);
+}
+
+#[test]
+fn table5_probabilities_keep_the_paper_ordering() {
+    // One two-week sample is as noisy as the paper's own (6/79 vs 4/129);
+    // average a few independent studies before asserting the ordering.
+    let mut p = [0.0f64; 6];
+    let seeds = [2014u64, 1, 2, 3, 4];
+    for &seed in &seeds {
+        let r = userstudy::run_study(seed, userstudy::Hazards::default());
+        for (slot, v) in p.iter_mut().zip([
+            r.s1.probability(),
+            r.s2.probability(),
+            r.s3.probability(),
+            r.s4.probability(),
+            r.s5.probability(),
+            r.s6.probability(),
+        ]) {
+            *slot += v / seeds.len() as f64;
+        }
+    }
+    // Paper ordering: S5 (77%) > S3 (62%) >> S4 (7.6%) > S1 (3.1%) ≈ S6
+    // (2.6%) > S2 (0%).
+    assert!(p[4] > p[2], "S5 > S3");
+    assert!(p[2] > p[3], "S3 >> S4");
+    assert!(p[3] > p[0], "S4 > S1");
+    assert!(p[0] > p[1], "S1 > S2");
+    assert!(p[5] < 0.10, "S6 rare");
+}
+
+#[test]
+fn figure12_and_13_shapes() {
+    // Fig 12 left: zero-loss baseline has zero detaches; the shim column is
+    // all-zero; the no-shim column grows.
+    let (with, without) = remedies::figure12_left(3);
+    assert_eq!(without[0].1, 0, "no drops, no detaches");
+    assert!(with.iter().all(|&(_, d)| d == 0));
+    assert!(without.last().unwrap().1 > 0);
+    // Fig 12 right: linear without, zero with.
+    let (w, wo) = remedies::figure12_right();
+    assert!(w.iter().all(|p| p.delay_s == 0.0));
+    assert!(wo.last().unwrap().delay_s >= 5.9);
+    // Fig 13: ≈1.6-4x data gain, voice unharmed.
+    assert!(remedies::decoupling_gain(false) > 1.4);
+    assert!(remedies::decoupling_gain(true) > 1.4);
+}

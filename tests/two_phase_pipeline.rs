@@ -1,0 +1,103 @@
+//! Integration: the full two-phase pipeline, end to end.
+//!
+//! These tests exercise the whole stack across crate boundaries, the way
+//! the paper's tool is actually used: screen the models, validate the
+//! counterexamples on the simulated carriers, confirm the classification
+//! matches Table 1, and confirm the §8 remedies clear everything.
+
+use cnetverifier::findings::{Category, Instance, Phase};
+use cnetverifier::{run_screening, run_screening_remedied, validate_all};
+
+#[test]
+fn screening_finds_exactly_the_four_design_defects() {
+    let report = run_screening();
+    let found: Vec<Instance> = report.findings().map(|f| f.instance).collect();
+    assert_eq!(
+        found,
+        vec![Instance::S1, Instance::S2, Instance::S3, Instance::S4],
+        "screening yields S1-S4 in model order (paper §4)"
+    );
+    // Each screening finding is a design defect.
+    for f in report.findings() {
+        assert_eq!(f.instance.kind(), cellstack::IssueKind::Design);
+        assert_eq!(f.instance.discovered_by(), Phase::Screening);
+    }
+}
+
+#[test]
+fn validation_observes_all_six_instances_somewhere() {
+    let outcomes = validate_all(2014);
+    for inst in Instance::ALL {
+        assert!(
+            outcomes
+                .iter()
+                .any(|v| v.instance == inst && v.observed),
+            "{inst} must be observed on at least one carrier"
+        );
+    }
+}
+
+#[test]
+fn s3_observed_only_on_the_reselection_carrier() {
+    let outcomes = validate_all(7);
+    let s3: Vec<_> = outcomes.iter().filter(|v| v.instance == Instance::S3).collect();
+    assert_eq!(s3.len(), 2);
+    for v in s3 {
+        if v.operator == "OP-II" {
+            assert!(v.observed, "OP-II gets stuck: {}", v.evidence);
+        } else {
+            assert!(!v.observed, "OP-I returns promptly: {}", v.evidence);
+        }
+    }
+}
+
+#[test]
+fn remedied_screening_is_completely_clean() {
+    let report = run_screening_remedied();
+    assert_eq!(
+        report.findings().count(),
+        0,
+        "every §8 remedy must eliminate its defect"
+    );
+    // And it still explores a real space (the remedies must not have
+    // trivially emptied the models).
+    assert!(report.total_states() > 10);
+}
+
+#[test]
+fn counterexample_witnesses_are_human_readable() {
+    let report = run_screening();
+    for f in report.findings() {
+        assert_eq!(f.witness.len(), f.steps);
+        for step in &f.witness {
+            assert!(!step.is_empty());
+            assert!(
+                !step.contains("Debug"),
+                "witness steps should be formatted, not Debug-dumped"
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_categories_match_finding_classification() {
+    // The three "necessary but problematic" instances are exactly the ones
+    // the screening phase proves from protocol cooperation models.
+    for inst in [Instance::S1, Instance::S2, Instance::S3] {
+        assert_eq!(inst.category(), Category::NecessaryButProblematic);
+    }
+    for inst in [Instance::S4, Instance::S5, Instance::S6] {
+        assert_eq!(inst.category(), Category::IndependentButCoupled);
+    }
+}
+
+#[test]
+fn validation_is_reproducible_per_seed() {
+    let a = validate_all(99);
+    let b = validate_all(99);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.observed, y.observed);
+        assert_eq!(x.evidence, y.evidence);
+    }
+}
