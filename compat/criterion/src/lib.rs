@@ -1,0 +1,229 @@
+//! Offline micro-benchmark harness exposing the `criterion` API subset this
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! `bench_function`, [`BenchmarkId::new`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark runs a short warmup, then timed batches until a wall-clock
+//! budget is spent, and prints the mean time per iteration. There are no
+//! statistics, plots, or saved baselines — just stable, comparable numbers
+//! that work without a network connection.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the timing loop's value sink.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, e.g. `name/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render the id as `group/...` suffix text.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// Drives timed iterations for one benchmark.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: let caches/allocator settle and estimate per-iter cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < WARMUP_BUDGET && warmup_iters < 1_000 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().checked_div(warmup_iters as u32);
+
+        // Size batches so each one spans at least ~1ms of work.
+        let batch = match per_iter {
+            Some(d) if d > Duration::ZERO => {
+                (Duration::from_millis(1).as_nanos() / d.as_nanos().max(1)).clamp(1, 10_000) as u64
+            }
+            _ => 1_000,
+        };
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET || self.iters_done < MIN_ITERS {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t.elapsed();
+            self.iters_done += batch;
+        }
+    }
+}
+
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+const MEASURE_BUDGET: Duration = Duration::from_millis(1500);
+const MIN_ITERS: u64 = 10;
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Run `routine` as the benchmark `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_text());
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Upstream tunes sample counts; this harness sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream tunes per-sample time; this harness uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// End the group (upstream finalises reports here; no-op offline).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters_done == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    let human = if per_iter >= 1e9 {
+        format!("{:.3} s", per_iter / 1e9)
+    } else if per_iter >= 1e6 {
+        format!("{:.3} ms", per_iter / 1e6)
+    } else if per_iter >= 1e3 {
+        format!("{:.3} µs", per_iter / 1e3)
+    } else {
+        format!("{per_iter:.1} ns")
+    };
+    println!("{name:<48} time: {human:>12}   ({} iters)", b.iters_done);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: F) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        report(name, &b);
+        self
+    }
+}
+
+/// Collect benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo-bench passes flags like `--bench`; nothing to parse here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("workers", 8).text, "workers/8");
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| 1 + 1);
+        assert!(b.iters_done >= MIN_ITERS);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

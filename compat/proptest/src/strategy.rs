@@ -1,0 +1,155 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use rand::rngs::StdRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic sampler over an RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+}
+
+/// Object-safe mirror of [`Strategy`] for boxing.
+pub trait DynStrategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value through the erased type.
+    fn sample_dyn(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        self.as_ref().sample_dyn(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies; backs [`crate::prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build a union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let idx = rand::Rng::gen_range(rng, 0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}

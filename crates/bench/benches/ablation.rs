@@ -18,11 +18,12 @@ fn strategy_ablation(c: &mut Criterion) {
         ("dfs", SearchStrategy::Dfs),
         ("par2", SearchStrategy::ParallelBfs { workers: 2 }),
         ("par4", SearchStrategy::ParallelBfs { workers: 4 }),
+        ("par8", SearchStrategy::ParallelBfs { workers: 8 }),
+        // 0 = one worker per available CPU.
+        ("par0", SearchStrategy::ParallelBfs { workers: 0 }),
     ] {
         g.bench_function(BenchmarkId::new("attach_model", name), |b| {
             b.iter(|| {
-                // Parallel BFS rejects Eventually properties; the attach
-                // model only carries a safety property, so all four run.
                 Checker::new(AttachModel::paper()).strategy(strategy).run()
             })
         });

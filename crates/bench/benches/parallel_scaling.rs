@@ -1,0 +1,112 @@
+//! Worker-count scaling of the lock-free parallel BFS engine.
+//!
+//! The model is a synthetic octal tree with a bit over 10^6 nodes — wide,
+//! shallow and property-free, so the run time is dominated by the engine
+//! itself (fingerprint-table inserts, arena appends, layer scheduling) and
+//! not by model evaluation.
+//!
+//! Besides the criterion timings, the run rewrites `BENCH_parallel.json` in
+//! the workspace root: the committed baseline recording states/sec for
+//! workers ∈ {1, 2, 4, 8} on the machine that produced it.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mck::{Checker, Model, SearchStrategy};
+use serde_json::Value;
+
+/// Nodes are `0..=CAP`: node `s` has children `s*8 + 1 ..= s*8 + 8` while
+/// they stay `<= CAP`, so the space has exactly `CAP + 1` unique states.
+const CAP: u32 = 1_000_000;
+
+struct OctalTree;
+
+impl Model for OctalTree {
+    type State = u32;
+    type Action = u8;
+
+    fn init_states(&self) -> Vec<u32> {
+        vec![0]
+    }
+
+    fn actions(&self, state: &u32, out: &mut Vec<u8>) {
+        for a in 1..=8u8 {
+            if state * 8 + u32::from(a) <= CAP {
+                out.push(a);
+            }
+        }
+    }
+
+    fn next_state(&self, state: &u32, action: &u8) -> Option<u32> {
+        Some(state * 8 + u32::from(*action))
+    }
+}
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn explore(workers: usize) -> mck::CheckResult<OctalTree> {
+    let result = Checker::new(OctalTree)
+        .strategy(SearchStrategy::ParallelBfs { workers })
+        .run();
+    assert!(result.complete, "scaling model must be exhausted");
+    assert_eq!(result.stats.unique_states, u64::from(CAP) + 1);
+    result
+}
+
+fn parallel_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_scaling");
+    for workers in WORKER_COUNTS {
+        g.bench_function(BenchmarkId::new("octal_tree_1m", workers), |b| {
+            b.iter(|| explore(workers))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, parallel_scaling);
+
+/// Re-measure each arm (best of 3, to shed scheduler noise) and rewrite the
+/// committed baseline.
+fn write_baseline() {
+    let arms: Vec<Value> = WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                best = best.max(explore(workers).stats.states_per_sec());
+            }
+            println!("baseline: {workers} worker(s) -> {best:.0} states/s");
+            Value::Map(vec![
+                ("workers".into(), Value::U64(workers as u64)),
+                ("states_per_sec".into(), Value::F64(best.round())),
+            ])
+        })
+        .collect();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0);
+    let doc = Value::Map(vec![
+        ("bench".into(), Value::Str("parallel_scaling".into())),
+        (
+            "model".into(),
+            Value::Str(format!("octal tree, {} unique states", u64::from(CAP) + 1)),
+        ),
+        (
+            "strategy".into(),
+            Value::Str("ParallelBfs (lock-free CAS fingerprint table)".into()),
+        ),
+        ("unique_states".into(), Value::U64(u64::from(CAP) + 1)),
+        // Speedup over the 1-worker arm is bounded by this: on a 1-CPU
+        // host every arm necessarily measures engine overhead, not scaling.
+        ("host_cpus".into(), Value::U64(host_cpus)),
+        ("arms".into(), Value::Seq(arms)),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+    // cargo runs benches with the *package* dir as cwd; anchor the baseline
+    // at the workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, text + "\n").expect("write BENCH_parallel.json");
+}
+
+fn main() {
+    benches();
+    write_baseline();
+}

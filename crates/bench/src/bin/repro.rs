@@ -158,7 +158,12 @@ fn screening() {
     section("Screening phase (S1-S4 via model checking, paper Section 3.2/4)");
     let report = cnetverifier::run_screening();
     for run in &report.runs {
-        println!("model {:<34} {}", run.model_name, run.stats);
+        println!(
+            "model {:<34} {} ({:.0} states/s)",
+            run.model_name,
+            run.stats,
+            run.stats.states_per_sec()
+        );
         for f in &run.findings {
             println!(
                 "  -> {}: {} [{}; {} steps{}]",

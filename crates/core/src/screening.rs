@@ -4,6 +4,13 @@
 //! violations into [`Finding`]s with human-readable counterexamples. This
 //! is the run that "identifies four instances S1–S4" (§4); S5 and S6 are
 //! operational and surface in [`crate::validation`].
+//!
+//! The four model families are independent, so screening fans them out
+//! across threads: S1/S2/S4 run on the lock-free parallel BFS engine, S3
+//! on DFS (its witness is a lasso, which only DFS detects). Reports list
+//! the runs in S1..S4 order regardless of which thread finishes first.
+
+use std::thread;
 
 use mck::{CheckStats, Checker, Model, SearchStrategy, Violation};
 
@@ -67,140 +74,138 @@ fn finding_from<M: Model>(
     }
 }
 
+/// Worker threads each concurrent model run gets: the four families split
+/// the machine between them rather than oversubscribing it.
+fn per_run_workers() -> usize {
+    let cpus = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    (cpus / 4).max(1)
+}
+
+/// Check one model and fold any violation of `property` into a [`ModelRun`].
+fn screen<M>(
+    model: M,
+    strategy: SearchStrategy,
+    property: &str,
+    instance: Instance,
+    model_name: &'static str,
+) -> ModelRun
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+{
+    let checker = Checker::new(model).strategy(strategy);
+    let result = checker.run();
+    let findings = result
+        .violation(property)
+        .map(|v| vec![finding_from(checker.model(), instance, v)])
+        .unwrap_or_default();
+    ModelRun {
+        model_name,
+        stats: result.stats,
+        findings,
+    }
+}
+
 /// Run the full screening phase with the paper's model configurations.
+///
+/// The four families run concurrently; the report lists them S1..S4.
 pub fn run_screening() -> ScreeningReport {
-    let mut runs = Vec::new();
-
-    // S1 — shared context across inter-system switches.
-    {
-        let model = SwitchContextModel::paper();
-        let checker = Checker::new(model).strategy(SearchStrategy::Bfs);
-        let result = checker.run();
-        let findings = result
-            .violation(props::PACKET_SERVICE_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S1, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "switch-context (S1 family)",
-            stats: result.stats,
-            findings,
+    let workers = per_run_workers();
+    let par = SearchStrategy::ParallelBfs { workers };
+    let runs = thread::scope(|s| {
+        // S1 — shared context across inter-system switches.
+        let s1 = s.spawn(move || {
+            screen(
+                SwitchContextModel::paper(),
+                par,
+                props::PACKET_SERVICE_OK,
+                Instance::S1,
+                "switch-context (S1 family)",
+            )
         });
-    }
-
-    // S2 — attach over unreliable RRC.
-    {
-        let model = AttachModel::paper();
-        let checker = Checker::new(model).strategy(SearchStrategy::Bfs);
-        let result = checker.run();
-        let findings = result
-            .violation(props::PACKET_SERVICE_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S2, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "attach/unreliable-RRC (S2 family)",
-            stats: result.stats,
-            findings,
+        // S2 — attach over unreliable RRC.
+        let s2 = s.spawn(move || {
+            screen(
+                AttachModel::paper(),
+                par,
+                props::PACKET_SERVICE_OK,
+                Instance::S2,
+                "attach/unreliable-RRC (S2 family)",
+            )
         });
-    }
-
-    // S3 — CSFB return gated on RRC state (needs DFS for the lasso).
-    {
-        let model = CsfbRrcModel::op2_high_rate();
-        let checker = Checker::new(model).strategy(SearchStrategy::Dfs);
-        let result = checker.run();
-        let findings = result
-            .violation(props::MM_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S3, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "csfb-rrc (S3 family)",
-            stats: result.stats,
-            findings,
+        // S3 — CSFB return gated on RRC state (needs DFS for the lasso).
+        let s3 = s.spawn(|| {
+            screen(
+                CsfbRrcModel::op2_high_rate(),
+                SearchStrategy::Dfs,
+                props::MM_OK,
+                Instance::S3,
+                "csfb-rrc (S3 family)",
+            )
         });
-    }
-
-    // S4 — HOL blocking behind location updates.
-    {
-        let model = HolBlockModel::paper();
-        let checker = Checker::new(model).strategy(SearchStrategy::Bfs);
-        let result = checker.run();
-        let findings = result
-            .violation(props::CALL_SERVICE_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S4, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "mm-holblock (S4 family)",
-            stats: result.stats,
-            findings,
+        // S4 — HOL blocking behind location updates.
+        let s4 = s.spawn(move || {
+            screen(
+                HolBlockModel::paper(),
+                par,
+                props::CALL_SERVICE_OK,
+                Instance::S4,
+                "mm-holblock (S4 family)",
+            )
         });
-    }
+        [s1, s2, s3, s4].map(|h| h.join().expect("screening worker panicked"))
+    });
 
-    ScreeningReport { runs }
+    ScreeningReport { runs: runs.into() }
 }
 
 /// Run the screening phase with every §8 remedy applied: used to show the
 /// solution eliminates the design defects (§9). Any finding in this report
 /// means a remedy failed.
 pub fn run_screening_remedied() -> ScreeningReport {
-    let mut runs = Vec::new();
-
-    {
-        let model = SwitchContextModel::remedied();
-        let checker = Checker::new(model);
-        let result = checker.run();
-        let findings = result
-            .violation(props::PACKET_SERVICE_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S1, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "switch-context (remedied)",
-            stats: result.stats,
-            findings,
+    let workers = per_run_workers();
+    let par = SearchStrategy::ParallelBfs { workers };
+    let runs = thread::scope(|s| {
+        let s1 = s.spawn(move || {
+            screen(
+                SwitchContextModel::remedied(),
+                par,
+                props::PACKET_SERVICE_OK,
+                Instance::S1,
+                "switch-context (remedied)",
+            )
         });
-    }
-    {
-        let model = AttachModel::with_reliable_transport();
-        let checker = Checker::new(model);
-        let result = checker.run();
-        let findings = result
-            .violation(props::PACKET_SERVICE_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S2, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "attach (reliable shim)",
-            stats: result.stats,
-            findings,
+        let s2 = s.spawn(move || {
+            screen(
+                AttachModel::with_reliable_transport(),
+                par,
+                props::PACKET_SERVICE_OK,
+                Instance::S2,
+                "attach (reliable shim)",
+            )
         });
-    }
-    {
-        let model = CsfbRrcModel::op2_remedied();
-        let checker = Checker::new(model).strategy(SearchStrategy::Dfs);
-        let result = checker.run();
-        let findings = result
-            .violation(props::MM_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S3, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "csfb-rrc (CSFB tag)",
-            stats: result.stats,
-            findings,
+        let s3 = s.spawn(|| {
+            screen(
+                CsfbRrcModel::op2_remedied(),
+                SearchStrategy::Dfs,
+                props::MM_OK,
+                Instance::S3,
+                "csfb-rrc (CSFB tag)",
+            )
         });
-    }
-    {
-        let model = HolBlockModel::remedied();
-        let checker = Checker::new(model);
-        let result = checker.run();
-        let findings = result
-            .violation(props::CALL_SERVICE_OK)
-            .map(|v| vec![finding_from(checker.model(), Instance::S4, v)])
-            .unwrap_or_default();
-        runs.push(ModelRun {
-            model_name: "mm-holblock (parallel threads)",
-            stats: result.stats,
-            findings,
+        let s4 = s.spawn(move || {
+            screen(
+                HolBlockModel::remedied(),
+                par,
+                props::CALL_SERVICE_OK,
+                Instance::S4,
+                "mm-holblock (parallel threads)",
+            )
         });
-    }
-    ScreeningReport { runs }
+        [s1, s2, s3, s4].map(|h| h.join().expect("screening worker panicked"))
+    });
+    ScreeningReport { runs: runs.into() }
 }
 
 #[cfg(test)]
@@ -239,6 +244,22 @@ mod tests {
         let report = run_screening();
         assert!(report.total_states() > 100);
         assert_eq!(report.runs.len(), 4);
+    }
+
+    #[test]
+    fn report_orders_runs_s1_to_s4() {
+        // Runs execute concurrently but the report order is fixed.
+        let report = run_screening();
+        let names: Vec<_> = report.runs.iter().map(|r| r.model_name).collect();
+        assert_eq!(
+            names,
+            [
+                "switch-context (S1 family)",
+                "attach/unreliable-RRC (S2 family)",
+                "csfb-rrc (S3 family)",
+                "mm-holblock (S4 family)",
+            ]
+        );
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
         let ebits = ebits_for(model, &props.eventually, &init, 0);
         let fp = fingerprint_with_ebits(&init, ebits);
         if visited.insert(fp, ()).is_none() {
+            if stats.unique_states >= checker.max_states {
+                complete = false;
+                break;
+            }
+            stats.unique_states += 1;
             arena.push(Node {
                 state: init,
                 ebits,
@@ -91,9 +96,9 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
             queue.push_back(arena.len() - 1);
         }
     }
+    stats.peak_frontier = queue.len();
 
     'search: while let Some(idx) = queue.pop_front() {
-        stats.unique_states += 1;
         stats.max_depth = stats.max_depth.max(arena[idx].depth);
 
         // Safety properties at every node.
@@ -104,11 +109,6 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
                 complete = false;
                 break 'search;
             }
-        }
-
-        if stats.unique_states >= checker.max_states {
-            complete = false;
-            break;
         }
 
         let within = model.within_boundary(&arena[idx].state) && arena[idx].depth < checker.max_depth;
@@ -150,6 +150,13 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
             let ebits = ebits_for(model, &props.eventually, &next, parent_ebits);
             let fp = fingerprint_with_ebits(&next, ebits);
             if visited.insert(fp, ()).is_none() {
+                if stats.unique_states >= checker.max_states {
+                    // The unique-node budget bounds *discovered* nodes, the
+                    // same quantity the other engines bound.
+                    complete = false;
+                    break 'search;
+                }
+                stats.unique_states += 1;
                 arena.push(Node {
                     state: next,
                     ebits,
@@ -160,6 +167,7 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
             }
         }
         actions = acts;
+        stats.peak_frontier = stats.peak_frontier.max(queue.len());
     }
 
     stats.duration = start.elapsed();
@@ -245,7 +253,21 @@ mod tests {
         .max_states(10)
         .run();
         assert!(!result.complete);
-        assert!(result.stats.unique_states <= 10);
+        // The budget bounds discovered nodes exactly (same across engines).
+        assert_eq!(result.stats.unique_states, 10);
+    }
+
+    #[test]
+    fn peak_frontier_tracks_queue_width() {
+        let result = Checker::new(Counter {
+            max: 10,
+            forbid: None,
+            must_reach: None,
+        })
+        .run();
+        // From any mid-range value both +1 and +2 are enabled, so the queue
+        // holds at least two nodes at some point.
+        assert!(result.stats.peak_frontier >= 2);
     }
 
     #[test]

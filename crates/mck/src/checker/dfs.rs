@@ -119,6 +119,7 @@ impl<'a, M: Model> Dfs<'a, M> {
     fn inspect_top(&mut self) -> Flow {
         self.stats.unique_states += 1;
         self.stats.max_depth = self.stats.max_depth.max(self.stack.len() - 1);
+        self.stats.peak_frontier = self.stats.peak_frontier.max(self.stack.len());
 
         let state = self.stack.last().unwrap().state.clone();
         let safety_hits: Vec<(&'static str, crate::Expectation)> = self
@@ -132,11 +133,6 @@ impl<'a, M: Model> Dfs<'a, M> {
             if let Flow::StopAll = self.record(name, exp, false, witness) {
                 return Flow::StopAll;
             }
-        }
-
-        if self.stats.unique_states >= self.checker.max_states {
-            self.complete = false;
-            return Flow::StopAll;
         }
 
         let within = self.checker.model.within_boundary(&state)
@@ -172,6 +168,12 @@ impl<'a, M: Model> Dfs<'a, M> {
             let fp = fingerprint_with_ebits(&init, ebits);
             if self.visited.contains_key(&fp) {
                 continue;
+            }
+            if self.stats.unique_states >= self.checker.max_states {
+                // The unique-node budget bounds *discovered* nodes, the same
+                // quantity the other engines bound.
+                self.complete = false;
+                break;
             }
             self.visited.insert(fp, true);
             self.path = Some(Path::new(init.clone()));
@@ -220,6 +222,11 @@ impl<'a, M: Model> Dfs<'a, M> {
                     }
                     Some(false) => {} // fully explored elsewhere
                     None => {
+                        if self.stats.unique_states >= self.checker.max_states {
+                            self.complete = false;
+                            self.stack.clear();
+                            break 'tree;
+                        }
                         self.visited.insert(fp, true);
                         self.path.as_mut().unwrap().push(action, next.clone());
                         self.stack.push(Frame {
@@ -337,6 +344,19 @@ mod tests {
         .run();
         assert_eq!(result.violations.len(), 1);
         assert!(!result.complete);
+    }
+
+    #[test]
+    fn max_states_bounds_discovered_nodes_exactly() {
+        let result = dfs(Counter {
+            max: 200,
+            forbid: None,
+            must_reach: None,
+        })
+        .max_states(10)
+        .run();
+        assert!(!result.complete);
+        assert_eq!(result.stats.unique_states, 10);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   reading of a request delayed forever — this is how the paper's S3
 //!   "stuck in 3G" and S4 "HOL blocking" manifest.
 //! * [`SearchStrategy::ParallelBfs`] — multi-worker breadth-first for large
-//!   state spaces; safety properties only (liveness needs path context that
-//!   is expensive to share across workers).
+//!   state spaces, built on a lock-free CAS-insert fingerprint table and
+//!   per-worker node arenas. It checks the same property classes as `Bfs`,
+//!   including `Eventually` via the product construction; like `Bfs` it does
+//!   not detect lassos (use `Dfs` for those).
 //!
 //! All strategies use the *product construction* for `Eventually`: a node is
 //! a `(state, ebits)` pair where `ebits` records which eventually-properties
@@ -37,8 +39,9 @@ pub enum SearchStrategy {
     Bfs,
     /// Depth-first search (detects liveness lassos).
     Dfs,
-    /// Layer-synchronous parallel BFS with the given worker count
-    /// (0 = number of available CPUs). Safety properties only.
+    /// Lock-free layer-synchronous parallel BFS with the given worker count
+    /// (0 = number of available CPUs). Checks safety and `Eventually`
+    /// properties with the same semantics as [`SearchStrategy::Bfs`].
     ParallelBfs {
         /// Worker thread count; 0 picks `available_parallelism`.
         workers: usize,

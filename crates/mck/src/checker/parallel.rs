@@ -1,45 +1,191 @@
-//! Layer-synchronous parallel breadth-first exploration.
+//! Lock-free layer-synchronous parallel breadth-first exploration.
 //!
-//! Each BFS layer is split across scoped worker threads. The visited set is
-//! sharded 64 ways behind `parking_lot::Mutex`es so
-//! workers rarely contend. Only safety properties are checked — liveness
-//! needs per-path context that is not worth sharing across workers; use
-//! [`SearchStrategy::Dfs`](crate::SearchStrategy::Dfs) for `Eventually`
-//! properties (the screening models in `cnetverifier` do exactly that).
+//! The engine is built around three shared-nothing/lock-free pieces:
 //!
-//! Counterexample paths are rebuilt from a shared parent arena. Exploration
-//! order inside a layer is nondeterministic, but the *set* of reachable
-//! states — and therefore whether each property holds — is not.
+//! * **Visited set** — a fixed-slot open-addressed table of `AtomicU64`
+//!   fingerprints ([`FpTable`]): insertion is a linear probe ending in a
+//!   single CAS, the Spin/TLC hash-compaction structure. `fp == 0` marks an
+//!   empty slot, so a real zero fingerprint is remapped to a substitute
+//!   constant. The table starts small and doubles at layer barriers (when no
+//!   worker is running), sized for the worst case the coming layer can
+//!   insert (frontier width × widest fanout seen), up to the capacity
+//!   implied by [`Checker::max_states`]; if a probe ever exhausts its bound
+//!   the node is dropped and the run is reported incomplete, never wrong.
+//! * **Arenas** — each worker appends discovered nodes to its own arena and
+//!   names them with a packed `(worker, index)` reference, so there is no
+//!   global arena lock. Frontier items carry their state inline, which means
+//!   a worker never reads another worker's arena; arenas are touched again
+//!   only after the workers have joined, to rebuild counterexample paths.
+//! * **Scheduling** — workers claim grain-sized slices of the current layer
+//!   from an atomic cursor, so one expensive slice no longer idles the rest
+//!   of the pool at the layer barrier.
+//!
+//! `Eventually` properties are supported with the same product construction
+//! as the sequential engines: a node is a `(state, ebits)` pair and a
+//! maximal path (terminal or boundary end) with unsatisfied bits violates
+//! the corresponding properties. Like sequential BFS — and unlike DFS — the
+//! parallel engine does not detect lassos; use
+//! [`SearchStrategy::Dfs`](crate::SearchStrategy::Dfs) when a liveness
+//! violation may hide in a cycle.
+//!
+//! Exploration order inside a layer is nondeterministic, but the *set* of
+//! reachable nodes — and therefore every count and verdict — is not.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
-use crate::checker::{split_properties, CheckResult, Checker, Violation};
+use crate::checker::{ebits_for, split_properties, CheckResult, Checker, PropertySets, Violation};
 use crate::fingerprint::fingerprint_with_ebits;
 use crate::model::Model;
 use crate::path::Path;
 use crate::stats::CheckStats;
 
-const SHARDS: usize = 64;
+/// Longest linear probe before an insert gives up and the run is marked
+/// incomplete. Growth at layer barriers keeps the load factor low enough
+/// that hitting this bound is effectively impossible.
+const MAX_PROBE: usize = 128;
+
+/// Stand-in for a genuine zero fingerprint (slot value 0 means "empty").
+const ZERO_FP_SUBSTITUTE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Node references pack the owning worker into the top bits.
+const WORKER_SHIFT: u32 = 56;
+
+fn nonzero_fp(fp: u64) -> u64 {
+    if fp == 0 {
+        ZERO_FP_SUBSTITUTE
+    } else {
+        fp
+    }
+}
+
+fn pack(worker: usize, index: usize) -> u64 {
+    debug_assert!(worker < (1 << (64 - WORKER_SHIFT)) as usize);
+    debug_assert!((index as u64) < (1u64 << WORKER_SHIFT));
+    ((worker as u64) << WORKER_SHIFT) | index as u64
+}
+
+fn unpack(node: u64) -> (usize, usize) {
+    (
+        (node >> WORKER_SHIFT) as usize,
+        (node & ((1u64 << WORKER_SHIFT) - 1)) as usize,
+    )
+}
+
+enum Insert {
+    /// The fingerprint was not present and is now recorded.
+    New,
+    /// The fingerprint was already present.
+    Known,
+    /// The probe bound was exhausted; the caller must mark the run
+    /// incomplete.
+    Full,
+}
+
+/// Open-addressed CAS-insert fingerprint set (power-of-two slot count).
+struct FpTable {
+    slots: Vec<AtomicU64>,
+    mask: u64,
+}
+
+impl FpTable {
+    fn with_slots(slots: u64) -> Self {
+        let slots = slots.next_power_of_two().max(1024);
+        FpTable {
+            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            mask: slots - 1,
+        }
+    }
+
+    fn slot_count(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Lock-free insert: probe linearly from the fingerprint's home slot,
+    /// claiming the first empty slot with a CAS.
+    fn insert(&self, fp: u64) -> Insert {
+        let mut i = (fp & self.mask) as usize;
+        for _ in 0..MAX_PROBE {
+            let cur = self.slots[i].load(Ordering::Relaxed);
+            if cur == fp {
+                return Insert::Known;
+            }
+            if cur == 0 {
+                match self.slots[i].compare_exchange(0, fp, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => return Insert::New,
+                    Err(actual) if actual == fp => return Insert::Known,
+                    Err(_) => {} // lost the slot to another fingerprint; keep probing
+                }
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+        Insert::Full
+    }
+
+    /// Double the table. Only called at layer barriers, when no worker holds
+    /// a reference, hence `&mut self` and plain relaxed stores.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let new_slots: Vec<AtomicU64> = (0..new_len).map(|_| AtomicU64::new(0)).collect();
+        let mask = new_len as u64 - 1;
+        for slot in &self.slots {
+            let fp = slot.load(Ordering::Relaxed);
+            if fp == 0 {
+                continue;
+            }
+            let mut i = (fp & mask) as usize;
+            while new_slots[i].load(Ordering::Relaxed) != 0 {
+                i = (i + 1) & mask as usize;
+            }
+            new_slots[i].store(fp, Ordering::Relaxed);
+        }
+        self.slots = new_slots;
+        self.mask = mask;
+    }
+}
 
 struct Node<M: Model> {
     state: M::State,
-    parent: Option<(usize, M::Action)>,
+    parent: Option<(u64, M::Action)>,
 }
 
-fn rebuild_path<M: Model>(arena: &[Node<M>], mut idx: usize) -> Path<M::State, M::Action> {
+/// A frontier entry. The state and ebits ride along so the expanding worker
+/// never dereferences into another worker's arena.
+struct WorkItem<M: Model> {
+    state: M::State,
+    ebits: u32,
+    node: u64,
+}
+
+/// Everything a worker produced from one layer, merged single-threaded at
+/// the barrier (no result-side locks).
+struct WorkerOut<M: Model> {
+    next: Vec<WorkItem<M>>,
+    /// `(property slot, witness node)` — safety properties first, then
+    /// `Eventually` properties, matching the order in `first_hit`.
+    candidates: Vec<(usize, u64)>,
+    transitions: u64,
+    terminal: u64,
+    boundary: u64,
+    inserted: u64,
+    /// Widest action set expanded; sizes the next layer's table growth.
+    max_fanout: u64,
+}
+
+fn rebuild_path<M: Model>(arenas: &[Vec<Node<M>>], node: u64) -> Path<M::State, M::Action> {
     let mut rev: Vec<(M::Action, M::State)> = Vec::new();
+    let (mut w, mut i) = unpack(node);
     loop {
-        let node = &arena[idx];
-        match &node.parent {
-            Some((pidx, action)) => {
-                rev.push((action.clone(), node.state.clone()));
-                idx = *pidx;
+        let n = &arenas[w][i];
+        match &n.parent {
+            Some((pnode, action)) => {
+                rev.push((action.clone(), n.state.clone()));
+                let (pw, pi) = unpack(*pnode);
+                w = pw;
+                i = pi;
             }
             None => {
-                let mut path = Path::new(node.state.clone());
+                let mut path = Path::new(n.state.clone());
                 for (a, s) in rev.into_iter().rev() {
                     path.push(a, s);
                 }
@@ -47,6 +193,144 @@ fn rebuild_path<M: Model>(arena: &[Node<M>], mut idx: usize) -> Path<M::State, M
             }
         }
     }
+}
+
+struct Shared<'a, M: Model> {
+    checker: &'a Checker<M>,
+    props: &'a PropertySets<M>,
+    all_ebits: u32,
+    table: &'a FpTable,
+    budget: &'a AtomicI64,
+    stop: &'a AtomicBool,
+    truncated: &'a AtomicBool,
+    /// Bit per property slot (capped at 64): set once a witness exists, so
+    /// later layers stop accumulating redundant candidates.
+    found_mask: &'a AtomicU64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<M: Model + Sync>(
+    shared: &Shared<'_, M>,
+    wid: usize,
+    arena: &mut Vec<Node<M>>,
+    layer: &[WorkItem<M>],
+    cursor: &AtomicUsize,
+    grain: usize,
+    depth: usize,
+) -> WorkerOut<M> {
+    let model = &shared.checker.model;
+    let mut out = WorkerOut {
+        next: Vec::new(),
+        candidates: Vec::new(),
+        transitions: 0,
+        terminal: 0,
+        boundary: 0,
+        inserted: 0,
+        max_fanout: 0,
+    };
+    let mut actions: Vec<M::Action> = Vec::new();
+
+    let record = |out: &mut WorkerOut<M>, slot: usize, node: u64| {
+        if slot < 64 {
+            if shared.found_mask.load(Ordering::Relaxed) & (1 << slot) != 0 {
+                return;
+            }
+            shared.found_mask.fetch_or(1 << slot, Ordering::Relaxed);
+        }
+        out.candidates.push((slot, node));
+        if shared.checker.fail_fast {
+            shared.stop.store(true, Ordering::Relaxed);
+        }
+    };
+
+    'steal: loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let begin = cursor.fetch_add(grain, Ordering::Relaxed);
+        if begin >= layer.len() {
+            break;
+        }
+        let end = (begin + grain).min(layer.len());
+        for item in &layer[begin..end] {
+            if shared.stop.load(Ordering::Relaxed) {
+                break 'steal;
+            }
+
+            for (pi, p) in shared.props.safety.iter().enumerate() {
+                if p.violated_at(model, &item.state) {
+                    record(&mut out, pi, item.node);
+                }
+            }
+
+            let within =
+                model.within_boundary(&item.state) && depth < shared.checker.max_depth;
+            if !within {
+                out.boundary += 1;
+            }
+
+            actions.clear();
+            if within {
+                model.actions(&item.state, &mut actions);
+                out.max_fanout = out.max_fanout.max(actions.len() as u64);
+            }
+            if actions.is_empty() {
+                if within {
+                    out.terminal += 1;
+                }
+                // A maximal (or truncated) path: every unsatisfied
+                // Eventually property is violated along it.
+                let missing = shared.all_ebits & !item.ebits;
+                if missing != 0 {
+                    for i in 0..shared.props.eventually.len() {
+                        if missing & (1 << i) != 0 {
+                            record(&mut out, shared.props.safety.len() + i, item.node);
+                        }
+                    }
+                }
+                continue;
+            }
+
+            for action in &actions {
+                out.transitions += 1;
+                let Some(next) = model.next_state(&item.state, action) else {
+                    continue;
+                };
+                let ebits = ebits_for(model, &shared.props.eventually, &next, item.ebits);
+                let fp = nonzero_fp(fingerprint_with_ebits(&next, ebits));
+                // Claim a unit of the unique-node budget before inserting;
+                // refund it when the node turns out to be known (or lost).
+                if shared.budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                    shared.budget.fetch_add(1, Ordering::Relaxed);
+                    shared.truncated.store(true, Ordering::Relaxed);
+                    continue;
+                }
+                match shared.table.insert(fp) {
+                    Insert::New => {
+                        let node = pack(wid, arena.len());
+                        arena.push(Node {
+                            state: next.clone(),
+                            parent: Some((item.node, action.clone())),
+                        });
+                        out.inserted += 1;
+                        out.next.push(WorkItem {
+                            state: next,
+                            ebits,
+                            node,
+                        });
+                    }
+                    Insert::Known => {
+                        shared.budget.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Insert::Full => {
+                        shared.budget.fetch_add(1, Ordering::Relaxed);
+                        shared.truncated.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 pub(crate) fn run<M: Model + Sync>(checker: &Checker<M>, workers: usize) -> CheckResult<M>
@@ -60,161 +344,175 @@ where
             .unwrap_or(4)
     } else {
         workers
-    };
+    }
+    .min(1 << (64 - WORKER_SHIFT)); // worker id must fit the packed ref
 
     let model = &checker.model;
     let props = split_properties(model);
-    assert!(
-        props.eventually.is_empty(),
-        "ParallelBfs checks safety properties only; use Dfs for Eventually properties"
-    );
-
-    let start = Instant::now();
-    let visited: Vec<Mutex<std::collections::HashSet<u64>>> =
-        (0..SHARDS).map(|_| Mutex::new(Default::default())).collect();
-    let arena: Mutex<Vec<Node<M>>> = Mutex::new(Vec::new());
-    // (property index, arena index) of the first violation found per property.
-    let found: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
-    let stop = AtomicBool::new(false);
-    let transitions = AtomicU64::new(0);
-    let terminal = AtomicU64::new(0);
-    let boundary = AtomicU64::new(0);
-    let truncated = AtomicBool::new(false);
-    let state_budget = AtomicI64::new(i64::try_from(checker.max_states).unwrap_or(i64::MAX));
-
-    let mark_visited = |fp: u64| -> bool {
-        let shard = (fp as usize) % SHARDS;
-        visited[shard].lock().insert(fp)
+    let all_ebits: u32 = if props.eventually.is_empty() {
+        0
+    } else {
+        (1u32 << props.eventually.len()) - 1
     };
 
-    let mut frontier: Vec<usize> = Vec::new();
-    {
-        let mut arena_guard = arena.lock();
-        for init in model.init_states() {
-            let fp = fingerprint_with_ebits(&init, 0);
-            if mark_visited(fp) {
-                arena_guard.push(Node {
-                    state: init,
+    let start = Instant::now();
+    // Slots needed to hold max_states at <= 50% load, reached by doubling at
+    // layer barriers so small models never allocate the worst case up front.
+    let cap_slots: u64 = checker
+        .max_states
+        .saturating_mul(2)
+        .max(1024)
+        .checked_next_power_of_two()
+        .unwrap_or(1 << 63);
+    let mut table = FpTable::with_slots(cap_slots.min(1 << 16));
+
+    let budget = AtomicI64::new(i64::try_from(checker.max_states).unwrap_or(i64::MAX));
+    let stop = AtomicBool::new(false);
+    let truncated = AtomicBool::new(false);
+    let found_mask = AtomicU64::new(0);
+
+    let mut arenas: Vec<Vec<Node<M>>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut frontier: Vec<WorkItem<M>> = Vec::new();
+    let mut discovered: u64 = 0;
+
+    for init in model.init_states() {
+        let ebits = ebits_for(model, &props.eventually, &init, 0);
+        let fp = nonzero_fp(fingerprint_with_ebits(&init, ebits));
+        if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+            budget.fetch_add(1, Ordering::Relaxed);
+            truncated.store(true, Ordering::Relaxed);
+            continue;
+        }
+        match table.insert(fp) {
+            Insert::New => {
+                let node = pack(0, arenas[0].len());
+                arenas[0].push(Node {
+                    state: init.clone(),
                     parent: None,
                 });
-                frontier.push(arena_guard.len() - 1);
+                discovered += 1;
+                frontier.push(WorkItem {
+                    state: init,
+                    ebits,
+                    node,
+                });
+            }
+            Insert::Known => {
+                budget.fetch_add(1, Ordering::Relaxed);
+            }
+            Insert::Full => {
+                budget.fetch_add(1, Ordering::Relaxed);
+                truncated.store(true, Ordering::Relaxed);
             }
         }
     }
+
+    let n_props = props.safety.len() + props.eventually.len();
+    let mut first_hit: Vec<Option<u64>> = vec![None; n_props];
+    let mut transitions = 0u64;
+    let mut terminal = 0u64;
+    let mut boundary = 0u64;
+    let mut peak_frontier = frontier.len();
+    let mut max_depth_seen = 0usize;
+    // Widest action set expanded so far. The pre-layer growth sizes the
+    // table for everything the coming layer *could* insert (frontier ×
+    // fanout), since a single wide layer can discover several times the
+    // running total and mid-layer growth is impossible (workers hold shared
+    // references to the table).
+    let mut max_fanout: u64 = 1;
 
     let mut depth = 0usize;
     while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
-        if depth >= checker.max_depth {
-            boundary.fetch_add(frontier.len() as u64, Ordering::Relaxed);
-            truncated.store(true, Ordering::Relaxed);
-            break;
+        max_depth_seen = depth;
+        peak_frontier = peak_frontier.max(frontier.len());
+        let upcoming = (frontier.len() as u64).saturating_mul(max_fanout);
+        let needed = discovered.saturating_add(upcoming);
+        while needed.saturating_mul(2) >= table.slot_count() && table.slot_count() < cap_slots
+        {
+            table.grow();
         }
+
         let layer = std::mem::take(&mut frontier);
-        let chunk = layer.len().div_ceil(workers).max(1);
-        let next: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let cursor = AtomicUsize::new(0);
+        let grain = (layer.len() / (workers * 4)).clamp(1, 1024);
+        let shared = Shared {
+            checker,
+            props: &props,
+            all_ebits,
+            table: &table,
+            budget: &budget,
+            stop: &stop,
+            truncated: &truncated,
+            found_mask: &found_mask,
+        };
 
-        // Shared-by-reference captures for the worker closures.
-        let next_ref = &next;
-        let arena_ref = &arena;
-        let found_ref = &found;
-        let stop_ref = &stop;
-        let transitions_ref = &transitions;
-        let terminal_ref = &terminal;
-        let boundary_ref = &boundary;
-        let truncated_ref = &truncated;
-        let budget_ref = &state_budget;
-        let visited_ref = &visited;
-        let props_ref = &props;
-
-        std::thread::scope(|scope| {
-            for slice in layer.chunks(chunk) {
-                scope.spawn(move || {
-                    let mut actions: Vec<M::Action> = Vec::new();
-                    let mut local_next: Vec<usize> = Vec::new();
-                    for &idx in slice {
-                        if stop_ref.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        if budget_ref.fetch_sub(1, Ordering::Relaxed) <= 0 {
-                            // Budget exhausted: stop expanding. The counter
-                            // may go slightly negative under contention,
-                            // which is harmless.
-                            truncated_ref.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                        let state = { arena_ref.lock()[idx].state.clone() };
-
-                        for (pi, p) in props_ref.safety.iter().enumerate() {
-                            if p.violated_at(model, &state) {
-                                let mut f = found_ref.lock();
-                                if !f.iter().any(|(fpi, _)| *fpi == pi) {
-                                    f.push((pi, idx));
-                                    // Like the sequential engines, keep
-                                    // exploring unless fail-fast was asked:
-                                    // `complete` then reflects exhaustion.
-                                    if checker.fail_fast {
-                                        stop_ref.store(true, Ordering::Relaxed);
-                                    }
-                                }
-                            }
-                        }
-
-                        if !model.within_boundary(&state) {
-                            boundary_ref.fetch_add(1, Ordering::Relaxed);
-                            truncated_ref.store(true, Ordering::Relaxed);
-                            continue;
-                        }
-
-                        actions.clear();
-                        model.actions(&state, &mut actions);
-                        if actions.is_empty() {
-                            terminal_ref.fetch_add(1, Ordering::Relaxed);
-                            continue;
-                        }
-                        for action in &actions {
-                            transitions_ref.fetch_add(1, Ordering::Relaxed);
-                            let Some(ns) = model.next_state(&state, action) else {
-                                continue;
-                            };
-                            let fp = fingerprint_with_ebits(&ns, 0);
-                            if visited_ref[(fp as usize) % SHARDS].lock().insert(fp) {
-                                let mut arena_guard = arena_ref.lock();
-                                arena_guard.push(Node {
-                                    state: ns,
-                                    parent: Some((idx, action.clone())),
-                                });
-                                local_next.push(arena_guard.len() - 1);
-                            }
-                        }
-                    }
-                    next_ref.lock().extend(local_next);
-                });
-            }
+        let outs: Vec<WorkerOut<M>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = arenas
+                .iter_mut()
+                .enumerate()
+                .map(|(wid, arena)| {
+                    let shared = &shared;
+                    let layer = &layer;
+                    let cursor = &cursor;
+                    scope.spawn(move || worker_loop(shared, wid, arena, layer, cursor, grain, depth))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel BFS worker panicked"))
+                .collect()
         });
 
-        frontier = next.into_inner();
+        let mut layer_candidates: Vec<(usize, u64)> = Vec::new();
+        for out in outs {
+            transitions += out.transitions;
+            terminal += out.terminal;
+            boundary += out.boundary;
+            discovered += out.inserted;
+            max_fanout = max_fanout.max(out.max_fanout);
+            layer_candidates.extend(out.candidates);
+            frontier.extend(out.next);
+        }
+        // Earliest layer wins per property; within a layer pick the smallest
+        // packed reference so the merge itself is order-independent.
+        layer_candidates.sort_unstable();
+        for (slot, node) in layer_candidates {
+            if first_hit[slot].is_none() {
+                first_hit[slot] = Some(node);
+            }
+        }
         depth += 1;
     }
 
-    let arena = arena.into_inner();
-    let found = found.into_inner();
-    let unique_states = arena.len() as u64;
-    let violations: Vec<Violation<M>> = found
-        .into_iter()
-        .map(|(pi, idx)| Violation {
-            property: props.safety[pi].name,
-            expectation: props.safety[pi].expectation,
-            path: rebuild_path(&arena, idx),
-            lasso: false,
-        })
-        .collect();
+    let mut violations: Vec<Violation<M>> = Vec::new();
+    for (pi, p) in props.safety.iter().enumerate() {
+        if let Some(node) = first_hit[pi] {
+            violations.push(Violation {
+                property: p.name,
+                expectation: p.expectation,
+                path: rebuild_path(&arenas, node),
+                lasso: false,
+            });
+        }
+    }
+    for (i, p) in props.eventually.iter().enumerate() {
+        if let Some(node) = first_hit[props.safety.len() + i] {
+            violations.push(Violation {
+                property: p.name,
+                expectation: p.expectation,
+                path: rebuild_path(&arenas, node),
+                lasso: false,
+            });
+        }
+    }
 
     let stats = CheckStats {
-        unique_states,
-        transitions: transitions.load(Ordering::Relaxed),
-        max_depth: depth,
-        boundary_hits: boundary.load(Ordering::Relaxed),
-        terminal_states: terminal.load(Ordering::Relaxed),
+        unique_states: discovered,
+        transitions,
+        max_depth: max_depth_seen,
+        boundary_hits: boundary,
+        terminal_states: terminal,
+        peak_frontier,
         duration: start.elapsed(),
     };
     let complete = !truncated.load(Ordering::Relaxed) && !stop.load(Ordering::Relaxed);
@@ -297,16 +595,107 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "safety properties only")]
-    fn rejects_eventually_properties() {
-        par(
+    fn eventually_violation_matches_bfs() {
+        // The all-+2 path 0,2,..,10 never passes 9, so "reached" is violated
+        // on a terminal path — exactly what sequential BFS reports.
+        let result = par(
             Counter {
-                max: 5,
+                max: 10,
                 forbid: None,
-                must_reach: Some(3),
+                must_reach: Some(9),
             },
-            2,
+            4,
         )
         .run();
+        let v = result.violation("reached").expect("must violate");
+        assert!(!v.lasso);
+        assert!(!v.path.any_state(|s| *s == 9));
+    }
+
+    #[test]
+    fn eventually_holds_when_all_paths_pass() {
+        // Every maximal path from 0 with steps {1,2} and max 2 ends in 2.
+        let result = par(
+            Counter {
+                max: 2,
+                forbid: None,
+                must_reach: Some(2),
+            },
+            4,
+        )
+        .run();
+        assert!(result.holds(), "violations: {:?}", result.violations);
+    }
+
+    #[test]
+    fn max_states_bounds_discovered_nodes_exactly() {
+        let result = par(
+            Counter {
+                max: 200,
+                forbid: None,
+                must_reach: None,
+            },
+            4,
+        )
+        .max_states(10)
+        .run();
+        assert!(!result.complete);
+        assert_eq!(result.stats.unique_states, 10);
+    }
+
+    /// Octal tree: every value `1..=cap` has the unique parent `(v-1)/8`,
+    /// so the state count is exactly `cap + 1`.
+    struct WideTree {
+        cap: u32,
+    }
+
+    impl crate::Model for WideTree {
+        type State = u32;
+        type Action = u32;
+
+        fn init_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u32, out: &mut Vec<u32>) {
+            for a in 1..=8u32 {
+                if state.saturating_mul(8).saturating_add(a) <= self.cap {
+                    out.push(a);
+                }
+            }
+        }
+
+        fn next_state(&self, state: &u32, action: &u32) -> Option<u32> {
+            Some(state * 8 + action)
+        }
+
+        fn properties(&self) -> Vec<crate::Property<Self>> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn table_growth_keeps_counts_exact() {
+        // 80k+ nodes forces the initially small fingerprint table to double
+        // at a layer barrier; counts must stay exact across the rehash.
+        let result = Checker::new(WideTree { cap: 80_000 })
+            .strategy(SearchStrategy::ParallelBfs { workers: 8 })
+            .run();
+        assert!(result.complete);
+        assert_eq!(result.stats.unique_states, 80_001);
+    }
+
+    #[test]
+    fn peak_frontier_is_reported() {
+        let p = par(
+            Counter {
+                max: 60,
+                forbid: None,
+                must_reach: None,
+            },
+            4,
+        )
+        .run();
+        assert!(p.stats.peak_frontier >= 2);
     }
 }

@@ -17,6 +17,12 @@
 //!   duplicated EMM signals over RRC) appear as explorable transitions.
 //! * **Random-walk simulation** ([`simulate`]) mirroring the paper's random
 //!   sampling of unbounded usage scenarios (§3.2.1).
+//! * **Three interchangeable engines** ([`SearchStrategy`]): sequential BFS
+//!   (shortest counterexamples), DFS (lasso detection for cyclic liveness
+//!   violations), and a lock-free parallel BFS built on a CAS-insert
+//!   fingerprint table with per-worker node arenas. All three check the
+//!   same property classes with the same semantics and agree on state
+//!   counts, verdicts, and the `max_states`/`max_depth` bounds.
 //!
 //! # Quick example
 //!
@@ -53,6 +59,9 @@
 //!
 //! The checker is deterministic: given the same model it always explores the
 //! same state space and reports the same (shortest, under BFS) counterexample.
+//! Parallel BFS interleaves work nondeterministically *within* a layer, but
+//! the set of reachable nodes — and with it every count and verdict — is
+//! identical run over run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

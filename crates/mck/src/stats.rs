@@ -16,6 +16,9 @@ pub struct CheckStats {
     pub boundary_hits: u64,
     /// Terminal nodes (no enabled action).
     pub terminal_states: u64,
+    /// Largest exploration frontier observed: the widest BFS layer (queue)
+    /// or the deepest DFS stack. A proxy for the engine's working-set size.
+    pub peak_frontier: usize,
     /// Wall-clock time of the run.
     pub duration: Duration,
 }
@@ -36,12 +39,13 @@ impl std::fmt::Display for CheckStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} states, {} transitions, depth {}, {} terminal, {} boundary, {:.1?}",
+            "{} states, {} transitions, depth {}, {} terminal, {} boundary, peak frontier {}, {:.1?}",
             self.unique_states,
             self.transitions,
             self.max_depth,
             self.terminal_states,
             self.boundary_hits,
+            self.peak_frontier,
             self.duration
         )
     }
@@ -65,6 +69,15 @@ mod tests {
             ..Default::default()
         };
         assert!((s.states_per_sec() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_peak_frontier() {
+        let s = CheckStats {
+            peak_frontier: 42,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("peak frontier 42"));
     }
 
     #[test]

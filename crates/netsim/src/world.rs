@@ -1438,7 +1438,10 @@ mod tests {
         assert_eq!(w.stack.serving, RatSystem::Lte4g);
         // Second call in 3G: put the phone in 3G first via CSFB again; this
         // time trigger an explicit LAU right before dialing.
-        let mut w2 = attach_world(op_i(), 10);
+        // Seed chosen so the sampled LAU accept outruns the release-with-
+        // redirect return to 4G; otherwise the update is disrupted (the S6
+        // shape) and no duration is measured.
+        let mut w2 = attach_world(op_i(), 12);
         w2.cfg.auto_hangup_after_ms = Some(10_000);
         w2.schedule_in(1_000, Ev::Dial);
         let t = w2.now.plus_secs(8);

@@ -122,7 +122,7 @@ pub fn schedule(scheme: SharingScheme, devices: &[DeviceLoad], channels: usize) 
                 (voice_capacity_flows.min(n_voice)) as f64 / n_voice as f64
             };
             let data_channels = if n_voice > 0 {
-                (channels - 1).max(0)
+                channels.saturating_sub(1)
             } else {
                 channels
             };
