@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use crate::causes::{AttachRejectCause, EmmCause, MmCause};
 use crate::context::{EpsBearerContext, IpAddr, PdpContext, QosProfile};
 use crate::msg::{NasMessage, UpdateKind};
+use crate::timers::NasTimer;
 use crate::types::{RatSystem, Registration};
 
 /// Device-side EMM states (TS 24.301 §5.1.3, reduced to the procedures the
@@ -61,6 +62,9 @@ pub enum EmmDeviceInput {
     },
     /// The attach-retry timer fired.
     RetryTimer,
+    /// A named NAS retransmission timer expired ([`crate::timers`]). Only
+    /// meaningful when [`EmmDevice::nas_retransmission`] is enabled.
+    TimerExpiry(NasTimer),
 }
 
 /// Outputs of the device-side EMM machine.
@@ -76,6 +80,10 @@ pub enum EmmDeviceOutput {
     BearerDeleted,
     /// Arm the attach retry timer.
     ArmRetryTimer,
+    /// Arm a named NAS retransmission timer (emitted instead of
+    /// [`EmmDeviceOutput::ArmRetryTimer`] when
+    /// [`EmmDevice::nas_retransmission`] is on).
+    ArmTimer(NasTimer),
     /// All retries exhausted; the device will try the other system.
     FallbackTo(RatSystem),
 }
@@ -100,6 +108,16 @@ pub struct EmmDevice {
     /// after a switch, immediately (re)activate an EPS bearer while still
     /// registered.
     pub remedy_reactivate_bearer: bool,
+    /// TAU retransmissions since the last TAU outcome (T3430 expiries).
+    pub tau_attempts: u8,
+    /// Bound on TAU retransmissions before the procedure is abandoned.
+    pub max_tau_attempts: u8,
+    /// Model the TS 24.301 NAS retransmission timers (T3410/T3411/T3402 for
+    /// attach, T3430 for TAU): requests are retransmitted on
+    /// [`EmmDeviceInput::TimerExpiry`], bounded by the attempt counters.
+    /// Off by default — the bare machine then matches the standards text the
+    /// paper analyses, where a lost NAS message is simply lost.
+    pub nas_retransmission: bool,
 }
 
 impl EmmDevice {
@@ -112,6 +130,9 @@ impl EmmDevice {
             max_attach_attempts: 5,
             quirk_tau_before_detach: false,
             remedy_reactivate_bearer: false,
+            tau_attempts: 0,
+            max_tau_attempts: crate::timers::MAX_NAS_RETRIES,
+            nas_retransmission: false,
         }
     }
 
@@ -127,6 +148,12 @@ impl EmmDevice {
         self
     }
 
+    /// Enable the 3GPP NAS retransmission timers.
+    pub fn with_retransmission(mut self) -> Self {
+        self.nas_retransmission = true;
+        self
+    }
+
     /// Is the device out of service in 4G?
     pub fn out_of_service(&self) -> bool {
         matches!(
@@ -136,6 +163,7 @@ impl EmmDevice {
     }
 
     fn detach_locally(&mut self, out: &mut Vec<EmmDeviceOutput>) {
+        self.tau_attempts = 0;
         if self.bearer.take().is_some() {
             out.push(EmmDeviceOutput::BearerDeleted);
         }
@@ -151,7 +179,19 @@ impl EmmDevice {
         out.push(EmmDeviceOutput::Send(NasMessage::AttachRequest {
             system: RatSystem::Lte4g,
         }));
-        out.push(EmmDeviceOutput::ArmRetryTimer);
+        if self.nas_retransmission {
+            out.push(EmmDeviceOutput::ArmTimer(NasTimer::T3410));
+        } else {
+            out.push(EmmDeviceOutput::ArmRetryTimer);
+        }
+    }
+
+    /// Arm T3430 for a freshly sent TAU request (retransmission mode only).
+    fn arm_tau(&mut self, out: &mut Vec<EmmDeviceOutput>) {
+        if self.nas_retransmission {
+            self.tau_attempts = 1;
+            out.push(EmmDeviceOutput::ArmTimer(NasTimer::T3430));
+        }
     }
 
     /// Feed an input; outputs are appended to `out`.
@@ -185,6 +225,7 @@ impl EmmDevice {
                     out.push(EmmDeviceOutput::Send(NasMessage::UpdateRequest(
                         UpdateKind::TrackingArea,
                     )));
+                    self.arm_tau(out);
                 }
             }
             EmmDeviceInput::DetachTrigger => {
@@ -209,6 +250,7 @@ impl EmmDevice {
                     out.push(EmmDeviceOutput::Send(NasMessage::UpdateRequest(
                         UpdateKind::TrackingArea,
                     )));
+                    self.arm_tau(out);
                 }
                 None if self.state == EmmDeviceState::Deregistered => {
                     // First entry into 4G (the device was never registered
@@ -235,13 +277,80 @@ impl EmmDevice {
                         out.push(EmmDeviceOutput::Send(NasMessage::UpdateRequest(
                             UpdateKind::TrackingArea,
                         )));
+                        self.arm_tau(out);
                     } else {
                         // Standards: detach immediately.
                         self.detach_locally(out);
                     }
                 }
             },
+            EmmDeviceInput::TimerExpiry(timer) => self.on_timer(timer, out),
             EmmDeviceInput::Network(msg) => self.on_network(msg, out),
+        }
+    }
+
+    /// Expiry of a named NAS timer (TS 24.301 §5.5.1.2.6 / §5.5.3.2.6
+    /// "abnormal cases"). Ignored unless retransmission is modeled — the
+    /// legacy [`EmmDeviceInput::RetryTimer`] path is untouched either way.
+    fn on_timer(&mut self, timer: NasTimer, out: &mut Vec<EmmDeviceOutput>) {
+        if !self.nas_retransmission {
+            return;
+        }
+        match timer {
+            NasTimer::T3410 => {
+                // Attach supervision: retransmit while the attempt counter
+                // allows, then arm the long back-off and fall back.
+                if self.state == EmmDeviceState::RegisteredInitiated {
+                    if self.attach_attempts >= self.max_attach_attempts {
+                        self.state = EmmDeviceState::Deregistered;
+                        out.push(EmmDeviceOutput::ArmTimer(NasTimer::T3402));
+                        out.push(EmmDeviceOutput::FallbackTo(RatSystem::Utran3g));
+                    } else {
+                        self.start_attach(out);
+                    }
+                }
+            }
+            NasTimer::T3411 => {
+                // Short retry wait after an abandoned attempt: re-run the
+                // attach if the counter still allows.
+                if self.state == EmmDeviceState::Deregistered
+                    && self.attach_attempts > 0
+                    && self.attach_attempts < self.max_attach_attempts
+                {
+                    self.start_attach(out);
+                }
+            }
+            NasTimer::T3402 => {
+                // Long back-off: the attempt counter resets and the device
+                // tries again from scratch.
+                if self.state == EmmDeviceState::Deregistered {
+                    self.attach_attempts = 0;
+                    self.start_attach(out);
+                }
+            }
+            NasTimer::T3430 => {
+                // TAU supervision: bounded retransmission, then abandon the
+                // procedure — locally detach and re-attach (§5.5.3.2.6 e).
+                if self.state == EmmDeviceState::TauInitiated {
+                    if self.tau_attempts < self.max_tau_attempts {
+                        self.tau_attempts = self.tau_attempts.saturating_add(1);
+                        out.push(EmmDeviceOutput::Send(NasMessage::UpdateRequest(
+                            UpdateKind::TrackingArea,
+                        )));
+                        out.push(EmmDeviceOutput::ArmTimer(NasTimer::T3430));
+                    } else {
+                        self.detach_locally(out);
+                        if self.attach_attempts < self.max_attach_attempts {
+                            self.start_attach(out);
+                        } else {
+                            out.push(EmmDeviceOutput::FallbackTo(RatSystem::Utran3g));
+                        }
+                    }
+                }
+            }
+            // T3417 supervises the service request / standalone bearer
+            // activation, which ESM owns; EMM ignores it.
+            NasTimer::T3417 => {}
         }
     }
 
@@ -274,6 +383,16 @@ impl EmmDevice {
             }
             (EmmDeviceState::TauInitiated, NasMessage::UpdateAccept(UpdateKind::TrackingArea)) => {
                 self.state = EmmDeviceState::Registered;
+                self.tau_attempts = 0;
+            }
+            (EmmDeviceState::Registered, NasMessage::AttachAccept)
+                if self.nas_retransmission =>
+            {
+                // A duplicate Attach Accept means the MME retransmitted it
+                // (T3450 on its side) because our Attach Complete was lost:
+                // resend the complete instead of discarding the accept —
+                // this is the standards' answer to the S2 lost-signal case.
+                out.push(EmmDeviceOutput::Send(NasMessage::AttachComplete));
             }
             (
                 EmmDeviceState::TauInitiated,
@@ -856,6 +975,86 @@ mod tests {
         );
         assert!(out.contains(&MmeOutput::Send(NasMessage::AttachAccept)));
         assert_eq!(mme.state, MmeUeState::WaitAttachComplete);
+    }
+
+    #[test]
+    fn t3410_retransmits_attach_then_backs_off_via_t3402() {
+        let mut dev = EmmDevice::new().with_retransmission();
+        let out = dev_in(&mut dev, EmmDeviceInput::AttachTrigger);
+        assert!(out.contains(&EmmDeviceOutput::ArmTimer(NasTimer::T3410)));
+        for _ in 0..4 {
+            let out = dev_in(&mut dev, EmmDeviceInput::TimerExpiry(NasTimer::T3410));
+            assert!(out.contains(&EmmDeviceOutput::Send(NasMessage::AttachRequest {
+                system: RatSystem::Lte4g
+            })));
+            assert!(out.contains(&EmmDeviceOutput::ArmTimer(NasTimer::T3410)));
+        }
+        // Fifth expiry: attempts exhausted — long back-off plus fallback.
+        let out = dev_in(&mut dev, EmmDeviceInput::TimerExpiry(NasTimer::T3410));
+        assert!(out.contains(&EmmDeviceOutput::ArmTimer(NasTimer::T3402)));
+        assert!(out.contains(&EmmDeviceOutput::FallbackTo(RatSystem::Utran3g)));
+        // T3402 expiry resets the counter and re-attaches.
+        let out = dev_in(&mut dev, EmmDeviceInput::TimerExpiry(NasTimer::T3402));
+        assert!(out.iter().any(|o| matches!(o, EmmDeviceOutput::Send(_))));
+        assert_eq!(dev.attach_attempts, 1);
+    }
+
+    #[test]
+    fn t3430_retransmits_tau_then_reattaches() {
+        let (mut dev, _) = attach_pair();
+        dev.nas_retransmission = true;
+        let out = dev_in(&mut dev, EmmDeviceInput::TauTrigger);
+        assert!(out.contains(&EmmDeviceOutput::ArmTimer(NasTimer::T3430)));
+        assert_eq!(dev.tau_attempts, 1);
+        for n in 2..=5 {
+            let out = dev_in(&mut dev, EmmDeviceInput::TimerExpiry(NasTimer::T3430));
+            assert!(out.contains(&EmmDeviceOutput::Send(NasMessage::UpdateRequest(
+                UpdateKind::TrackingArea
+            ))));
+            assert_eq!(dev.tau_attempts, n);
+        }
+        // Bound reached: the TAU is abandoned; local detach + re-attach.
+        let out = dev_in(&mut dev, EmmDeviceInput::TimerExpiry(NasTimer::T3430));
+        assert!(out.contains(&EmmDeviceOutput::RegChanged(Registration::Deregistered)));
+        assert_eq!(dev.state, EmmDeviceState::RegisteredInitiated);
+        assert_eq!(dev.tau_attempts, 0);
+    }
+
+    #[test]
+    fn duplicate_attach_accept_resends_complete_with_retransmission() {
+        let (mut dev, _) = attach_pair();
+        // Without the flag the duplicate accept is silently discarded.
+        let out = dev_in(&mut dev, EmmDeviceInput::Network(NasMessage::AttachAccept));
+        assert!(out.is_empty());
+        dev.nas_retransmission = true;
+        let out = dev_in(&mut dev, EmmDeviceInput::Network(NasMessage::AttachAccept));
+        assert_eq!(out, vec![EmmDeviceOutput::Send(NasMessage::AttachComplete)]);
+    }
+
+    #[test]
+    fn timer_expiries_are_inert_without_the_flag() {
+        let mut dev = EmmDevice::new();
+        dev_in(&mut dev, EmmDeviceInput::AttachTrigger);
+        for t in NasTimer::ALL {
+            let out = dev_in(&mut dev, EmmDeviceInput::TimerExpiry(t));
+            assert!(out.is_empty(), "{t} acted without the flag");
+        }
+        assert_eq!(dev.state, EmmDeviceState::RegisteredInitiated);
+    }
+
+    #[test]
+    fn tau_accept_resets_the_retransmission_counter() {
+        let (mut dev, _) = attach_pair();
+        dev.nas_retransmission = true;
+        dev_in(&mut dev, EmmDeviceInput::TauTrigger);
+        dev_in(&mut dev, EmmDeviceInput::TimerExpiry(NasTimer::T3430));
+        assert_eq!(dev.tau_attempts, 2);
+        dev_in(
+            &mut dev,
+            EmmDeviceInput::Network(NasMessage::UpdateAccept(UpdateKind::TrackingArea)),
+        );
+        assert_eq!(dev.tau_attempts, 0);
+        assert_eq!(dev.state, EmmDeviceState::Registered);
     }
 
     #[test]

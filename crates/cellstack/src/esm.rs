@@ -35,6 +35,9 @@ pub enum EsmDeviceInput {
     BearerRemoved,
     /// A NAS message arrived from the MME.
     Network(NasMessage),
+    /// The T3417 activation-supervision timer fired. Only meaningful when
+    /// [`EsmDevice::nas_retransmission`] is enabled.
+    RetryTimer,
 }
 
 /// Outputs of the device-side ESM machine.
@@ -47,6 +50,8 @@ pub enum EsmDeviceOutput {
     /// The bearer is gone (PS service unavailable in 4G ⇒ out of service,
     /// since 4G is PS-only).
     BearerInactive,
+    /// Arm the T3417 activation-supervision timer (retransmission mode).
+    ArmRetryTimer,
 }
 
 /// Device-side ESM machine.
@@ -56,6 +61,13 @@ pub struct EsmDevice {
     pub state: EsmDeviceState,
     /// The bearer context.
     pub bearer: Option<EpsBearerContext>,
+    /// Activation requests sent since the last outcome (T3417 expiries).
+    pub activate_attempts: u8,
+    /// Bound on activation retransmissions before the procedure aborts.
+    pub max_activate_attempts: u8,
+    /// Model T3417 retransmission of the standalone activation request.
+    /// Off by default, matching the bare standards behaviour.
+    pub nas_retransmission: bool,
 }
 
 impl EsmDevice {
@@ -64,7 +76,16 @@ impl EsmDevice {
         Self {
             state: EsmDeviceState::Inactive,
             bearer: None,
+            activate_attempts: 0,
+            max_activate_attempts: crate::timers::MAX_NAS_RETRIES,
+            nas_retransmission: false,
         }
+    }
+
+    /// Enable T3417 retransmission of the activation request.
+    pub fn with_retransmission(mut self) -> Self {
+        self.nas_retransmission = true;
+        self
     }
 
     /// Is PS service available?
@@ -81,14 +102,37 @@ impl EsmDevice {
                     out.push(EsmDeviceOutput::Send(NasMessage::SessionActivateRequest {
                         system: RatSystem::Lte4g,
                     }));
+                    if self.nas_retransmission {
+                        self.activate_attempts = 1;
+                        out.push(EsmDeviceOutput::ArmRetryTimer);
+                    }
+                }
+            }
+            EsmDeviceInput::RetryTimer => {
+                // T3417 expiry: bounded retransmission of the activation
+                // request, then abort back to Inactive.
+                if self.nas_retransmission && self.state == EsmDeviceState::ActivatePending {
+                    if self.activate_attempts < self.max_activate_attempts {
+                        self.activate_attempts = self.activate_attempts.saturating_add(1);
+                        out.push(EsmDeviceOutput::Send(NasMessage::SessionActivateRequest {
+                            system: RatSystem::Lte4g,
+                        }));
+                        out.push(EsmDeviceOutput::ArmRetryTimer);
+                    } else {
+                        self.activate_attempts = 0;
+                        self.state = EsmDeviceState::Inactive;
+                        out.push(EsmDeviceOutput::BearerInactive);
+                    }
                 }
             }
             EsmDeviceInput::BearerInstalled(bearer) => {
                 self.state = EsmDeviceState::Active;
                 self.bearer = Some(bearer);
+                self.activate_attempts = 0;
                 out.push(EsmDeviceOutput::BearerActive(bearer));
             }
             EsmDeviceInput::BearerRemoved => {
+                self.activate_attempts = 0;
                 if self.state != EsmDeviceState::Inactive {
                     self.state = EsmDeviceState::Inactive;
                     self.bearer = None;
@@ -101,10 +145,12 @@ impl EsmDevice {
                         EpsBearerContext::active(5, IpAddr(0x0a00_0001), QosProfile::best_effort());
                     self.state = EsmDeviceState::Active;
                     self.bearer = Some(bearer);
+                    self.activate_attempts = 0;
                     out.push(EsmDeviceOutput::BearerActive(bearer));
                 }
                 (EsmDeviceState::ActivatePending, NasMessage::SessionActivateReject) => {
                     self.state = EsmDeviceState::Inactive;
+                    self.activate_attempts = 0;
                     out.push(EsmDeviceOutput::BearerInactive);
                 }
                 (
@@ -249,6 +295,34 @@ mod tests {
             &mut out,
         );
         assert_eq!(out, vec![NasMessage::SessionActivateAccept]);
+    }
+
+    #[test]
+    fn t3417_retransmits_activation_then_aborts() {
+        let mut m = EsmDevice::new().with_retransmission();
+        let out = run(&mut m, EsmDeviceInput::ActivateRequest);
+        assert!(out.contains(&EsmDeviceOutput::ArmRetryTimer));
+        for _ in 0..4 {
+            let out = run(&mut m, EsmDeviceInput::RetryTimer);
+            assert!(out.contains(&EsmDeviceOutput::Send(
+                NasMessage::SessionActivateRequest {
+                    system: RatSystem::Lte4g
+                }
+            )));
+        }
+        let out = run(&mut m, EsmDeviceInput::RetryTimer);
+        assert_eq!(out, vec![EsmDeviceOutput::BearerInactive]);
+        assert_eq!(m.state, EsmDeviceState::Inactive);
+        // Inert once the procedure is over.
+        assert!(run(&mut m, EsmDeviceInput::RetryTimer).is_empty());
+    }
+
+    #[test]
+    fn retry_timer_inert_without_the_flag() {
+        let mut m = EsmDevice::new();
+        run(&mut m, EsmDeviceInput::ActivateRequest);
+        assert!(run(&mut m, EsmDeviceInput::RetryTimer).is_empty());
+        assert_eq!(m.state, EsmDeviceState::ActivatePending);
     }
 
     #[test]

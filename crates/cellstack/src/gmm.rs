@@ -36,6 +36,9 @@ pub enum GmmDeviceInput {
     SmServiceRequest,
     /// A NAS message arrived from the 3G gateways.
     Network(NasMessage),
+    /// The GPRS retransmission timer fired (T3310/T3330-class supervision,
+    /// driven by the environment's clock).
+    RetryTimer,
 }
 
 /// Outputs of the device-side GMM machine.
@@ -63,6 +66,10 @@ pub struct GmmDevice {
     pub queued_sm_request: bool,
     /// §8 remedy: parallel threads for updates and SM requests.
     pub parallel_remedy: bool,
+    /// Requests retransmitted since the procedure started.
+    pub retx_attempts: u8,
+    /// Bound on retransmissions before the procedure is abandoned.
+    pub max_retx_attempts: u8,
 }
 
 impl GmmDevice {
@@ -72,6 +79,8 @@ impl GmmDevice {
             state: GmmDeviceState::Deregistered,
             queued_sm_request: false,
             parallel_remedy: false,
+            retx_attempts: 0,
+            max_retx_attempts: crate::timers::MAX_NAS_RETRIES,
         }
     }
 
@@ -87,6 +96,7 @@ impl GmmDevice {
             GmmDeviceInput::AttachTrigger => {
                 if self.state == GmmDeviceState::Deregistered {
                     self.state = GmmDeviceState::AttachInitiated;
+                    self.retx_attempts = 1;
                     out.push(GmmDeviceOutput::Send(NasMessage::AttachRequest {
                         system: crate::types::RatSystem::Utran3g,
                     }));
@@ -95,11 +105,45 @@ impl GmmDevice {
             GmmDeviceInput::RoutingUpdateTrigger => {
                 if self.state == GmmDeviceState::Registered {
                     self.state = GmmDeviceState::RoutingUpdating;
+                    self.retx_attempts = 1;
                     out.push(GmmDeviceOutput::Send(NasMessage::UpdateRequest(
                         UpdateKind::RoutingArea,
                     )));
                 }
             }
+            GmmDeviceInput::RetryTimer => match self.state {
+                // Bounded retransmission of the in-flight request; on
+                // exhaustion the attach is abandoned (out of PS service)
+                // while an abandoned RAU falls back to Registered — the
+                // device keeps its old routing area, like a reject.
+                GmmDeviceState::AttachInitiated => {
+                    if self.retx_attempts < self.max_retx_attempts {
+                        self.retx_attempts = self.retx_attempts.saturating_add(1);
+                        out.push(GmmDeviceOutput::Send(NasMessage::AttachRequest {
+                            system: crate::types::RatSystem::Utran3g,
+                        }));
+                    } else {
+                        self.state = GmmDeviceState::Deregistered;
+                        self.retx_attempts = 0;
+                        out.push(GmmDeviceOutput::Registered(false));
+                    }
+                }
+                GmmDeviceState::RoutingUpdating => {
+                    if self.retx_attempts < self.max_retx_attempts {
+                        self.retx_attempts = self.retx_attempts.saturating_add(1);
+                        out.push(GmmDeviceOutput::Send(NasMessage::UpdateRequest(
+                            UpdateKind::RoutingArea,
+                        )));
+                    } else {
+                        self.state = GmmDeviceState::Registered;
+                        self.retx_attempts = 0;
+                        if std::mem::take(&mut self.queued_sm_request) {
+                            out.push(GmmDeviceOutput::SmRequestReady);
+                        }
+                    }
+                }
+                _ => {}
+            },
             GmmDeviceInput::SmServiceRequest => match self.state {
                 GmmDeviceState::Registered => out.push(GmmDeviceOutput::SmRequestReady),
                 GmmDeviceState::RoutingUpdating
@@ -119,6 +163,7 @@ impl GmmDevice {
         match (self.state, msg) {
             (GmmDeviceState::AttachInitiated, NasMessage::AttachAccept) => {
                 self.state = GmmDeviceState::Registered;
+                self.retx_attempts = 0;
                 out.push(GmmDeviceOutput::Registered(true));
                 if std::mem::take(&mut self.queued_sm_request) {
                     out.push(GmmDeviceOutput::SmRequestReady);
@@ -126,12 +171,14 @@ impl GmmDevice {
             }
             (GmmDeviceState::AttachInitiated, NasMessage::AttachReject(_)) => {
                 self.state = GmmDeviceState::Deregistered;
+                self.retx_attempts = 0;
                 out.push(GmmDeviceOutput::Registered(false));
             }
             (GmmDeviceState::RoutingUpdating, NasMessage::UpdateAccept(UpdateKind::RoutingArea)) => {
                 // No WAIT-FOR-NETWORK-COMMAND here: GMM returns to service
                 // directly (the MM/GMM asymmetry of §6.1.2).
                 self.state = GmmDeviceState::Registered;
+                self.retx_attempts = 0;
                 out.push(GmmDeviceOutput::RoutingUpdateDone);
                 if std::mem::take(&mut self.queued_sm_request) {
                     out.push(GmmDeviceOutput::SmRequestReady);
@@ -142,6 +189,7 @@ impl GmmDevice {
                 NasMessage::UpdateReject(UpdateKind::RoutingArea, _),
             ) => {
                 self.state = GmmDeviceState::Registered;
+                self.retx_attempts = 0;
                 if std::mem::take(&mut self.queued_sm_request) {
                     out.push(GmmDeviceOutput::SmRequestReady);
                 }
@@ -149,6 +197,7 @@ impl GmmDevice {
             (_, NasMessage::NetworkDetach(_)) => {
                 self.state = GmmDeviceState::Deregistered;
                 self.queued_sm_request = false;
+                self.retx_attempts = 0;
                 out.push(GmmDeviceOutput::Registered(false));
             }
             _ => {}
@@ -292,6 +341,33 @@ mod tests {
             )),
         );
         assert!(out.contains(&GmmDeviceOutput::SmRequestReady));
+    }
+
+    #[test]
+    fn retry_timer_retransmits_attach_then_deregisters() {
+        let mut m = GmmDevice::new();
+        run(&mut m, GmmDeviceInput::AttachTrigger);
+        for _ in 0..4 {
+            let out = run(&mut m, GmmDeviceInput::RetryTimer);
+            assert!(out.iter().any(|o| matches!(o, GmmDeviceOutput::Send(_))));
+        }
+        let out = run(&mut m, GmmDeviceInput::RetryTimer);
+        assert_eq!(out, vec![GmmDeviceOutput::Registered(false)]);
+        assert_eq!(m.state, GmmDeviceState::Deregistered);
+    }
+
+    #[test]
+    fn retry_timer_abandons_rau_back_to_registered() {
+        let mut m = GmmDevice::new();
+        attach(&mut m);
+        run(&mut m, GmmDeviceInput::RoutingUpdateTrigger);
+        run(&mut m, GmmDeviceInput::SmServiceRequest);
+        for _ in 0..4 {
+            run(&mut m, GmmDeviceInput::RetryTimer);
+        }
+        let out = run(&mut m, GmmDeviceInput::RetryTimer);
+        assert!(out.contains(&GmmDeviceOutput::SmRequestReady));
+        assert_eq!(m.state, GmmDeviceState::Registered);
     }
 
     #[test]

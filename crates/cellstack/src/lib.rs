@@ -75,6 +75,7 @@ pub mod rrc3g;
 pub mod rrc4g;
 pub mod sm;
 pub mod stack;
+pub mod timers;
 pub mod types;
 
 pub use causes::{AttachRejectCause, EmmCause, MmCause, Originator, PdpDeactivationCause};
@@ -85,4 +86,5 @@ pub use msg::{NasMessage, RrcMessage, SwitchMechanism, UpdateKind};
 pub use rrc3g::{Modulation, Rrc3g, Rrc3gState};
 pub use rrc4g::{DrxMode, Rrc4g, Rrc4gState};
 pub use stack::{DeviceStack, StackEvent};
-pub use types::{Dimension, Domain, IssueKind, Protocol, RatSystem, Registration, Sublayer};
+pub use timers::{NasTimer, MAX_NAS_RETRIES};
+pub use types::{Dimension, Domain, IssueKind, MsgClass, Protocol, RatSystem, Registration, Sublayer};

@@ -50,6 +50,9 @@ pub enum MmDeviceInput {
     NetworkCommandDone,
     /// The call released its MM connection.
     ConnectionRelease,
+    /// The location-update retransmission timer fired (T3210-class
+    /// supervision, driven by the environment's clock).
+    RetryTimer,
 }
 
 /// Outputs of the device-side MM machine.
@@ -85,6 +88,10 @@ pub struct MmDevice {
     /// on parallel threads, giving the service request priority (it updates
     /// the location implicitly).
     pub parallel_remedy: bool,
+    /// Location-update requests sent since the last outcome.
+    pub lu_attempts: u8,
+    /// Bound on update retransmissions before the procedure is abandoned.
+    pub max_lu_attempts: u8,
 }
 
 impl MmDevice {
@@ -95,6 +102,8 @@ impl MmDevice {
             queued_service_request: false,
             queued_location_update: false,
             parallel_remedy: false,
+            lu_attempts: 0,
+            max_lu_attempts: crate::timers::MAX_NAS_RETRIES,
         }
     }
 
@@ -116,6 +125,7 @@ impl MmDevice {
 
     fn start_location_update(&mut self, out: &mut Vec<MmDeviceOutput>) {
         self.state = MmDeviceState::LocationUpdating;
+        self.lu_attempts = 1;
         out.push(MmDeviceOutput::Send(NasMessage::UpdateRequest(
             UpdateKind::LocationArea,
         )));
@@ -170,6 +180,28 @@ impl MmDevice {
                     }
                 }
             }
+            MmDeviceInput::RetryTimer => {
+                // Bounded retransmission of a lost Location Updating Request;
+                // exhaustion abandons the procedure the same way a reject
+                // does, so a queued call is eventually served either way.
+                if self.state == MmDeviceState::LocationUpdating {
+                    if self.lu_attempts < self.max_lu_attempts {
+                        self.lu_attempts = self.lu_attempts.saturating_add(1);
+                        out.push(MmDeviceOutput::Send(NasMessage::UpdateRequest(
+                            UpdateKind::LocationArea,
+                        )));
+                    } else {
+                        self.state = MmDeviceState::Idle;
+                        self.lu_attempts = 0;
+                        out.push(MmDeviceOutput::LocationUpdateFailed(
+                            MmCause::LocationUpdateFailure,
+                        ));
+                        if std::mem::take(&mut self.queued_service_request) {
+                            self.send_service_request(out);
+                        }
+                    }
+                }
+            }
             MmDeviceInput::Network(msg) => self.on_network(msg, out),
         }
     }
@@ -177,6 +209,7 @@ impl MmDevice {
     fn on_network(&mut self, msg: NasMessage, out: &mut Vec<MmDeviceOutput>) {
         match (self.state, msg) {
             (MmDeviceState::LocationUpdating, NasMessage::UpdateAccept(UpdateKind::LocationArea)) => {
+                self.lu_attempts = 0;
                 out.push(MmDeviceOutput::LocationUpdateDone);
                 if self.parallel_remedy {
                     // Remedy thread model: no post-update hold blocks CM.
@@ -195,6 +228,7 @@ impl MmDevice {
                 NasMessage::UpdateReject(UpdateKind::LocationArea, _),
             ) => {
                 self.state = MmDeviceState::Idle;
+                self.lu_attempts = 0;
                 out.push(MmDeviceOutput::LocationUpdateFailed(
                     MmCause::LocationUpdateFailure,
                 ));
@@ -457,6 +491,32 @@ mod tests {
         let mut m = MmDevice::new();
         let out = run(&mut m, MmDeviceInput::Network(NasMessage::Paging));
         assert!(out.contains(&MmDeviceOutput::Send(NasMessage::CmServiceRequest)));
+    }
+
+    #[test]
+    fn retry_timer_retransmits_update_then_gives_up() {
+        let mut m = MmDevice::new();
+        run(&mut m, MmDeviceInput::LocationUpdateTrigger);
+        run(&mut m, MmDeviceInput::CmServiceRequest);
+        for _ in 0..4 {
+            let out = run(&mut m, MmDeviceInput::RetryTimer);
+            assert!(out.contains(&MmDeviceOutput::Send(NasMessage::UpdateRequest(
+                UpdateKind::LocationArea
+            ))));
+        }
+        // Fifth expiry: procedure abandoned, queued call finally served.
+        let out = run(&mut m, MmDeviceInput::RetryTimer);
+        assert!(out.contains(&MmDeviceOutput::LocationUpdateFailed(
+            MmCause::LocationUpdateFailure
+        )));
+        assert!(out.contains(&MmDeviceOutput::Send(NasMessage::CmServiceRequest)));
+        assert!(!m.service_blocked());
+    }
+
+    #[test]
+    fn retry_timer_inert_outside_location_updating() {
+        let mut m = MmDevice::new();
+        assert!(run(&mut m, MmDeviceInput::RetryTimer).is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::causes::{AttachRejectCause, EmmCause, MmCause, PdpDeactivationCause};
-use crate::types::{Domain, RatSystem};
+use crate::types::{Domain, MsgClass, RatSystem};
 
 /// Which mobility-management update procedure a message belongs to.
 ///
@@ -140,6 +140,38 @@ impl NasMessage {
             self,
             NasMessage::NetworkDetach(_) | NasMessage::DetachRequest
         )
+    }
+
+    /// The procedure class the message belongs to (fault-injection policies
+    /// in `netsim` select messages at this granularity).
+    pub fn class(&self) -> MsgClass {
+        match self {
+            NasMessage::AttachRequest { .. }
+            | NasMessage::AttachAccept
+            | NasMessage::AttachComplete
+            | NasMessage::AttachReject(_)
+            | NasMessage::DetachRequest
+            | NasMessage::NetworkDetach(_)
+            | NasMessage::DetachAccept => MsgClass::Attach,
+            NasMessage::UpdateRequest(_)
+            | NasMessage::UpdateAccept(_)
+            | NasMessage::UpdateReject(_, _) => MsgClass::Mobility,
+            NasMessage::SessionActivateRequest { .. }
+            | NasMessage::SessionActivateAccept
+            | NasMessage::SessionActivateReject
+            | NasMessage::SessionDeactivate { .. }
+            | NasMessage::SessionDeactivateAccept => MsgClass::Session,
+            NasMessage::CmServiceRequest
+            | NasMessage::CmServiceAccept
+            | NasMessage::CmServiceReject
+            | NasMessage::CallSetup
+            | NasMessage::CallProceeding
+            | NasMessage::CallAlerting
+            | NasMessage::CallConnect
+            | NasMessage::CallDisconnect
+            | NasMessage::Paging => MsgClass::Call,
+            NasMessage::LocationUpdateFailure(_) => MsgClass::Other,
+        }
     }
 
     /// Short wire name used in traces (QXDM-style).
@@ -307,6 +339,22 @@ mod tests {
             }
             .wire_name(),
             "PDN Connectivity Request"
+        );
+    }
+
+    #[test]
+    fn message_classes_partition_the_procedures() {
+        assert_eq!(NasMessage::AttachComplete.class(), MsgClass::Attach);
+        assert_eq!(NasMessage::NetworkDetach(EmmCause::ImplicitlyDetached).class(), MsgClass::Attach);
+        assert_eq!(
+            NasMessage::UpdateRequest(UpdateKind::TrackingArea).class(),
+            MsgClass::Mobility
+        );
+        assert_eq!(NasMessage::SessionActivateAccept.class(), MsgClass::Session);
+        assert_eq!(NasMessage::Paging.class(), MsgClass::Call);
+        assert_eq!(
+            NasMessage::LocationUpdateFailure(MmCause::LocationUpdateFailure).class(),
+            MsgClass::Other
         );
     }
 

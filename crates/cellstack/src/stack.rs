@@ -20,6 +20,7 @@ use crate::msg::{NasMessage, UpdateKind};
 use crate::rrc3g::{Rrc3g, Rrc3gEvent};
 use crate::rrc4g::{Rrc4g, Rrc4gEvent};
 use crate::sm::{SmDevice, SmDeviceInput, SmDeviceOutput};
+use crate::timers::NasTimer;
 use crate::types::{Domain, Protocol, RatSystem, Registration};
 
 /// Events the stack reports to its environment (simulator or checker
@@ -54,6 +55,10 @@ pub enum StackEvent {
     LocationUpdateFailed,
     /// EMM asks for its attach-retry timer to be (re)armed.
     ArmEmmRetry,
+    /// A layer asks for a named NAS retransmission timer to be (re)armed
+    /// (emitted instead of [`StackEvent::ArmEmmRetry`] when the stack runs
+    /// with [`DeviceStack::with_retransmission`]).
+    ArmNasTimer(NasTimer),
     /// A mobile-terminated call is ringing (user may answer).
     IncomingCallRinging,
     /// A protocol produced a trace-worthy step (module, description).
@@ -117,6 +122,16 @@ impl DeviceStack {
     /// Enable the §5.1.3 phone quirk on EMM.
     pub fn with_quirk(mut self) -> Self {
         self.emm.quirk_tau_before_detach = true;
+        self
+    }
+
+    /// Model the 3GPP NAS retransmission timers on every layer that has
+    /// them (EMM's T3410/T3411/T3402/T3430, ESM's T3417). The environment
+    /// answers [`StackEvent::ArmNasTimer`] by scheduling a
+    /// [`Self::nas_timer`] call after the timer's backoff.
+    pub fn with_retransmission(mut self) -> Self {
+        self.emm.nas_retransmission = true;
+        self.esm.nas_retransmission = true;
         self
     }
 
@@ -252,6 +267,24 @@ impl DeviceStack {
         let mut out = Vec::new();
         self.emm.on_input(EmmDeviceInput::RetryTimer, &mut out);
         self.route_emm(out, ev);
+    }
+
+    /// A named NAS retransmission timer fired; dispatch the expiry to the
+    /// layer that owns it.
+    pub fn nas_timer(&mut self, timer: NasTimer, ev: &mut Vec<StackEvent>) {
+        match timer {
+            NasTimer::T3410 | NasTimer::T3411 | NasTimer::T3402 | NasTimer::T3430 => {
+                let mut out = Vec::new();
+                self.emm
+                    .on_input(EmmDeviceInput::TimerExpiry(timer), &mut out);
+                self.route_emm(out, ev);
+            }
+            NasTimer::T3417 => {
+                let mut out = Vec::new();
+                self.esm.on_input(EsmDeviceInput::RetryTimer, &mut out);
+                self.route_esm(out, ev);
+            }
+        }
     }
 
     // ---- inter-system switching ------------------------------------------
@@ -550,6 +583,9 @@ impl DeviceStack {
                 EmmDeviceOutput::ArmRetryTimer => {
                     ev.push(StackEvent::ArmEmmRetry);
                 }
+                EmmDeviceOutput::ArmTimer(timer) => {
+                    ev.push(StackEvent::ArmNasTimer(timer));
+                }
                 EmmDeviceOutput::FallbackTo(system) => {
                     ev.push(StackEvent::WantsSwitchTo(system));
                 }
@@ -600,6 +636,9 @@ impl DeviceStack {
                 }),
                 EsmDeviceOutput::BearerActive(_) => ev.push(StackEvent::DataService(true)),
                 EsmDeviceOutput::BearerInactive => ev.push(StackEvent::DataService(false)),
+                EsmDeviceOutput::ArmRetryTimer => {
+                    ev.push(StackEvent::ArmNasTimer(NasTimer::T3417));
+                }
             }
         }
     }
@@ -868,6 +907,48 @@ mod tests {
         let mut ev = Vec::new();
         stack.answer(&mut ev);
         assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn retransmission_stack_arms_and_dispatches_t3410() {
+        let mut stack = DeviceStack::new().with_retransmission();
+        let mut ev = Vec::new();
+        stack.power_on(RatSystem::Lte4g, &mut ev);
+        assert!(ev.contains(&StackEvent::ArmNasTimer(NasTimer::T3410)));
+        assert!(!ev.contains(&StackEvent::ArmEmmRetry));
+        // Expiry retransmits the attach and re-arms.
+        let mut ev = Vec::new();
+        stack.nas_timer(NasTimer::T3410, &mut ev);
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            StackEvent::UplinkNas {
+                msg: NasMessage::AttachRequest { .. },
+                ..
+            }
+        )));
+        assert!(ev.contains(&StackEvent::ArmNasTimer(NasTimer::T3410)));
+    }
+
+    #[test]
+    fn retransmission_stack_routes_t3417_to_esm() {
+        let mut stack = DeviceStack::new().with_retransmission();
+        attach_4g(&mut stack);
+        // Lose the bearer, then ask for data: ESM sends + arms T3417.
+        let mut ev = Vec::new();
+        stack
+            .esm
+            .on_input(EsmDeviceInput::BearerRemoved, &mut Vec::new());
+        stack.data_on(false, &mut ev);
+        assert!(ev.contains(&StackEvent::ArmNasTimer(NasTimer::T3417)));
+        let mut ev = Vec::new();
+        stack.nas_timer(NasTimer::T3417, &mut ev);
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            StackEvent::UplinkNas {
+                msg: NasMessage::SessionActivateRequest { .. },
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -184,6 +184,38 @@ impl std::fmt::Display for IssueKind {
     }
 }
 
+/// Coarse classification of NAS messages by the procedure they serve.
+///
+/// Fault-injection campaigns (`netsim::inject`) target these classes rather
+/// than individual message variants: "drop all attach signaling on the 4G
+/// downlink" is the granularity at which the paper's loss scenarios (S2's
+/// lost Attach Complete, S6's relayed update failures) are expressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MsgClass {
+    /// Attach / detach registration signaling (MM / GMM / EMM).
+    Attach,
+    /// Location / routing / tracking area updates (MM / GMM / EMM).
+    Mobility,
+    /// PDP context / EPS bearer session management (SM / ESM).
+    Session,
+    /// Call control and CM service signaling (CM/CC), including paging.
+    Call,
+    /// Core-internal coordination signals (e.g. relayed LU failures).
+    Other,
+}
+
+impl std::fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgClass::Attach => write!(f, "attach"),
+            MsgClass::Mobility => write!(f, "mobility"),
+            MsgClass::Session => write!(f, "session"),
+            MsgClass::Call => write!(f, "call"),
+            MsgClass::Other => write!(f, "other"),
+        }
+    }
+}
+
 /// Registration status of a device with a network, the device-visible
 /// outcome the paper's properties talk about.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]

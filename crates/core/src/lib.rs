@@ -52,5 +52,8 @@ pub mod validation;
 
 pub use findings::{Category, Finding, Instance, Phase};
 pub use insights::{insight_for, lesson_for, Insight, Lesson, INSIGHTS, LESSONS};
-pub use screening::{run_screening, run_screening_remedied, ScreeningReport};
+pub use screening::{
+    run_screening, run_screening_budgeted, run_screening_remedied, run_screening_with_retries,
+    ModelRun, ScreenBudget, ScreeningReport,
+};
 pub use validation::{validate_all, ValidationOutcome};

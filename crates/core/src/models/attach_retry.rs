@@ -1,0 +1,405 @@
+//! Screening model for attach/TAU **with 3GPP retransmission timers** —
+//! shows the standards' own remedy for S2 (§8 discussion).
+//!
+//! [`super::attach::AttachModel`] checks the bare machines the paper
+//! analyses, where a lost NAS message is simply lost: `PacketService_OK`
+//! fails (S2). TS 24.301 already prescribes the counter-measure, though:
+//! every attach request is supervised by **T3410** (retransmit on expiry,
+//! bounded by the attempt counter, then the long **T3402** back-off) and
+//! every tracking-area update by **T3430**. This model composes the same
+//! device/MME pair with those timers enabled
+//! ([`cellstack::emm::EmmDevice::with_retransmission`]) over a
+//! *lossy-but-fair* channel: the checker may drop messages, but only a
+//! bounded number of times (a fairness budget), so a retransmission
+//! eventually gets through — the standard model-checking reading of "the
+//! link is lossy but not permanently partitioned".
+//!
+//! The property is the recovery-aware reading of `PacketService_OK`: a
+//! registered-then-out-of-service device only counts as a violation when it
+//! is **wedged** — nothing in flight on either leg and no supervision timer
+//! armed, so no future event can restore service. Transient outages that a
+//! pending timer will repair are the timers doing their job.
+//!
+//! * [`RetryAttachModel::paper`] (timers on): the property **holds** — S2
+//!   flips from violation to pass.
+//! * [`RetryAttachModel::without_timers`] (bare machines, same fairness
+//!   budget): the property still **fails** — the flip is attributable to
+//!   T3410/T3430, not to the fairness bound.
+
+use mck::{Chan, ChanSemantics, DeliveryChoice, Model, Property};
+
+use cellstack::emm::{EmmDevice, EmmDeviceInput, EmmDeviceOutput, MmeEmm, MmeInput, MmeOutput};
+use cellstack::{NasMessage, NasTimer, Registration};
+
+use crate::props;
+
+/// Model parameters.
+#[derive(Clone, Debug)]
+pub struct RetryAttachModel {
+    /// Uplink channel semantics (device → MME).
+    pub uplink: ChanSemantics,
+    /// Downlink channel semantics (MME → device).
+    pub downlink: ChanSemantics,
+    /// How many tracking-area updates the scenario may trigger.
+    pub tau_budget: u8,
+    /// Fairness budget: total message drops the checker may inject across
+    /// both legs. Bounding drops is what makes the channel lossy-but-fair;
+    /// an unbounded adversary could starve any finite retry counter.
+    pub drop_budget: u8,
+    /// Timer-expiry budget: how many NAS timer firings the scenario may
+    /// schedule. Like `drop_budget` this keeps the space finite — without
+    /// it, endless spurious expiries pump retransmissions into the
+    /// channels forever. It must exceed `drop_budget` so a retransmission
+    /// is available for every injected loss.
+    pub timer_budget: u8,
+    /// Model the TS 24.301 timers (T3410/T3411/T3402/T3430). Off = the
+    /// paper's bare machines, for the control experiment.
+    pub timers: bool,
+}
+
+impl RetryAttachModel {
+    /// Timers on, lossy-but-fair transport: `PacketService_OK` must hold.
+    pub fn paper() -> Self {
+        Self {
+            uplink: ChanSemantics::unreliable(3),
+            downlink: ChanSemantics::unreliable(3),
+            tau_budget: 2,
+            drop_budget: 2,
+            timer_budget: 4,
+            timers: true,
+        }
+    }
+
+    /// Same transport and fairness budget, bare machines: S2 still found.
+    pub fn without_timers() -> Self {
+        Self {
+            timers: false,
+            ..Self::paper()
+        }
+    }
+}
+
+/// Global state: both machines, the two channels, the armed timer and the
+/// scenario budgets.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RetryAttachState {
+    /// Device-side EMM (timers enabled per the model).
+    pub dev: EmmDevice,
+    /// MME-side EMM.
+    pub mme: MmeEmm,
+    /// Device → MME channel.
+    pub ul: Chan<NasMessage>,
+    /// MME → device channel.
+    pub dl: Chan<NasMessage>,
+    /// The NAS timer currently armed at the device, if any. The device runs
+    /// one supervision timer at a time (T3410 xor T3430 xor T3402).
+    pub timer: Option<NasTimer>,
+    /// The device reached `Registered` at least once.
+    pub ever_registered: bool,
+    /// TAU triggers still available to the scenario.
+    pub taus_left: u8,
+    /// Drops the checker may still inject (the fairness budget).
+    pub drops_left: u8,
+    /// Timer expiries still available to the scenario. A state whose timer
+    /// is armed but out of expiry budget is a boundary state, not a wedge:
+    /// the real system would fire the timer, the bounded model just stops
+    /// exploring there.
+    pub timers_left: u8,
+}
+
+impl RetryAttachState {
+    /// No future event can restore service: nothing queued on either leg
+    /// and no supervision timer armed.
+    pub fn wedged(&self) -> bool {
+        self.ever_registered
+            && self.dev.out_of_service()
+            && self.timer.is_none()
+            && self.ul.is_empty()
+            && self.dl.is_empty()
+    }
+}
+
+/// Transition labels.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RetryAttachAction {
+    /// The scenario triggers a tracking-area update.
+    TauTrigger,
+    /// The armed NAS timer expires.
+    TimerFires(NasTimer),
+    /// Exercise the uplink channel.
+    Uplink(DeliveryChoice),
+    /// Exercise the downlink channel.
+    Downlink(DeliveryChoice),
+}
+
+impl RetryAttachModel {
+    fn apply_dev_outputs(state: &mut RetryAttachState, outputs: Vec<EmmDeviceOutput>) {
+        for o in outputs {
+            match o {
+                EmmDeviceOutput::Send(m) => {
+                    let _ = state.ul.send(m);
+                }
+                EmmDeviceOutput::RegChanged(Registration::Registered) => {
+                    state.ever_registered = true;
+                }
+                EmmDeviceOutput::ArmTimer(t) => {
+                    state.timer = Some(t);
+                }
+                // ArmRetryTimer is the bare machine's ad-hoc retry hook;
+                // this model deliberately gives it no firing action — the
+                // control experiment checks the machines *without* any
+                // retransmission machinery.
+                _ => {}
+            }
+        }
+    }
+
+    fn apply_mme_outputs(state: &mut RetryAttachState, outputs: Vec<MmeOutput>) {
+        for o in outputs {
+            if let MmeOutput::Send(m) = o {
+                let _ = state.dl.send(m);
+            }
+        }
+    }
+
+    /// Push `chan`'s delivery choices, suppressing drops once the fairness
+    /// budget is spent.
+    fn fair_choices(
+        chan: &Chan<NasMessage>,
+        drops_left: u8,
+        out: &mut Vec<DeliveryChoice>,
+        wrap: impl Fn(DeliveryChoice) -> RetryAttachAction,
+        actions: &mut Vec<RetryAttachAction>,
+    ) {
+        out.clear();
+        chan.delivery_choices(out);
+        for c in out.drain(..) {
+            if c == DeliveryChoice::DropFront && drops_left == 0 {
+                continue;
+            }
+            actions.push(wrap(c));
+        }
+    }
+}
+
+impl Model for RetryAttachModel {
+    type State = RetryAttachState;
+    type Action = RetryAttachAction;
+
+    fn init_states(&self) -> Vec<RetryAttachState> {
+        let mut dev = if self.timers {
+            EmmDevice::new().with_retransmission()
+        } else {
+            EmmDevice::new()
+        };
+        let mut state = RetryAttachState {
+            dev: EmmDevice::new(),
+            mme: MmeEmm::new(),
+            ul: Chan::new(self.uplink),
+            dl: Chan::new(self.downlink),
+            timer: None,
+            ever_registered: false,
+            taus_left: self.tau_budget,
+            drops_left: self.drop_budget,
+            timers_left: self.timer_budget,
+        };
+        let mut out = Vec::new();
+        dev.on_input(EmmDeviceInput::AttachTrigger, &mut out);
+        state.dev = dev;
+        Self::apply_dev_outputs(&mut state, out);
+        vec![state]
+    }
+
+    fn actions(&self, state: &RetryAttachState, out: &mut Vec<RetryAttachAction>) {
+        use cellstack::emm::EmmDeviceState;
+        if state.taus_left > 0 && state.dev.state == EmmDeviceState::Registered {
+            out.push(RetryAttachAction::TauTrigger);
+        }
+        if state.timers_left > 0 {
+            if let Some(t) = state.timer {
+                out.push(RetryAttachAction::TimerFires(t));
+            }
+        }
+        let mut choices = Vec::new();
+        Self::fair_choices(
+            &state.ul,
+            state.drops_left,
+            &mut choices,
+            RetryAttachAction::Uplink,
+            out,
+        );
+        Self::fair_choices(
+            &state.dl,
+            state.drops_left,
+            &mut choices,
+            RetryAttachAction::Downlink,
+            out,
+        );
+    }
+
+    fn next_state(
+        &self,
+        state: &RetryAttachState,
+        action: &RetryAttachAction,
+    ) -> Option<RetryAttachState> {
+        let mut s = state.clone();
+        match action {
+            RetryAttachAction::TauTrigger => {
+                s.taus_left -= 1;
+                let mut out = Vec::new();
+                s.dev.on_input(EmmDeviceInput::TauTrigger, &mut out);
+                Self::apply_dev_outputs(&mut s, out);
+            }
+            RetryAttachAction::TimerFires(t) => {
+                s.timers_left -= 1;
+                s.timer = None;
+                let mut out = Vec::new();
+                s.dev.on_input(EmmDeviceInput::TimerExpiry(*t), &mut out);
+                Self::apply_dev_outputs(&mut s, out);
+            }
+            RetryAttachAction::Uplink(choice) => {
+                if *choice == DeliveryChoice::DropFront {
+                    s.drops_left = s.drops_left.saturating_sub(1);
+                }
+                if let Some(msg) = s.ul.apply(*choice) {
+                    let mut out = Vec::new();
+                    s.mme.on_input(MmeInput::Uplink(msg), &mut out);
+                    Self::apply_mme_outputs(&mut s, out);
+                }
+            }
+            RetryAttachAction::Downlink(choice) => {
+                if *choice == DeliveryChoice::DropFront {
+                    s.drops_left = s.drops_left.saturating_sub(1);
+                }
+                if let Some(msg) = s.dl.apply(*choice) {
+                    let mut out = Vec::new();
+                    s.dev.on_input(EmmDeviceInput::Network(msg), &mut out);
+                    Self::apply_dev_outputs(&mut s, out);
+                }
+            }
+        }
+        Some(s)
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![Property::never(
+            props::PACKET_SERVICE_OK,
+            |_: &RetryAttachModel, s: &RetryAttachState| s.wedged(),
+        )]
+    }
+
+    fn format_action(&self, action: &RetryAttachAction) -> String {
+        match action {
+            RetryAttachAction::TauTrigger => "scenario: tracking-area update triggered".into(),
+            RetryAttachAction::TimerFires(t) => format!("device: {} expires", t.name()),
+            RetryAttachAction::Uplink(c) => format!("uplink RRC: {c:?}"),
+            RetryAttachAction::Downlink(c) => format!("downlink RRC: {c:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mck::{Checker, SearchStrategy};
+
+    #[test]
+    fn timers_over_lossy_but_fair_channel_satisfy_packet_service_ok() {
+        let result = Checker::new(RetryAttachModel::paper())
+            .strategy(SearchStrategy::Bfs)
+            .run();
+        assert!(
+            result.holds(),
+            "T3410/T3430 must ride out bounded loss: {:?}",
+            result.violations
+        );
+    }
+
+    #[test]
+    fn bare_machines_still_violate_under_the_same_fairness_budget() {
+        let result = Checker::new(RetryAttachModel::without_timers())
+            .strategy(SearchStrategy::Bfs)
+            .run();
+        let v = result
+            .violation(props::PACKET_SERVICE_OK)
+            .expect("without timers the wedge must be reachable");
+        let s = v.path.last_state();
+        assert!(s.wedged(), "counterexample ends in a wedged state");
+    }
+
+    #[test]
+    fn bare_machine_counterexample_exploits_the_channel() {
+        let result = Checker::new(RetryAttachModel::without_timers())
+            .strategy(SearchStrategy::Bfs)
+            .run();
+        let v = result.violation(props::PACKET_SERVICE_OK).unwrap();
+        let misbehaved = v.path.actions().any(|a| {
+            matches!(
+                a,
+                RetryAttachAction::Uplink(DeliveryChoice::DropFront)
+                    | RetryAttachAction::Uplink(DeliveryChoice::DuplicateFront)
+                    | RetryAttachAction::Downlink(DeliveryChoice::DropFront)
+                    | RetryAttachAction::Downlink(DeliveryChoice::DuplicateFront)
+            )
+        });
+        assert!(misbehaved, "the wedge needs a drop or duplicate");
+    }
+
+    #[test]
+    fn fairness_budget_caps_drop_actions() {
+        let model = RetryAttachModel::paper();
+        let result = Checker::new(RetryAttachModel::paper()).run();
+        assert!(result.complete, "space must be finite");
+        // Replay-check a deep state: drops along any path never exceed the
+        // budget because the action set suppresses DropFront at zero.
+        let mut s = model.init_states().remove(0);
+        assert_eq!(s.drops_left, model.drop_budget);
+        let mut actions = Vec::new();
+        model.actions(&s, &mut actions);
+        while s.drops_left > 0 {
+            let Some(drop) = actions.iter().find(|a| {
+                matches!(
+                    a,
+                    RetryAttachAction::Uplink(DeliveryChoice::DropFront)
+                        | RetryAttachAction::Downlink(DeliveryChoice::DropFront)
+                )
+            }) else {
+                // No droppable message queued right now: deliver one step.
+                let a = actions.first().expect("some action available").clone();
+                s = model.next_state(&s, &a).unwrap();
+                actions.clear();
+                model.actions(&s, &mut actions);
+                continue;
+            };
+            s = model.next_state(&s, &drop.clone()).unwrap();
+            actions.clear();
+            model.actions(&s, &mut actions);
+        }
+        assert!(
+            !actions.iter().any(|a| matches!(
+                a,
+                RetryAttachAction::Uplink(DeliveryChoice::DropFront)
+                    | RetryAttachAction::Downlink(DeliveryChoice::DropFront)
+            )),
+            "an exhausted budget must remove DropFront from the action set"
+        );
+    }
+
+    #[test]
+    fn parallel_bfs_agrees_with_bfs_on_both_configs() {
+        let par = SearchStrategy::ParallelBfs { workers: 2 };
+        let with = Checker::new(RetryAttachModel::paper()).strategy(par).run();
+        assert!(with.holds());
+        let without = Checker::new(RetryAttachModel::without_timers())
+            .strategy(par)
+            .run();
+        assert!(without.violation(props::PACKET_SERVICE_OK).is_some());
+    }
+
+    #[test]
+    fn state_space_is_modest() {
+        let result = Checker::new(RetryAttachModel::paper()).run();
+        assert!(result.stats.unique_states > 50);
+        assert!(result.stats.unique_states < 2_000_000);
+    }
+}

@@ -9,13 +9,34 @@
 //! across threads: S1/S2/S4 run on the lock-free parallel BFS engine, S3
 //! on DFS (its witness is a lasso, which only DFS detects). Reports list
 //! the runs in S1..S4 order regardless of which thread finishes first.
+//!
+//! # Graceful degradation
+//!
+//! Screening is a best-effort sweep, not a proof obligation, so a run that
+//! cannot exhaust its state space within the configured [`ScreenBudget`]
+//! degrades instead of failing:
+//!
+//! 1. the requested engine (parallel BFS for S1/S2/S4, DFS for S3), then
+//! 2. sequential BFS (no layer-merge overhead, smaller footprint), then
+//! 3. seeded random-walk sampling ([`mck::RandomWalk`]) — §3.2's
+//!    "increase the sampling rate" fallback.
+//!
+//! Whatever rung answered is recorded in [`ModelRun::engine`], and the
+//! honesty of the answer in [`ModelRun::verdict`]: an `Incomplete` verdict
+//! means absence of a finding is *not* evidence of absence. A worker that
+//! panics is contained: its panic payload is captured into
+//! [`ModelRun::panicked`] (naming the model family) and the other
+//! families' findings are reported normally.
 
 use std::thread;
+use std::time::Duration;
 
-use mck::{CheckStats, Checker, Model, SearchStrategy, Violation};
+use mck::{CheckStats, Checker, Model, RandomWalk, SearchStrategy, Verdict, Violation};
 
 use crate::findings::{Finding, Instance};
 use crate::models::attach::AttachModel;
+use crate::models::attach_retry::RetryAttachModel;
+use crate::models::crosssys_lu::CrossSysLuModel;
 use crate::models::csfb_rrc::CsfbRrcModel;
 use crate::models::holblock::HolBlockModel;
 use crate::models::switchctx::SwitchContextModel;
@@ -26,10 +47,20 @@ use crate::props;
 pub struct ModelRun {
     /// Which scenario-family model ran.
     pub model_name: &'static str,
-    /// Exploration statistics.
+    /// Exploration statistics (of the rung that produced the answer).
     pub stats: CheckStats,
     /// Findings extracted from violations.
     pub findings: Vec<Finding>,
+    /// Which engine rung produced the answer: `"parallel-bfs"`, `"bfs"`,
+    /// `"dfs"`, `"random-walk"`, or `"none"` (worker panicked).
+    pub engine: &'static str,
+    /// Whether the answering rung exhausted the reachable space. Reports
+    /// must surface `Incomplete` — a clean-but-truncated run proves
+    /// nothing about the states it never visited.
+    pub verdict: Verdict,
+    /// The captured panic payload when this family's worker panicked.
+    /// `Some` never suppresses the other families' results.
+    pub panicked: Option<String>,
 }
 
 /// The complete screening report.
@@ -54,13 +85,69 @@ impl ScreeningReport {
     pub fn total_states(&self) -> u64 {
         self.runs.iter().map(|r| r.stats.unique_states).sum()
     }
+
+    /// Runs that stopped before exhausting their space, with the reason.
+    pub fn incomplete_runs(&self) -> impl Iterator<Item = &ModelRun> {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Incomplete { .. }))
+    }
+
+    /// Families whose worker panicked, with the captured payload.
+    pub fn panics(&self) -> impl Iterator<Item = (&'static str, &str)> {
+        self.runs
+            .iter()
+            .filter_map(|r| r.panicked.as_deref().map(|p| (r.model_name, p)))
+    }
+
+    /// Every run exhausted its space and no worker panicked.
+    pub fn complete(&self) -> bool {
+        self.runs
+            .iter()
+            .all(|r| r.verdict == Verdict::Complete && r.panicked.is_none())
+    }
 }
 
-fn finding_from<M: Model>(
-    model: &M,
-    instance: Instance,
-    violation: &Violation<M>,
-) -> Finding {
+/// Per-run exploration budget. The defaults are effectively unbounded for
+/// this crate's models, so ordinary screening always answers from the first
+/// rung; tight budgets (tests, constrained hosts) trigger the ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct ScreenBudget {
+    /// Unique-node ceiling handed to each exhaustive rung.
+    pub max_states: u64,
+    /// Wall-clock ceiling per exhaustive rung (`None` = unbounded).
+    pub time_budget: Option<Duration>,
+    /// Walk count for the sampling rung.
+    pub walks: usize,
+    /// Step bound per walk.
+    pub walk_steps: usize,
+}
+
+impl Default for ScreenBudget {
+    fn default() -> Self {
+        Self {
+            max_states: 50_000_000,
+            time_budget: None,
+            walks: 2_000,
+            walk_steps: 400,
+        }
+    }
+}
+
+impl ScreenBudget {
+    /// A budget capped at `max_states` unique nodes per rung.
+    pub fn states(max_states: u64) -> Self {
+        Self {
+            max_states,
+            ..Self::default()
+        }
+    }
+}
+
+/// Fixed seed for the sampling rung: screening must stay reproducible.
+const WALK_SEED: u64 = 0x53_32_5f_77_61_6c_6b; // "S2_walk"
+
+fn finding_from<M: Model>(model: &M, instance: Instance, violation: &Violation<M>) -> Finding {
     Finding {
         instance,
         property: violation.property.to_string(),
@@ -75,35 +162,151 @@ fn finding_from<M: Model>(
 }
 
 /// Worker threads each concurrent model run gets: the four families split
-/// the machine between them rather than oversubscribing it.
+/// the machine between them rather than oversubscribing it. The CPU count
+/// (and its no-`available_parallelism` fallback) comes from
+/// [`mck::default_workers`] so the checker and the fan-out agree on it.
 fn per_run_workers() -> usize {
-    let cpus = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    (cpus / 4).max(1)
+    (mck::default_workers() / 4).max(1)
 }
 
-/// Check one model and fold any violation of `property` into a [`ModelRun`].
+fn strategy_name(strategy: SearchStrategy) -> &'static str {
+    match strategy {
+        SearchStrategy::Bfs => "bfs",
+        SearchStrategy::Dfs => "dfs",
+        SearchStrategy::ParallelBfs { .. } => "parallel-bfs",
+    }
+}
+
+/// One exhaustive rung: run `model` under `strategy` within `budget`.
+fn check_rung<M>(
+    model: &M,
+    strategy: SearchStrategy,
+    budget: ScreenBudget,
+) -> mck::CheckResult<M>
+where
+    M: Model + Sync + Clone,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+{
+    let mut checker = Checker::new(model.clone())
+        .strategy(strategy)
+        .max_states(budget.max_states);
+    if let Some(t) = budget.time_budget {
+        checker = checker.time_budget(t);
+    }
+    checker.run()
+}
+
+/// Check one model and fold any violation of `property` into a [`ModelRun`],
+/// degrading through the engine ladder when a rung runs out of budget
+/// without producing an answer (a violation counts as an answer even when
+/// the sweep is truncated — the counterexample stands on its own).
 fn screen<M>(
     model: M,
     strategy: SearchStrategy,
     property: &str,
     instance: Instance,
     model_name: &'static str,
+    budget: ScreenBudget,
 ) -> ModelRun
 where
-    M: Model + Sync,
+    M: Model + Sync + Clone,
     M::State: Send + Sync,
     M::Action: Send + Sync,
 {
-    let checker = Checker::new(model).strategy(strategy);
-    let result = checker.run();
-    let findings = result
-        .violation(property)
-        .map(|v| vec![finding_from(checker.model(), instance, v)])
+    let mut rungs = vec![strategy];
+    if strategy_name(strategy) != "bfs" {
+        rungs.push(SearchStrategy::Bfs);
+    }
+    let mut last: Option<(SearchStrategy, mck::CheckResult<M>)> = None;
+    for rung in rungs {
+        let result = check_rung(&model, rung, budget);
+        let answered = result.complete || result.violation(property).is_some();
+        last = Some((rung, result));
+        if answered {
+            break;
+        }
+    }
+    let (rung, result) = last.expect("at least one rung ran");
+    if result.complete || result.violation(property).is_some() {
+        let findings = result
+            .violation(property)
+            .map(|v| vec![finding_from(&model, instance, v)])
+            .unwrap_or_default();
+        let verdict = result.verdict();
+        return ModelRun {
+            model_name,
+            stats: result.stats,
+            findings,
+            engine: strategy_name(rung),
+            verdict,
+            panicked: None,
+        };
+    }
+
+    // Final rung: seeded random-walk sampling. Never complete, but a found
+    // witness is still a real counterexample.
+    let report = RandomWalk::seeded(WALK_SEED)
+        .walks(budget.walks)
+        .max_steps(budget.walk_steps)
+        .run(&model);
+    let findings = report
+        .witness(property)
+        .map(|path| {
+            vec![Finding {
+                instance,
+                property: property.to_string(),
+                witness: path.actions().map(|a| model.format_action(a)).collect(),
+                steps: path.len(),
+                lasso: false,
+            }]
+        })
         .unwrap_or_default();
+    let explored = result.stats.unique_states;
+    let stop_reason = result.stop_reason.unwrap_or("budget exhausted");
+    let mut stats = result.stats;
+    stats.transitions += report.total_steps;
     ModelRun {
         model_name,
-        stats: result.stats,
+        stats,
         findings,
+        engine: "random-walk",
+        verdict: Verdict::Incomplete {
+            explored,
+            reason: format!(
+                "degraded to random-walk sampling ({} walks) after {}",
+                report.walks, stop_reason
+            ),
+        },
+        panicked: None,
+    }
+}
+
+/// Join one family's worker, containing a panic into a [`ModelRun`] that
+/// names the family instead of poisoning the whole report.
+fn join_run(handle: thread::ScopedJoinHandle<'_, ModelRun>, family: &'static str) -> ModelRun {
+    match handle.join() {
+        Ok(run) => run,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            ModelRun {
+                model_name: family,
+                stats: CheckStats::default(),
+                findings: Vec::new(),
+                engine: "none",
+                verdict: Verdict::Incomplete {
+                    explored: 0,
+                    reason: format!("worker panicked: {msg}"),
+                },
+                panicked: Some(msg),
+            }
+        }
     }
 }
 
@@ -111,6 +314,12 @@ where
 ///
 /// The four families run concurrently; the report lists them S1..S4.
 pub fn run_screening() -> ScreeningReport {
+    run_screening_budgeted(ScreenBudget::default())
+}
+
+/// [`run_screening`] under an explicit per-run budget (the degradation
+/// ladder engages when a family cannot finish within it).
+pub fn run_screening_budgeted(budget: ScreenBudget) -> ScreeningReport {
     let workers = per_run_workers();
     let par = SearchStrategy::ParallelBfs { workers };
     let runs = thread::scope(|s| {
@@ -122,6 +331,7 @@ pub fn run_screening() -> ScreeningReport {
                 props::PACKET_SERVICE_OK,
                 Instance::S1,
                 "switch-context (S1 family)",
+                budget,
             )
         });
         // S2 — attach over unreliable RRC.
@@ -132,16 +342,18 @@ pub fn run_screening() -> ScreeningReport {
                 props::PACKET_SERVICE_OK,
                 Instance::S2,
                 "attach/unreliable-RRC (S2 family)",
+                budget,
             )
         });
         // S3 — CSFB return gated on RRC state (needs DFS for the lasso).
-        let s3 = s.spawn(|| {
+        let s3 = s.spawn(move || {
             screen(
                 CsfbRrcModel::op2_high_rate(),
                 SearchStrategy::Dfs,
                 props::MM_OK,
                 Instance::S3,
                 "csfb-rrc (S3 family)",
+                budget,
             )
         });
         // S4 — HOL blocking behind location updates.
@@ -152,9 +364,15 @@ pub fn run_screening() -> ScreeningReport {
                 props::CALL_SERVICE_OK,
                 Instance::S4,
                 "mm-holblock (S4 family)",
+                budget,
             )
         });
-        [s1, s2, s3, s4].map(|h| h.join().expect("screening worker panicked"))
+        [
+            join_run(s1, "switch-context (S1 family)"),
+            join_run(s2, "attach/unreliable-RRC (S2 family)"),
+            join_run(s3, "csfb-rrc (S3 family)"),
+            join_run(s4, "mm-holblock (S4 family)"),
+        ]
     });
 
     ScreeningReport { runs: runs.into() }
@@ -164,6 +382,7 @@ pub fn run_screening() -> ScreeningReport {
 /// solution eliminates the design defects (§9). Any finding in this report
 /// means a remedy failed.
 pub fn run_screening_remedied() -> ScreeningReport {
+    let budget = ScreenBudget::default();
     let workers = per_run_workers();
     let par = SearchStrategy::ParallelBfs { workers };
     let runs = thread::scope(|s| {
@@ -174,6 +393,7 @@ pub fn run_screening_remedied() -> ScreeningReport {
                 props::PACKET_SERVICE_OK,
                 Instance::S1,
                 "switch-context (remedied)",
+                budget,
             )
         });
         let s2 = s.spawn(move || {
@@ -183,15 +403,17 @@ pub fn run_screening_remedied() -> ScreeningReport {
                 props::PACKET_SERVICE_OK,
                 Instance::S2,
                 "attach (reliable shim)",
+                budget,
             )
         });
-        let s3 = s.spawn(|| {
+        let s3 = s.spawn(move || {
             screen(
                 CsfbRrcModel::op2_remedied(),
                 SearchStrategy::Dfs,
                 props::MM_OK,
                 Instance::S3,
                 "csfb-rrc (CSFB tag)",
+                budget,
             )
         });
         let s4 = s.spawn(move || {
@@ -201,9 +423,66 @@ pub fn run_screening_remedied() -> ScreeningReport {
                 props::CALL_SERVICE_OK,
                 Instance::S4,
                 "mm-holblock (parallel threads)",
+                budget,
             )
         });
-        [s1, s2, s3, s4].map(|h| h.join().expect("screening worker panicked"))
+        [
+            join_run(s1, "switch-context (remedied)"),
+            join_run(s2, "attach (reliable shim)"),
+            join_run(s3, "csfb-rrc (CSFB tag)"),
+            join_run(s4, "mm-holblock (parallel threads)"),
+        ]
+    });
+    ScreeningReport { runs: runs.into() }
+}
+
+/// Re-screen with the TS 24.301 retransmission timers modeled: S2's
+/// composition runs with T3410/T3430 over a lossy-but-fair channel and
+/// `PacketService_OK` must **hold**, while S1 and S6 — whose defects are
+/// not about message loss — still produce counterexamples. This is the
+/// §8 discussion's point that the attach defect is a transport problem the
+/// standards already know how to fix, unlike the shared-context (S1) and
+/// failure-propagation (S6) defects.
+pub fn run_screening_with_retries() -> ScreeningReport {
+    let budget = ScreenBudget::default();
+    let workers = per_run_workers();
+    let par = SearchStrategy::ParallelBfs { workers };
+    let runs = thread::scope(|s| {
+        let s1 = s.spawn(move || {
+            screen(
+                SwitchContextModel::paper(),
+                par,
+                props::PACKET_SERVICE_OK,
+                Instance::S1,
+                "switch-context (S1, timers irrelevant)",
+                budget,
+            )
+        });
+        let s2 = s.spawn(move || {
+            screen(
+                RetryAttachModel::paper(),
+                par,
+                props::PACKET_SERVICE_OK,
+                Instance::S2,
+                "attach (T3410/T3430, lossy-but-fair)",
+                budget,
+            )
+        });
+        let s6 = s.spawn(move || {
+            screen(
+                CrossSysLuModel::paper(),
+                SearchStrategy::Bfs,
+                props::MM_OK,
+                Instance::S6,
+                "crosssys-lu (S6, timers irrelevant)",
+                budget,
+            )
+        });
+        [
+            join_run(s1, "switch-context (S1, timers irrelevant)"),
+            join_run(s2, "attach (T3410/T3430, lossy-but-fair)"),
+            join_run(s6, "crosssys-lu (S6, timers irrelevant)"),
+        ]
     });
     ScreeningReport { runs: runs.into() }
 }
@@ -263,8 +542,129 @@ mod tests {
     }
 
     #[test]
+    fn unbudgeted_screening_is_complete_on_first_rung() {
+        let report = run_screening();
+        assert!(report.complete());
+        for run in &report.runs {
+            assert_eq!(run.verdict, Verdict::Complete);
+            assert!(matches!(run.engine, "parallel-bfs" | "dfs"));
+            assert!(run.panicked.is_none());
+        }
+    }
+
+    #[test]
     fn remedied_screening_is_clean() {
         let report = run_screening_remedied();
         assert_eq!(report.findings().count(), 0);
+        assert!(report.complete(), "clean must also mean exhaustive");
+    }
+
+    #[test]
+    fn retry_screening_flips_s2_but_not_s1_s6() {
+        let report = run_screening_with_retries();
+        assert!(report.complete());
+        assert!(
+            report.finding(Instance::S2).is_none(),
+            "T3410/T3430 over a lossy-but-fair channel must satisfy {}",
+            props::PACKET_SERVICE_OK
+        );
+        assert!(
+            report.finding(Instance::S1).is_some(),
+            "S1 is a shared-context defect, untouched by retransmission"
+        );
+        assert!(
+            report.finding(Instance::S6).is_some(),
+            "S6 is failure propagation, untouched by retransmission"
+        );
+    }
+
+    #[test]
+    fn tight_state_budget_degrades_but_still_finds_s2() {
+        // A budget far below the attach model's reachable-space size forces
+        // the ladder; the violation is shallow enough that some rung still
+        // produces it, and the verdict owns up to the truncation when the
+        // answering rung was cut short.
+        let run = screen(
+            AttachModel::paper(),
+            SearchStrategy::ParallelBfs { workers: 2 },
+            props::PACKET_SERVICE_OK,
+            Instance::S2,
+            "attach (tight budget)",
+            ScreenBudget::states(40),
+        );
+        assert_eq!(
+            run.findings.len(),
+            1,
+            "the shallow S2 witness survives degradation (engine: {})",
+            run.engine
+        );
+    }
+
+    #[test]
+    fn hopeless_budget_reaches_the_sampling_rung_with_an_honest_verdict() {
+        // The remedied attach model has no violation to stumble on, so a
+        // tiny state budget exhausts every exhaustive rung and the run must
+        // fall through to random-walk sampling and say so.
+        let budget = ScreenBudget {
+            max_states: 10,
+            walks: 50,
+            walk_steps: 30,
+            ..ScreenBudget::default()
+        };
+        let run = screen(
+            AttachModel::with_reliable_transport(),
+            SearchStrategy::ParallelBfs { workers: 2 },
+            props::PACKET_SERVICE_OK,
+            Instance::S2,
+            "attach (hopeless budget)",
+            budget,
+        );
+        assert_eq!(run.engine, "random-walk");
+        assert!(run.findings.is_empty());
+        match &run.verdict {
+            Verdict::Incomplete { reason, .. } => {
+                assert!(
+                    reason.contains("random-walk"),
+                    "verdict must name the sampling rung: {reason}"
+                );
+            }
+            Verdict::Complete => panic!("sampling can never claim completeness"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_named() {
+        // Simulate one family's worker dying mid-run: the join helper must
+        // capture the payload and keep the report usable.
+        let runs = thread::scope(|s| {
+            let ok = s.spawn(|| {
+                screen(
+                    AttachModel::paper(),
+                    SearchStrategy::Bfs,
+                    props::PACKET_SERVICE_OK,
+                    Instance::S2,
+                    "attach (healthy)",
+                    ScreenBudget::default(),
+                )
+            });
+            let bad: thread::ScopedJoinHandle<'_, ModelRun> =
+                s.spawn(|| panic!("fingerprint table poisoned"));
+            [
+                join_run(ok, "attach (healthy)"),
+                join_run(bad, "holblock (doomed)"),
+            ]
+        });
+        let report = ScreeningReport { runs: runs.into() };
+        // The healthy family's finding survives ...
+        assert!(report.finding(Instance::S2).is_some());
+        // ... and the dead one is named, with the payload.
+        let panics: Vec<_> = report.panics().collect();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].0, "holblock (doomed)");
+        assert!(panics[0].1.contains("fingerprint table poisoned"));
+        assert!(!report.complete());
+        let dead = &report.runs[1];
+        assert_eq!(dead.engine, "none");
+        assert!(matches!(dead.verdict, Verdict::Incomplete { .. }));
     }
 }

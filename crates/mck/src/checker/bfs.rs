@@ -51,10 +51,12 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
     };
 
     let start = Instant::now();
+    let deadline = checker.time_budget.map(|b| start + b);
     let mut stats = CheckStats::default();
     let mut violations: Vec<Violation<M>> = Vec::new();
     let mut violated_names: Vec<&'static str> = Vec::new();
     let mut complete = true;
+    let mut stop_reason: Option<&'static str> = None;
 
     let mut arena: Vec<Node<M>> = Vec::new();
     let mut visited: HashMap<u64, ()> = HashMap::new();
@@ -84,6 +86,7 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
         if visited.insert(fp, ()).is_none() {
             if stats.unique_states >= checker.max_states {
                 complete = false;
+                stop_reason = Some("state budget exhausted");
                 break;
             }
             stats.unique_states += 1;
@@ -99,6 +102,13 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
     stats.peak_frontier = queue.len();
 
     'search: while let Some(idx) = queue.pop_front() {
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                complete = false;
+                stop_reason = Some("time budget exhausted");
+                break 'search;
+            }
+        }
         stats.max_depth = stats.max_depth.max(arena[idx].depth);
 
         // Safety properties at every node.
@@ -107,6 +117,7 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
                 && report!(p.name, p.expectation, idx, false)
             {
                 complete = false;
+                stop_reason = Some("stopped at first violation");
                 break 'search;
             }
         }
@@ -132,6 +143,7 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
                 for (i, p) in props.eventually.iter().enumerate() {
                     if missing & (1 << i) != 0 && report!(p.name, p.expectation, idx, false) {
                         complete = false;
+                        stop_reason = Some("stopped at first violation");
                         break 'search;
                     }
                 }
@@ -154,6 +166,7 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
                     // The unique-node budget bounds *discovered* nodes, the
                     // same quantity the other engines bound.
                     complete = false;
+                    stop_reason = Some("state budget exhausted");
                     break 'search;
                 }
                 stats.unique_states += 1;
@@ -175,6 +188,7 @@ pub(crate) fn run<M: Model>(checker: &Checker<M>) -> CheckResult<M> {
         stats,
         violations,
         complete,
+        stop_reason,
     }
 }
 
@@ -281,6 +295,24 @@ mod tests {
         .run();
         assert!(result.stats.boundary_hits > 0);
         assert!(result.stats.max_depth <= 3);
+    }
+
+    #[test]
+    fn zero_time_budget_reports_incomplete_verdict() {
+        let result = Checker::new(Counter {
+            max: 200,
+            forbid: None,
+            must_reach: None,
+        })
+        .time_budget(std::time::Duration::ZERO)
+        .run();
+        assert!(!result.complete);
+        match result.verdict() {
+            crate::checker::Verdict::Incomplete { reason, .. } => {
+                assert_eq!(reason, "time budget exhausted");
+            }
+            crate::checker::Verdict::Complete => panic!("budget of zero cannot complete"),
+        }
     }
 
     #[test]

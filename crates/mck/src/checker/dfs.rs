@@ -12,6 +12,10 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// How many transitions between wall-clock checks against the time budget;
+/// keeps the `Instant::now` cost off the hot path.
+const TIME_CHECK_MASK: u64 = 0x3FF;
+
 use crate::checker::{ebits_for, split_properties, CheckResult, Checker, Violation};
 use crate::fingerprint::fingerprint_with_ebits;
 use crate::model::Model;
@@ -46,6 +50,7 @@ struct Dfs<'a, M: Model> {
     violations: Vec<Violation<M>>,
     violated_names: Vec<&'static str>,
     complete: bool,
+    stop_reason: Option<&'static str>,
     /// fingerprint -> on_stack flag.
     visited: HashMap<u64, bool>,
     stack: Vec<Frame<M>>,
@@ -69,6 +74,7 @@ impl<'a, M: Model> Dfs<'a, M> {
             violations: Vec::new(),
             violated_names: Vec::new(),
             complete: true,
+            stop_reason: None,
             visited: HashMap::new(),
             stack: Vec::new(),
             path: None,
@@ -87,6 +93,7 @@ impl<'a, M: Model> Dfs<'a, M> {
             });
             if self.checker.fail_fast {
                 self.complete = false;
+                self.stop_reason = Some("stopped at first violation");
                 return Flow::StopAll;
             }
         }
@@ -161,9 +168,10 @@ impl<'a, M: Model> Dfs<'a, M> {
 
     fn run(mut self) -> CheckResult<M> {
         let start = Instant::now();
+        let deadline = self.checker.time_budget.map(|b| start + b);
         let model = &self.checker.model;
 
-        for init in model.init_states() {
+        'inits: for init in model.init_states() {
             let ebits = ebits_for(model, &self.eventually, &init, 0);
             let fp = fingerprint_with_ebits(&init, ebits);
             if self.visited.contains_key(&fp) {
@@ -173,6 +181,7 @@ impl<'a, M: Model> Dfs<'a, M> {
                 // The unique-node budget bounds *discovered* nodes, the same
                 // quantity the other engines bound.
                 self.complete = false;
+                self.stop_reason = Some("state budget exhausted");
                 break;
             }
             self.visited.insert(fp, true);
@@ -189,6 +198,14 @@ impl<'a, M: Model> Dfs<'a, M> {
             }
 
             'tree: while !self.stack.is_empty() {
+                if let Some(dl) = deadline {
+                    if self.stats.transitions & TIME_CHECK_MASK == 0 && Instant::now() >= dl {
+                        self.complete = false;
+                        self.stop_reason = Some("time budget exhausted");
+                        self.stack.clear();
+                        break 'inits;
+                    }
+                }
                 let maybe_action = self.stack.last_mut().unwrap().pending.pop();
                 let Some(action) = maybe_action else {
                     let frame = self.stack.pop().unwrap();
@@ -224,6 +241,7 @@ impl<'a, M: Model> Dfs<'a, M> {
                     None => {
                         if self.stats.unique_states >= self.checker.max_states {
                             self.complete = false;
+                            self.stop_reason = Some("state budget exhausted");
                             self.stack.clear();
                             break 'tree;
                         }
@@ -252,6 +270,7 @@ impl<'a, M: Model> Dfs<'a, M> {
             stats: self.stats,
             violations: self.violations,
             complete: self.complete,
+            stop_reason: self.stop_reason,
         }
     }
 }
@@ -344,6 +363,19 @@ mod tests {
         .run();
         assert_eq!(result.violations.len(), 1);
         assert!(!result.complete);
+    }
+
+    #[test]
+    fn zero_time_budget_reports_incomplete() {
+        let result = dfs(Counter {
+            max: 200,
+            forbid: None,
+            must_reach: None,
+        })
+        .time_budget(std::time::Duration::ZERO)
+        .run();
+        assert!(!result.complete);
+        assert_eq!(result.stop_reason, Some("time budget exhausted"));
     }
 
     #[test]

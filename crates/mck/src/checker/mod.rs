@@ -26,11 +26,25 @@ mod dfs;
 mod parallel;
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::model::Model;
 use crate::path::Path;
 use crate::property::{Expectation, Property};
 use crate::stats::CheckStats;
+
+/// Worker count used when a caller asks for "as many workers as the host
+/// offers": `available_parallelism`, falling back to **4** when the host
+/// cannot report its CPU count (containers without cpuset information,
+/// exotic platforms). Four workers keep the layer-merge overhead negligible
+/// while still exercising the concurrent code paths, which is why both this
+/// crate's parallel engine and downstream screening fan-outs share this one
+/// definition instead of each hard-coding a fallback.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
 
 /// Which exploration algorithm [`Checker::run`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +99,37 @@ impl<M: Model> fmt::Debug for Violation<M> {
     }
 }
 
+/// Whether a run exhausted the reachable space or stopped early, and why.
+///
+/// `Incomplete` is a first-class answer, not an error: a screening pass that
+/// ran out of its state or time budget still learned something (`explored`
+/// nodes held the properties), and reports surface that instead of silently
+/// pretending the space was exhausted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every reachable node (within the configured bounds) was checked.
+    Complete,
+    /// The run stopped before exhausting the reachable space.
+    Incomplete {
+        /// Unique nodes checked before stopping.
+        explored: u64,
+        /// Human-readable cause ("state budget exhausted", "time budget
+        /// exhausted", "stopped at first violation", ...).
+        reason: String,
+    },
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Complete => write!(f, "complete"),
+            Verdict::Incomplete { explored, reason } => {
+                write!(f, "incomplete after {explored} states ({reason})")
+            }
+        }
+    }
+}
+
 /// The outcome of a checking run.
 pub struct CheckResult<M: Model> {
     /// Exploration counters.
@@ -93,6 +138,8 @@ pub struct CheckResult<M: Model> {
     pub violations: Vec<Violation<M>>,
     /// True when the reachable space (within bounds) was exhausted.
     pub complete: bool,
+    /// Why the run stopped early, when it did (`None` when `complete`).
+    pub stop_reason: Option<&'static str>,
 }
 
 impl<M: Model> CheckResult<M> {
@@ -104,6 +151,18 @@ impl<M: Model> CheckResult<M> {
     /// True when no property was violated **and** the space was exhausted.
     pub fn holds(&self) -> bool {
         self.complete && self.violations.is_empty()
+    }
+
+    /// Completeness as a reportable verdict.
+    pub fn verdict(&self) -> Verdict {
+        if self.complete {
+            Verdict::Complete
+        } else {
+            Verdict::Incomplete {
+                explored: self.stats.unique_states,
+                reason: self.stop_reason.unwrap_or("bounds reached").to_string(),
+            }
+        }
     }
 }
 
@@ -124,6 +183,7 @@ pub struct Checker<M: Model> {
     pub(crate) max_depth: usize,
     pub(crate) max_states: u64,
     pub(crate) fail_fast: bool,
+    pub(crate) time_budget: Option<Duration>,
 }
 
 impl<M: Model> Checker<M> {
@@ -136,6 +196,7 @@ impl<M: Model> Checker<M> {
             max_depth: 10_000,
             max_states: 50_000_000,
             fail_fast: false,
+            time_budget: None,
         }
     }
 
@@ -162,6 +223,16 @@ impl<M: Model> Checker<M> {
     /// look for one violation per property.
     pub fn fail_fast(mut self, yes: bool) -> Self {
         self.fail_fast = yes;
+        self
+    }
+
+    /// Bound the wall-clock time of the run. When the budget is exhausted
+    /// the engines stop, mark the result incomplete, and record
+    /// `"time budget exhausted"` as the stop reason; everything explored up
+    /// to that point is still checked and reported. `None` (the default)
+    /// means unbounded.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
         self
     }
 
@@ -356,7 +427,41 @@ mod tests {
             stats: CheckStats::default(),
             violations: Vec::new(),
             complete: false,
+            stop_reason: None,
         };
         assert!(!r.holds());
+    }
+
+    #[test]
+    fn verdict_reflects_completeness_and_reason() {
+        let done: CheckResult<Counter> = CheckResult {
+            stats: CheckStats::default(),
+            violations: Vec::new(),
+            complete: true,
+            stop_reason: None,
+        };
+        assert_eq!(done.verdict(), Verdict::Complete);
+
+        let cut: CheckResult<Counter> = CheckResult {
+            stats: CheckStats {
+                unique_states: 42,
+                ..Default::default()
+            },
+            violations: Vec::new(),
+            complete: false,
+            stop_reason: Some("state budget exhausted"),
+        };
+        match cut.verdict() {
+            Verdict::Incomplete { explored, reason } => {
+                assert_eq!(explored, 42);
+                assert_eq!(reason, "state budget exhausted");
+            }
+            Verdict::Complete => panic!("truncated run must not be complete"),
+        }
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
     }
 }

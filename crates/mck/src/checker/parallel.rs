@@ -203,6 +203,11 @@ struct Shared<'a, M: Model> {
     budget: &'a AtomicI64,
     stop: &'a AtomicBool,
     truncated: &'a AtomicBool,
+    /// Wall-clock cutoff from [`Checker::time_budget`], if any.
+    deadline: Option<Instant>,
+    /// Set when a worker observed the deadline; distinguishes "ran out of
+    /// time" from "ran out of state budget" in the stop reason.
+    timed_out: &'a AtomicBool,
     /// Bit per property slot (capped at 64): set once a witness exists, so
     /// later layers stop accumulating redundant candidates.
     found_mask: &'a AtomicU64,
@@ -246,6 +251,13 @@ fn worker_loop<M: Model + Sync>(
     'steal: loop {
         if shared.stop.load(Ordering::Relaxed) {
             break;
+        }
+        if let Some(dl) = shared.deadline {
+            if Instant::now() >= dl {
+                shared.timed_out.store(true, Ordering::Relaxed);
+                shared.stop.store(true, Ordering::Relaxed);
+                break;
+            }
         }
         let begin = cursor.fetch_add(grain, Ordering::Relaxed);
         if begin >= layer.len() {
@@ -339,9 +351,7 @@ where
     M::Action: Send + Sync,
 {
     let workers = if workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        crate::checker::default_workers()
     } else {
         workers
     }
@@ -356,6 +366,7 @@ where
     };
 
     let start = Instant::now();
+    let deadline = checker.time_budget.map(|b| start + b);
     // Slots needed to hold max_states at <= 50% load, reached by doubling at
     // layer barriers so small models never allocate the worst case up front.
     let cap_slots: u64 = checker
@@ -369,6 +380,7 @@ where
     let budget = AtomicI64::new(i64::try_from(checker.max_states).unwrap_or(i64::MAX));
     let stop = AtomicBool::new(false);
     let truncated = AtomicBool::new(false);
+    let timed_out = AtomicBool::new(false);
     let found_mask = AtomicU64::new(0);
 
     let mut arenas: Vec<Vec<Node<M>>> = (0..workers).map(|_| Vec::new()).collect();
@@ -443,6 +455,8 @@ where
             budget: &budget,
             stop: &stop,
             truncated: &truncated,
+            deadline,
+            timed_out: &timed_out,
             found_mask: &found_mask,
         };
 
@@ -516,10 +530,20 @@ where
         duration: start.elapsed(),
     };
     let complete = !truncated.load(Ordering::Relaxed) && !stop.load(Ordering::Relaxed);
+    let stop_reason = if complete {
+        None
+    } else if timed_out.load(Ordering::Relaxed) {
+        Some("time budget exhausted")
+    } else if truncated.load(Ordering::Relaxed) {
+        Some("state budget exhausted")
+    } else {
+        Some("stopped at first violation")
+    };
     CheckResult {
         stats,
         violations,
         complete,
+        stop_reason,
     }
 }
 
@@ -641,6 +665,23 @@ mod tests {
         .run();
         assert!(!result.complete);
         assert_eq!(result.stats.unique_states, 10);
+        assert_eq!(result.stop_reason, Some("state budget exhausted"));
+    }
+
+    #[test]
+    fn zero_time_budget_reports_timeout() {
+        let result = par(
+            Counter {
+                max: 200,
+                forbid: None,
+                must_reach: None,
+            },
+            4,
+        )
+        .time_budget(std::time::Duration::ZERO)
+        .run();
+        assert!(!result.complete);
+        assert_eq!(result.stop_reason, Some("time budget exhausted"));
     }
 
     /// Octal tree: every value `1..=cap` has the unique parent `(v-1)/8`,

@@ -77,7 +77,7 @@ pub mod simulate;
 pub mod stats;
 
 pub use channel::{Chan, ChanSemantics, DeliveryChoice};
-pub use checker::{CheckResult, Checker, SearchStrategy, Violation};
+pub use checker::{default_workers, CheckResult, Checker, SearchStrategy, Verdict, Violation};
 pub use fingerprint::fingerprint;
 pub use graph::{explore, StateGraph};
 pub use model::Model;

@@ -62,7 +62,10 @@ pub mod world;
 
 pub use event::{EventHandle, EventQueue};
 pub use hss::{Hss, SubscriberRecord, Subscription};
-pub use inject::{Fate, Injection};
+pub use inject::{
+    AdvFate, Adversary, Campaign, CampaignReport, Fate, FaultPhase, FaultPolicy, Injection, Leg,
+    NodeId, PhaseReport, PhaseStats, PolicyRule,
+};
 pub use metrics::{CallSetup, Metrics, ThroughputSample};
 pub use mobility::{Drive, Route};
 pub use operator::{op_i, op_ii, OperatorProfile};

@@ -60,6 +60,18 @@ pub struct OperatorProfile {
     pub data_session_lifetime: DurationDist,
 }
 
+impl OperatorProfile {
+    /// A filesystem/JSON-key safe identifier for the profile
+    /// ("op_i" / "op_ii"), used by experiment reports.
+    pub fn slug(&self) -> String {
+        self.name
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    }
+}
+
 /// OP-I: release-with-redirect carrier; faster 3G return, slower location
 /// updates, milder uplink coupling.
 pub fn op_i() -> OperatorProfile {

@@ -24,6 +24,8 @@ pub enum TraceType {
     Measurement,
     /// A user action (dial, hangup, data toggle).
     UserAction,
+    /// An injected fault (adversary drop/corruption, node outage/restart).
+    Fault,
 }
 
 /// One trace entry with the five fields of §3.3.

@@ -21,12 +21,13 @@ use cellstack::mm::{MscInput, MscMm, MscOutput};
 use cellstack::cm::MscCc;
 use cellstack::sm::{SgsnSm, SgsnSmOutput};
 use cellstack::{
-    CsfbCall, DeviceStack, Domain, NasMessage, PdpDeactivationCause, Protocol, RatSystem,
-    Registration, StackEvent, SwitchMechanism, UpdateKind,
+    AttachRejectCause, CsfbCall, DeviceStack, Domain, EmmCause, NasMessage, NasTimer,
+    PdpDeactivationCause, Protocol, RatSystem, Registration, StackEvent, SwitchMechanism,
+    UpdateKind,
 };
 
 use crate::event::EventQueue;
-use crate::inject::{Fate, Injection};
+use crate::inject::{AdvFate, Adversary, Campaign, CampaignReport, Fate, Injection, Leg, NodeId};
 use crate::metrics::{CallSetup, Metrics, ThroughputSample};
 use crate::mobility::Drive;
 use crate::operator::OperatorProfile;
@@ -99,6 +100,11 @@ pub enum Ev {
     MmWaitNetCmdDone,
     /// EMM attach-retry timer fired.
     EmmRetryTimer,
+    /// A 3GPP NAS retransmission timer fired ([`WorldConfig::nas_retx`]).
+    NasTimer(NasTimer),
+    /// A fault-campaign phase ended; its downed nodes restart if the phase
+    /// asked for that.
+    FaultPhaseEnd(usize),
     /// 3G RRC inactivity timer fired (steps DCH→FACH→IDLE).
     Rrc3gInactivity,
     /// Fire a mobility-update trigger (Table 4).
@@ -153,6 +159,17 @@ pub struct WorldConfig {
     pub emm_retry_ms: u64,
     /// 3G RRC inactivity step period, ms.
     pub rrc3g_inactivity_ms: u64,
+    /// Declarative fault-injection campaign. When set, the adversary
+    /// (with its own RNG stream) supersedes `inject_ul_4g`/`inject_dl_4g`
+    /// and covers every signaling leg, not just 4G.
+    pub campaign: Option<Campaign>,
+    /// Model the 3GPP NAS retransmission timers (T3410/T3411/T3402 for
+    /// attach, T3430 for TAU, T3417 for bearer activation) instead of the
+    /// legacy fixed-interval attach retry.
+    pub nas_retx: bool,
+    /// Scale applied to NAS timer backoffs (1.0 = the 3GPP defaults).
+    /// Experiments compress simulated time with smaller values.
+    pub nas_timer_scale: f64,
 }
 
 impl WorldConfig {
@@ -176,6 +193,9 @@ impl WorldConfig {
             s6_conflict_prob: 0.03,
             emm_retry_ms: 3_000,
             rrc3g_inactivity_ms: 4_000,
+            campaign: None,
+            nas_retx: false,
+            nas_timer_scale: 1.0,
         }
     }
 }
@@ -212,6 +232,10 @@ pub struct World {
     pub csfb: Option<CsfbCall>,
     /// Active drive test.
     pub drive: Option<Drive>,
+    /// Campaign-driven fault injector (present when the config carries a
+    /// campaign). Owns its own RNG stream, so its decisions never perturb
+    /// the latency trajectories drawn from the world RNG.
+    pub adversary: Option<Adversary>,
 
     queue: EventQueue<Ev>,
     rng: StdRng,
@@ -246,12 +270,16 @@ impl World {
         if cfg.device_remedies {
             stack = stack.with_remedies();
         }
+        if cfg.nas_retx {
+            stack = stack.with_retransmission();
+        }
         let mut mme = MmeEmm::new();
         if cfg.mme_remedy {
             mme.forward_lu_failure = false;
         }
         let rng = rng_from_seed(cfg.seed);
-        Self {
+        let adversary = cfg.campaign.clone().map(Adversary::new);
+        let mut w = Self {
             now: SimTime::ZERO,
             cfg,
             stack,
@@ -277,6 +305,7 @@ impl World {
             metrics: Metrics::default(),
             csfb: None,
             drive: None,
+            adversary,
             queue: EventQueue::new(),
             rng,
             dial_time: None,
@@ -294,7 +323,25 @@ impl World {
             data_session_active: false,
             user_detached: false,
             mt_call_pending: false,
+        };
+        // Phase-end restarts are part of the plan, scheduled up front.
+        let phase_ends: Vec<(usize, u64)> = w
+            .cfg
+            .campaign
+            .iter()
+            .flat_map(|c| c.phases.iter().enumerate())
+            .filter(|(_, p)| p.restart_at_end && !p.down.is_empty())
+            .map(|(i, p)| (i, p.end_ms))
+            .collect();
+        for (i, end_ms) in phase_ends {
+            w.schedule_at(SimTime::from_millis(end_ms), Ev::FaultPhaseEnd(i));
         }
+        w
+    }
+
+    /// The adversary's deterministic campaign report, if a campaign runs.
+    pub fn campaign_report(&self) -> Option<CampaignReport> {
+        self.adversary.as_ref().map(|a| a.report())
     }
 
     /// Schedule `ev` `delay_ms` from now.
@@ -480,6 +527,12 @@ impl World {
                 self.stack.emm_retry_timer(&mut evs);
                 self.process_stack_events(evs);
             }
+            Ev::NasTimer(t) => {
+                let mut evs = Vec::new();
+                self.stack.nas_timer(t, &mut evs);
+                self.process_stack_events(evs);
+            }
+            Ev::FaultPhaseEnd(i) => self.on_fault_phase_end(i),
             Ev::TriggerUpdate(kind) => {
                 let mut evs = Vec::new();
                 self.stack.trigger_update(kind, &mut evs);
@@ -919,7 +972,52 @@ impl World {
     ) {
         let owd = self.cfg.op.nas_owd.sample_ms(&mut self.rng);
         let mut delay = owd + processing_delay.unwrap_or(0);
-        if system == RatSystem::Lte4g {
+        if self.adversary.is_some() {
+            let leg = leg_for(system, domain, false);
+            let now_ms = self.now.as_millis();
+            let fate = self
+                .adversary
+                .as_mut()
+                .expect("checked")
+                .decide(now_ms, leg, msg.class());
+            match fate {
+                AdvFate::Drop => {
+                    self.record_fault(system, format!(
+                        "downlink {} lost on {leg}",
+                        msg.wire_name()
+                    ));
+                    return;
+                }
+                AdvFate::Corrupt => {
+                    // The device's integrity check fails; the garbage NAS
+                    // PDU is silently discarded (TS 24.301 §4.4.4.2).
+                    self.record_fault(system, format!(
+                        "downlink {} corrupted; discarded by the device",
+                        msg.wire_name()
+                    ));
+                    return;
+                }
+                AdvFate::Duplicate { extra_delay_ms } => {
+                    self.schedule_in(
+                        delay + extra_delay_ms,
+                        Ev::ArriveAtDevice {
+                            system,
+                            domain,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                AdvFate::Delay { extra_delay_ms } => delay += extra_delay_ms,
+                AdvFate::Reorder { hold_ms } => {
+                    self.record_fault(system, format!(
+                        "downlink {} held {hold_ms} ms (reordered)",
+                        msg.wire_name()
+                    ));
+                    delay += hold_ms;
+                }
+                AdvFate::Deliver => {}
+            }
+        } else if system == RatSystem::Lte4g {
             match self.cfg.inject_dl_4g.fate(&mut self.rng) {
                 Fate::Drop => {
                     self.trace.record(
@@ -953,6 +1051,54 @@ impl World {
                 msg,
             },
         );
+    }
+
+    /// Record an adversary-caused fault in the trace.
+    fn record_fault(&mut self, system: RatSystem, desc: String) {
+        let proto = match system {
+            RatSystem::Lte4g => Protocol::Rrc4g,
+            RatSystem::Utran3g => Protocol::Rrc3g,
+        };
+        self.trace
+            .record(self.now, TraceType::Fault, system, proto, desc);
+    }
+
+    /// Apply the scheduled restarts of a finished campaign phase: the
+    /// downed nodes come back with empty volatile state, so the MME/MSC/
+    /// SGSN forget the UE while the device still believes it is
+    /// registered — the recovery then plays out over the retransmission
+    /// machinery (or fails to, without it).
+    fn on_fault_phase_end(&mut self, i: usize) {
+        let Some(adv) = self.adversary.as_ref() else {
+            return;
+        };
+        let restarts: Vec<NodeId> = adv.restarts_for_phase(i).to_vec();
+        for node in restarts {
+            match node {
+                NodeId::Mme => {
+                    let mut mme = MmeEmm::new();
+                    if self.cfg.mme_remedy {
+                        mme.forward_lu_failure = false;
+                    }
+                    self.mme = mme;
+                    self.mme_esm = MmeEsm::new();
+                }
+                NodeId::Msc => {
+                    self.msc_mm = MscMm::new();
+                    self.msc_cc = MscCc::new();
+                }
+                NodeId::Sgsn => {
+                    self.sgsn_gmm = SgsnGmm::new();
+                    self.sgsn_sm = SgsnSm::new();
+                }
+                // Base stations hold no NAS state in this model.
+                NodeId::Bs4g | NodeId::Bs3g => {}
+            }
+            self.record_fault(
+                self.stack.serving,
+                format!("node {node} restarted after outage (volatile state lost)"),
+            );
+        }
     }
 
     fn on_arrive_at_device(&mut self, system: RatSystem, domain: Domain, msg: NasMessage) {
@@ -1135,6 +1281,20 @@ impl World {
                         self.schedule_in(self.cfg.emm_retry_ms, Ev::EmmRetryTimer);
                     }
                 }
+                StackEvent::ArmNasTimer(t) => {
+                    // Backoff grows with the procedure's attempt counter;
+                    // the relevant counter depends on which timer runs.
+                    let attempt = match t {
+                        NasTimer::T3410 => self.stack.emm.attach_attempts.max(1),
+                        NasTimer::T3430 => self.stack.emm.tau_attempts.max(1),
+                        NasTimer::T3417 => self.stack.esm.activate_attempts.max(1),
+                        NasTimer::T3411 | NasTimer::T3402 => 1,
+                    };
+                    let ms = (t.backoff_ms(attempt) as f64 * self.cfg.nas_timer_scale)
+                        .round()
+                        .max(1.0) as u64;
+                    self.schedule_in(ms, Ev::NasTimer(t));
+                }
                 StackEvent::Trace(module, desc) => {
                     self.trace.record(
                         self.now,
@@ -1230,7 +1390,74 @@ impl World {
         }
         let owd = self.cfg.op.nas_owd.sample_ms(&mut self.rng);
         let mut delay = owd;
-        if system == RatSystem::Lte4g {
+        if self.adversary.is_some() {
+            let leg = leg_for(system, domain, true);
+            let now_ms = self.now.as_millis();
+            let fate = self
+                .adversary
+                .as_mut()
+                .expect("checked")
+                .decide(now_ms, leg, msg.class());
+            match fate {
+                AdvFate::Drop => {
+                    self.record_fault(
+                        system,
+                        format!("uplink {} lost on {leg}", msg.wire_name()),
+                    );
+                    return;
+                }
+                AdvFate::Corrupt => {
+                    // The core parses garbage: procedure requests are
+                    // answered with a semantic reject; anything else is
+                    // discarded after the integrity check fails.
+                    self.record_fault(
+                        system,
+                        format!("uplink {} corrupted in flight", msg.wire_name()),
+                    );
+                    match &msg {
+                        NasMessage::AttachRequest { .. } => {
+                            self.schedule_downlink(
+                                system,
+                                domain,
+                                NasMessage::AttachReject(
+                                    AttachRejectCause::SemanticallyIncorrectMessage,
+                                ),
+                                None,
+                            );
+                        }
+                        NasMessage::UpdateRequest(kind) => {
+                            self.schedule_downlink(
+                                system,
+                                domain,
+                                NasMessage::UpdateReject(*kind, EmmCause::NetworkFailure),
+                                None,
+                            );
+                        }
+                        _ => {}
+                    }
+                    return;
+                }
+                AdvFate::Duplicate { extra_delay_ms } => {
+                    self.schedule_in(
+                        delay + extra_delay_ms,
+                        Ev::ArriveAtCore {
+                            system,
+                            domain,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                AdvFate::Delay { extra_delay_ms } => delay += extra_delay_ms,
+                AdvFate::Reorder { hold_ms } => {
+                    self.record_fault(
+                        system,
+                        format!("uplink {} held {hold_ms} ms (reordered)", msg.wire_name()),
+                    );
+                    delay += hold_ms;
+                }
+                AdvFate::Deliver => {}
+            }
+        } else if system == RatSystem::Lte4g {
             match self.cfg.inject_ul_4g.fate(&mut self.rng) {
                 Fate::Drop => {
                     self.trace.record(
@@ -1264,6 +1491,19 @@ impl World {
                 msg,
             },
         );
+    }
+}
+
+/// Which adversary leg a message travels, from its direction, system and
+/// domain.
+fn leg_for(system: RatSystem, domain: Domain, uplink: bool) -> Leg {
+    match (system, domain, uplink) {
+        (RatSystem::Lte4g, _, true) => Leg::Ul4g,
+        (RatSystem::Lte4g, _, false) => Leg::Dl4g,
+        (RatSystem::Utran3g, Domain::Cs, true) => Leg::Ul3gCs,
+        (RatSystem::Utran3g, Domain::Cs, false) => Leg::Dl3gCs,
+        (RatSystem::Utran3g, Domain::Ps, true) => Leg::Ul3gPs,
+        (RatSystem::Utran3g, Domain::Ps, false) => Leg::Dl3gPs,
     }
 }
 
@@ -1918,5 +2158,187 @@ mod s4_ps_side_tests {
                 serde_json::from_str(line).expect("every line parses");
             assert!(!entry.desc.is_empty());
         }
+    }
+}
+
+#[cfg(test)]
+mod campaign_tests {
+    use super::*;
+    use crate::inject::{Campaign, FaultPhase, FaultPolicy, PolicyRule};
+    use crate::operator::op_i;
+    use cellstack::MsgClass;
+
+    fn mixed_campaign(seed: u64) -> Campaign {
+        Campaign::new("mixed", seed).with_phase(FaultPhase::new(
+            "stress",
+            5_000,
+            60_000,
+            vec![
+                PolicyRule::on_class(
+                    MsgClass::Mobility,
+                    FaultPolicy {
+                        drop_rate: 0.2,
+                        reorder_rate: 0.2,
+                        corrupt_rate: 0.1,
+                        reorder_hold_ms: 500,
+                        ..FaultPolicy::default()
+                    },
+                ),
+                PolicyRule::any(FaultPolicy::dropping(0.1)),
+            ],
+        ))
+    }
+
+    fn campaign_run(seed: u64) -> (String, u32, usize) {
+        let mut cfg = WorldConfig::new(op_i(), seed);
+        cfg.campaign = Some(mixed_campaign(seed));
+        cfg.nas_retx = true;
+        cfg.nas_timer_scale = 0.1;
+        let mut w = World::new(cfg);
+        w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+        for i in 1..10u64 {
+            w.schedule_in(i * 6_000, Ev::TriggerUpdate(UpdateKind::TrackingArea));
+        }
+        w.run_until(SimTime::from_secs(120));
+        (
+            w.campaign_report().expect("campaign runs").to_json(),
+            w.metrics.implicit_detaches,
+            w.trace.len(),
+        )
+    }
+
+    #[test]
+    fn campaign_report_byte_identical_across_runs() {
+        let a = campaign_run(42);
+        let b = campaign_run(42);
+        assert_eq!(a, b, "same seed must reproduce the whole run");
+        assert!(a.0.contains("\"campaign\": \"mixed\""));
+        assert!(a.0.contains("\"seed\": 42"));
+    }
+
+    #[test]
+    fn partition_blocks_attach_until_it_lifts() {
+        let mut cfg = WorldConfig::new(op_i(), 44);
+        cfg.campaign = Some(
+            Campaign::new("part", 44).with_phase(FaultPhase::partition("radio-dead", 0, 5_000)),
+        );
+        cfg.nas_retx = true;
+        cfg.nas_timer_scale = 0.1;
+        let mut w = World::new(cfg);
+        w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+        w.run_until(SimTime::from_secs(60));
+        assert!(
+            !w.stack.out_of_service(),
+            "T3410 retries carry the attach past the partition"
+        );
+        assert_eq!(w.stack.serving, RatSystem::Lte4g);
+        let report = w.campaign_report().unwrap();
+        assert!(
+            report.phases[0].stats.partition_drops >= 2,
+            "the partition must have eaten the early attach attempts: {:?}",
+            report.phases[0].stats
+        );
+    }
+
+    #[test]
+    fn mme_restart_after_outage_detaches_at_next_tau() {
+        let mut cfg = WorldConfig::new(op_i(), 45);
+        cfg.campaign = Some(Campaign::new("outage", 45).with_phase(FaultPhase::outage(
+            "mme-down",
+            10_000,
+            20_000,
+            vec![NodeId::Mme],
+        )));
+        let mut w = World::new(cfg);
+        w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+        w.run_until(SimTime::from_secs(8));
+        assert!(!w.stack.out_of_service(), "attach completes before the outage");
+        w.schedule_in(22_000, Ev::TriggerUpdate(UpdateKind::TrackingArea));
+        w.run_until(SimTime::from_secs(120));
+        assert!(
+            w.metrics.implicit_detaches >= 1,
+            "the restarted MME forgot the UE and must reject the TAU"
+        );
+        assert!(w.trace.first("restarted after outage").is_some());
+    }
+
+    #[test]
+    fn corrupted_tau_is_rejected_and_detaches() {
+        let mut cfg = WorldConfig::new(op_i(), 46);
+        cfg.campaign = Some(Campaign::new("corrupt", 46).with_phase(FaultPhase::new(
+            "corrupt-mobility",
+            9_000,
+            40_000,
+            vec![PolicyRule {
+                leg: Some(Leg::Ul4g),
+                class: Some(MsgClass::Mobility),
+                policy: FaultPolicy::corrupting(1.0),
+            }],
+        )));
+        let mut w = World::new(cfg);
+        w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+        w.run_until(SimTime::from_secs(8));
+        assert!(!w.stack.out_of_service());
+        w.schedule_in(4_000, Ev::TriggerUpdate(UpdateKind::TrackingArea));
+        w.run_until(SimTime::from_secs(120));
+        assert!(
+            w.metrics.implicit_detaches >= 1,
+            "the semantic reject of the corrupted TAU must detach the device"
+        );
+        let report = w.campaign_report().unwrap();
+        assert!(report.phases[0].stats.corrupted >= 1);
+        assert!(w.trace.first("corrupted in flight").is_some());
+    }
+
+    #[test]
+    fn nas_retx_rides_out_lossy_attach_uplink() {
+        let mut cfg = WorldConfig::new(op_i(), 47);
+        cfg.campaign = Some(Campaign::new("lossy", 47).with_phase(FaultPhase::new(
+            "lossy-ul",
+            0,
+            120_000,
+            vec![PolicyRule::on_leg(Leg::Ul4g, FaultPolicy::dropping(0.4))],
+        )));
+        cfg.nas_retx = true;
+        cfg.nas_timer_scale = 0.1;
+        let mut w = World::new(cfg);
+        w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+        for i in 1..12u64 {
+            w.schedule_in(i * 9_000, Ev::TriggerUpdate(UpdateKind::TrackingArea));
+        }
+        w.run_until(SimTime::from_secs(120));
+        assert!(
+            !w.stack.out_of_service(),
+            "bounded retransmission rides out 40% uplink loss"
+        );
+        let stats = w.campaign_report().unwrap().phases[0].stats;
+        assert!(stats.dropped >= 1, "the lossy phase must have dropped something");
+        assert!(stats.delivered >= 1, "but fairness lets retries through");
+    }
+
+    #[test]
+    fn adversary_covers_3g_legs_too() {
+        // Kill the 3G PS uplink: the GMM attach after a 4G fallback can
+        // never complete, which the legacy 4G-only injection could not
+        // express.
+        let mut cfg = WorldConfig::new(op_i(), 48);
+        cfg.campaign = Some(Campaign::new("3g-dead", 48).with_phase(FaultPhase::new(
+            "ps-ul-dead",
+            0,
+            600_000,
+            vec![
+                PolicyRule::on_leg(Leg::Ul4g, FaultPolicy::dropping(1.0)),
+                PolicyRule::on_leg(Leg::Ul3gPs, FaultPolicy::dropping(1.0)),
+            ],
+        )));
+        let mut w = World::new(cfg);
+        w.schedule_in(0, Ev::PowerOn(RatSystem::Lte4g));
+        w.run_until(SimTime::from_secs(300));
+        assert!(
+            w.stack.out_of_service(),
+            "with both PS uplinks dead no registration can complete"
+        );
+        let stats = w.campaign_report().unwrap().phases[0].stats;
+        assert!(stats.dropped >= 2);
     }
 }

@@ -243,6 +243,181 @@ pub fn figure12_left_run(drop_rate: f64, cycles: u32, with_shim: bool, seed: u64
     detaches
 }
 
+/// Figure 12-left re-run under the generalized signaling adversary: the
+/// uplink leg is driven by a [`netsim::FaultPolicy`], so on top of drops it
+/// now *reorders* frames (an earlier message lands after a later one) and
+/// *corrupts* them (the receiver's integrity check discards the frame, TS
+/// 24.301 §4.4.4.2). Returns the implicit-detach count, as
+/// [`figure12_left_run`] does.
+///
+/// With the shim, a corrupted or reordered frame is just an unacknowledged
+/// frame: the go-back-N sender retransmits in order and the receiver
+/// suppresses the stale copy when it finally lands. Without the shim, a
+/// late-landing NAS message is exactly the out-of-sequence delivery of §5.2.
+pub fn figure12_left_adversarial_run(
+    policy: &netsim::FaultPolicy,
+    cycles: u32,
+    with_shim: bool,
+    seed: u64,
+) -> u32 {
+    use cellstack::emm::{
+        EmmDevice, EmmDeviceInput, EmmDeviceOutput, MmeEmm, MmeInput, MmeOutput,
+    };
+    use cellstack::{NasMessage, Registration, UpdateKind};
+    use netsim::AdvFate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut detaches = 0u32;
+
+    for _ in 0..cycles {
+        let mut dev = EmmDevice::new();
+        let mut mme = MmeEmm::new();
+        let mut dev_shim = ShimEndpoint::new();
+        let mut mme_shim = ShimEndpoint::new();
+        // Overtaken traffic in flight: a reordered message lands only after
+        // a later transmission has gone through.
+        let mut held_plain: Vec<NasMessage> = Vec::new();
+        let mut held_frames: Vec<ShimFrame> = Vec::new();
+
+        let uplink = |msg: NasMessage,
+                          rng: &mut StdRng,
+                          dev_shim: &mut ShimEndpoint,
+                          mme_shim: &mut ShimEndpoint,
+                          held_plain: &mut Vec<NasMessage>,
+                          held_frames: &mut Vec<ShimFrame>|
+         -> Vec<NasMessage> {
+            if with_shim {
+                let deliver = |frame: ShimFrame,
+                                   dev_shim: &mut ShimEndpoint,
+                                   mme_shim: &mut ShimEndpoint|
+                 -> Vec<NasMessage> {
+                    let (d, ack) = mme_shim.on_receive(frame);
+                    if let Some(a) = ack {
+                        dev_shim.on_receive(a);
+                    }
+                    d
+                };
+                let mut frame = dev_shim.send(msg);
+                for _attempt in 0..200 {
+                    match policy.decide(rng) {
+                        AdvFate::Deliver | AdvFate::Delay { .. } => {
+                            let mut out = deliver(frame, dev_shim, mme_shim);
+                            // The overtaken copies finally land — late, so
+                            // the shim sees them as stale and suppresses.
+                            for late in held_frames.drain(..) {
+                                out.extend(deliver(late, dev_shim, mme_shim));
+                            }
+                            return out;
+                        }
+                        AdvFate::Duplicate { .. } => {
+                            let mut out = deliver(frame.clone(), dev_shim, mme_shim);
+                            out.extend(deliver(frame, dev_shim, mme_shim));
+                            return out;
+                        }
+                        AdvFate::Reorder { .. } => {
+                            // Overtaken: parked until after a later delivery;
+                            // meanwhile the sender's timer re-sends.
+                            held_frames.push(frame.clone());
+                        }
+                        AdvFate::Drop | AdvFate::Corrupt => {
+                            // Lost outright, or discarded by the receiver's
+                            // integrity check — either way no ACK comes.
+                        }
+                    }
+                    match dev_shim.on_retransmit_timer().into_iter().next() {
+                        Some(f) => frame = f,
+                        None => return Vec::new(),
+                    }
+                }
+                Vec::new()
+            } else {
+                match policy.decide(rng) {
+                    AdvFate::Deliver | AdvFate::Delay { .. } => {
+                        let mut out = vec![msg];
+                        // Overtaken messages land after this one.
+                        out.append(held_plain);
+                        out
+                    }
+                    AdvFate::Duplicate { .. } => vec![msg.clone(), msg],
+                    AdvFate::Reorder { .. } => {
+                        held_plain.push(msg);
+                        Vec::new()
+                    }
+                    AdvFate::Drop | AdvFate::Corrupt => Vec::new(),
+                }
+            }
+        };
+
+        let mut dev_out = Vec::new();
+        dev.on_input(EmmDeviceInput::AttachTrigger, &mut dev_out);
+        let mut downlink: Vec<NasMessage> = Vec::new();
+        let mut tau_done = false;
+        let mut tau_sent = false;
+        for _round in 0..40 {
+            let outs = std::mem::take(&mut dev_out);
+            for o in outs {
+                if let EmmDeviceOutput::Send(msg) = o {
+                    for m in uplink(
+                        msg,
+                        &mut rng,
+                        &mut dev_shim,
+                        &mut mme_shim,
+                        &mut held_plain,
+                        &mut held_frames,
+                    ) {
+                        let mut mo = Vec::new();
+                        mme.on_input(MmeInput::Uplink(m), &mut mo);
+                        for x in mo {
+                            if let MmeOutput::Send(d) = x {
+                                downlink.push(d);
+                            }
+                        }
+                    }
+                }
+            }
+            for m in std::mem::take(&mut downlink) {
+                let detach = matches!(
+                    m,
+                    NasMessage::UpdateReject(UpdateKind::TrackingArea, _)
+                        | NasMessage::NetworkDetach(_)
+                );
+                let mut o = Vec::new();
+                dev.on_input(EmmDeviceInput::Network(m), &mut o);
+                if detach
+                    && o.iter().any(|e| {
+                        matches!(e, EmmDeviceOutput::RegChanged(Registration::Deregistered))
+                    })
+                {
+                    detaches += 1;
+                    tau_done = true;
+                }
+                dev_out.extend(o);
+            }
+            if dev.state == cellstack::emm::EmmDeviceState::Registered && !tau_sent {
+                tau_sent = true;
+                dev.on_input(EmmDeviceInput::TauTrigger, &mut dev_out);
+            } else if dev.state == cellstack::emm::EmmDeviceState::Registered && tau_sent {
+                tau_done = true;
+            } else if dev.state == cellstack::emm::EmmDeviceState::RegisteredInitiated
+                && dev_out.is_empty()
+            {
+                dev.on_input(EmmDeviceInput::RetryTimer, &mut dev_out);
+            } else if dev.state == cellstack::emm::EmmDeviceState::TauInitiated
+                && dev_out.is_empty()
+                && downlink.is_empty()
+            {
+                dev.on_input(EmmDeviceInput::TauTrigger, &mut dev_out);
+            }
+            if tau_done && dev_out.is_empty() {
+                break;
+            }
+        }
+    }
+    detaches
+}
+
 /// One Figure 12-left series: `(drop_rate_percent, detaches)` points.
 pub type Fig12Series = Vec<(f64, u32)>;
 
@@ -258,6 +433,39 @@ pub fn figure12_left(seed: u64) -> (Fig12Series, Fig12Series) {
     let without: Vec<_> = rates
         .iter()
         .map(|&r| (r * 100.0, figure12_left_run(r, 100, false, seed ^ 1)))
+        .collect();
+    (with, without)
+}
+
+/// The Figure 12-left sweep under the generalized adversary: at each x-axis
+/// point `x%`, the uplink drops at `x%`, reorders at `x%` and corrupts at
+/// `x/2 %`. Returns `(with_solution, without_solution)` series.
+pub fn figure12_left_adversarial(seed: u64) -> (Fig12Series, Fig12Series) {
+    let rates = [0.0, 0.02, 0.04, 0.06, 0.08, 0.10];
+    let policy_at = |r: f64| netsim::FaultPolicy {
+        drop_rate: r,
+        reorder_rate: r,
+        corrupt_rate: r / 2.0,
+        reorder_hold_ms: 50,
+        ..netsim::FaultPolicy::default()
+    };
+    let with: Vec<_> = rates
+        .iter()
+        .map(|&r| {
+            (
+                r * 100.0,
+                figure12_left_adversarial_run(&policy_at(r), 100, true, seed),
+            )
+        })
+        .collect();
+    let without: Vec<_> = rates
+        .iter()
+        .map(|&r| {
+            (
+                r * 100.0,
+                figure12_left_adversarial_run(&policy_at(r), 100, false, seed ^ 1),
+            )
+        })
         .collect();
     (with, without)
 }
@@ -385,5 +593,60 @@ mod tests {
         assert_eq!(with.len(), 6);
         assert!(with.iter().all(|&(_, d)| d == 0));
         assert!(without.last().unwrap().1 >= without.first().unwrap().1);
+    }
+
+    #[test]
+    fn adversarial_f12l_shim_still_eliminates_detaches() {
+        // Reordering and corruption on top of drops: the go-back-N shim
+        // must still hold implicit detaches at zero.
+        let policy = netsim::FaultPolicy {
+            drop_rate: 0.10,
+            reorder_rate: 0.10,
+            corrupt_rate: 0.05,
+            reorder_hold_ms: 50,
+            ..netsim::FaultPolicy::default()
+        };
+        assert_eq!(figure12_left_adversarial_run(&policy, 100, true, 11), 0);
+    }
+
+    #[test]
+    fn adversarial_f12l_without_shim_detaches() {
+        let policy = netsim::FaultPolicy {
+            drop_rate: 0.10,
+            reorder_rate: 0.10,
+            corrupt_rate: 0.05,
+            reorder_hold_ms: 50,
+            ..netsim::FaultPolicy::default()
+        };
+        assert!(
+            figure12_left_adversarial_run(&policy, 100, false, 11) > 0,
+            "the bare exchange must implicitly detach under the adversary"
+        );
+    }
+
+    #[test]
+    fn adversarial_f12l_is_deterministic_per_seed() {
+        let policy = netsim::FaultPolicy {
+            drop_rate: 0.06,
+            reorder_rate: 0.06,
+            corrupt_rate: 0.03,
+            reorder_hold_ms: 50,
+            ..netsim::FaultPolicy::default()
+        };
+        let a = figure12_left_adversarial_run(&policy, 100, false, 5);
+        let b = figure12_left_adversarial_run(&policy, 100, false, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_f12l_sweep_shapes() {
+        let (with, without) = figure12_left_adversarial(7);
+        assert_eq!(with.len(), 6);
+        assert!(with.iter().all(|&(_, d)| d == 0), "shim holds: {with:?}");
+        assert_eq!(without[0].1, 0, "0% faults, 0 detaches");
+        assert!(
+            without.iter().any(|&(_, d)| d > 0),
+            "faults must bite without the shim: {without:?}"
+        );
     }
 }
