@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--exp all|t1|t2|t3|t4|t5|t6|f4|f6|f7|f8|f9|f10|f12l|f12r|f13|s93|alt-sharing|insights|screen|valid|faults] [--seed N]
+//! repro [--exp all|t1|t2|t3|t4|t5|t6|f4|f6|f7|f8|f9|f10|f12l|f12r|f13|s93|alt-sharing|insights|screen|valid|diagnose|faults] [--seed N]
 //! ```
 //!
 //! Each experiment prints the measured series next to the values the paper
@@ -32,7 +32,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp all|screen|valid|faults|t1|t2|t3|t4|t5|t6|f4|f6|f7|f8|f9|f10|f12l|f12r|f13|s93|alt-sharing|insights] [--seed N]"
+                    "usage: repro [--exp all|screen|valid|diagnose|faults|t1|t2|t3|t4|t5|t6|f4|f6|f7|f8|f9|f10|f12l|f12r|f13|s93|alt-sharing|insights] [--seed N]"
                 );
                 return;
             }
@@ -85,6 +85,10 @@ fn main() {
     }
     if run("valid") {
         validation(seed);
+        ran_any = true;
+    }
+    if run("diagnose") {
+        diagnose(seed);
         ran_any = true;
     }
     if run("f4") {
@@ -268,9 +272,59 @@ fn validation(seed: u64) {
     section("Validation phase over simulated carriers (paper Section 3.3/5/6)");
     for v in cnetverifier::validate_all(seed) {
         println!(
-            "{} on {:>5}: observed={:<5} {}",
-            v.instance, v.operator, v.observed, v.evidence
+            "{} on {:>5}: {:<12} {}",
+            v.instance,
+            v.operator,
+            v.verdict.to_string(),
+            v.evidence
         );
+    }
+}
+
+/// `--exp diagnose` — the S1-S6 x {OP-I, OP-II} diagnosis matrix from the
+/// runtime-verification monitors, with the matched event span backing every
+/// verdict. Screening runs its deterministic (sequential-engine) variant and
+/// the monitor replay is a pure function of the seed, so for a fixed
+/// `--seed` this output is byte-stable and CI diffs it against a golden.
+fn diagnose(seed: u64) {
+    section("Diagnosis matrix — monitor verdicts over OP-I / OP-II");
+    let diagnoses = cnetverifier::diagnose(seed);
+    println!(
+        "{:<4} {:>12} {:>12} {:>10} {:>13}  classification",
+        "inst", "OP-I", "OP-II", "screening", "witness-sig"
+    );
+    for d in &diagnoses {
+        let witness = d
+            .witness_verdict
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<4} {:>12} {:>12} {:>10} {:>13}  {}",
+            d.instance.to_string(),
+            d.outcomes[0].verdict.to_string(),
+            d.outcomes[1].verdict.to_string(),
+            if d.predicted_by_screening { "predicted" } else { "-" },
+            witness,
+            d.class
+        );
+    }
+    for d in &diagnoses {
+        println!();
+        for o in &d.outcomes {
+            println!(
+                "{} on {:>5}: {:<12} {}",
+                o.instance,
+                o.operator,
+                o.verdict.to_string(),
+                o.evidence
+            );
+            for line in o.span_lines() {
+                println!("    {line}");
+            }
+            if let Some(r) = &o.refutation {
+                println!("    refuted by: {r}");
+            }
+        }
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cnetverifier screen   [--remedied] [--json]       # phase 1
-//! cnetverifier validate [--seed N]   [--json]       # phase 2
+//! cnetverifier validate [--seed N]   [--json]       # phase 2 (monitor verdicts)
+//! cnetverifier diagnose [--seed N]   [--json]       # both phases + classification
 //! cnetverifier sample   [--walks N] [--seed N]      # §3.2.1 random sampling
 //! cnetverifier report                               # Tables 1/2/3/4 + insights
 //! ```
@@ -25,6 +26,7 @@ fn main() {
     match cmd {
         "screen" => screen(flag("--remedied"), flag("--json")),
         "validate" => validate(value("--seed").unwrap_or(2014), flag("--json")),
+        "diagnose" => diagnose(value("--seed").unwrap_or(2014), flag("--json")),
         "sample" => sample(
             value("--walks").unwrap_or(2_000) as usize,
             value("--seed").unwrap_or(0xCE11),
@@ -33,7 +35,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: cnetverifier <screen [--remedied] [--json] | \
-                 validate [--seed N] [--json] | sample [--walks N] [--seed N] | report>"
+                 validate [--seed N] [--json] | diagnose [--seed N] [--json] | \
+                 sample [--walks N] [--seed N] | report>"
             );
             std::process::exit(2);
         }
@@ -101,12 +104,47 @@ fn validate(seed: u64, json: bool) {
     }
     for v in &outcomes {
         println!(
-            "{} on {:>5}: observed={:<5} {}",
-            v.instance, v.operator, v.observed, v.evidence
+            "{} on {:>5}: {:<12} {}",
+            v.instance,
+            v.operator,
+            v.verdict.to_string(),
+            v.evidence
         );
+        for line in v.span_lines() {
+            println!("      {line}");
+        }
     }
     let observed = outcomes.iter().filter(|v| v.observed).count();
-    println!("\n{observed}/{} instance-carrier pairs observed.", outcomes.len());
+    println!(
+        "\n{observed}/{} instance-carrier pairs confirmed.",
+        outcomes.len()
+    );
+}
+
+fn diagnose(seed: u64, json: bool) {
+    let diagnoses = cnetverifier::diagnose(seed);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diagnoses).expect("diagnoses serialize")
+        );
+        return;
+    }
+    for d in &diagnoses {
+        let witness = d
+            .witness_verdict
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{}: {} (screening prediction: {}, compiled witness: {witness})",
+            d.instance,
+            d.class,
+            if d.predicted_by_screening { "yes" } else { "no" }
+        );
+        for o in &d.outcomes {
+            println!("  {:>5}: {:<12} {}", o.operator, o.verdict.to_string(), o.evidence);
+        }
+    }
 }
 
 fn sample(walks: usize, seed: u64) {

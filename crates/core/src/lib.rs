@@ -22,7 +22,10 @@
 //! * [`screening`] — runs the checker and extracts [`findings::Finding`]s
 //!   for S1–S4;
 //! * [`validation`] — reproduces each counterexample scenario on the
-//!   `netsim` simulated carriers (OP-I / OP-II) and uncovers S5 and S6;
+//!   `netsim` simulated carriers (OP-I / OP-II), drives the `monitor`
+//!   crate's signature automata over the typed traces, and uncovers the
+//!   operational slips S5 and S6; [`validation::diagnose`] classifies
+//!   every instance as design defect vs operational slip;
 //! * [`report`] — renders the paper's Table 1/3/4.
 //!
 //! # Quickstart
@@ -52,8 +55,12 @@ pub mod validation;
 
 pub use findings::{Category, Finding, Instance, Phase};
 pub use insights::{insight_for, lesson_for, Insight, Lesson, INSIGHTS, LESSONS};
+pub use monitor::{MatchedEvent, Verdict};
 pub use screening::{
-    run_screening, run_screening_budgeted, run_screening_remedied, run_screening_with_retries,
-    ModelRun, ScreenBudget, ScreeningReport,
+    run_screening, run_screening_budgeted, run_screening_deterministic, run_screening_remedied,
+    run_screening_with_retries, ModelRun, ScreenBudget, ScreeningReport,
 };
-pub use validation::{validate_all, ValidationOutcome};
+pub use validation::{
+    diagnose, diagnose_against, validate_all, validate_instance, DefectClass, Diagnosis,
+    ValidationOutcome,
+};

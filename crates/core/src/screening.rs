@@ -378,6 +378,50 @@ pub fn run_screening_budgeted(budget: ScreenBudget) -> ScreeningReport {
     ScreeningReport { runs: runs.into() }
 }
 
+/// Single-threaded screening with sequential engines (BFS for S1/S2/S4,
+/// DFS for S3). Sequential search makes each witness path a pure function
+/// of the model, so signatures compiled from the counterexamples — and
+/// anything diffed against a golden file, like the `--exp diagnose`
+/// matrix — stay stable across runs and machines.
+pub fn run_screening_deterministic() -> ScreeningReport {
+    let budget = ScreenBudget::default();
+    let runs = vec![
+        screen(
+            SwitchContextModel::paper(),
+            SearchStrategy::Bfs,
+            props::PACKET_SERVICE_OK,
+            Instance::S1,
+            "switch-context (S1 family)",
+            budget,
+        ),
+        screen(
+            AttachModel::paper(),
+            SearchStrategy::Bfs,
+            props::PACKET_SERVICE_OK,
+            Instance::S2,
+            "attach/unreliable-RRC (S2 family)",
+            budget,
+        ),
+        screen(
+            CsfbRrcModel::op2_high_rate(),
+            SearchStrategy::Dfs,
+            props::MM_OK,
+            Instance::S3,
+            "csfb-rrc (S3 family)",
+            budget,
+        ),
+        screen(
+            HolBlockModel::paper(),
+            SearchStrategy::Bfs,
+            props::CALL_SERVICE_OK,
+            Instance::S4,
+            "mm-holblock (S4 family)",
+            budget,
+        ),
+    ];
+    ScreeningReport { runs }
+}
+
 /// Run the screening phase with every §8 remedy applied: used to show the
 /// solution eliminates the design defects (§9). Any finding in this report
 /// means a remedy failed.

@@ -1,0 +1,281 @@
+//! Signature automata and their online evaluation.
+//!
+//! A [`Signature`] is a deterministic matcher: an ordered list of
+//! [`Step`]s plus negation arcs. A [`Monitor`] evaluates one signature
+//! online — entries stream in via [`Monitor::feed`], the automaton
+//! advances greedily on the first entry matching the awaited step, and
+//! the verdict hardens to [`Verdict::Confirmed`] when the last step
+//! matches, or to [`Verdict::Refuted`] the moment a forbidden pattern
+//! fires or a timed step's deadline passes. [`Monitor::finish`] closes
+//! the trace and settles anything still pending.
+
+use serde::{Deserialize, Serialize};
+
+use netsim::trace::{TraceEntry, TraceEvent};
+use netsim::SimTime;
+
+use crate::pattern::Pattern;
+use crate::verdict::Verdict;
+
+/// One step of a signature automaton.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// Human-readable label, shown in evidence spans.
+    pub label: String,
+    /// What the step waits for.
+    pub pattern: Pattern,
+    /// Deadline relative to the previous step's match (trace start for the
+    /// first step): if no match arrives within this many ms, the signature
+    /// is refuted (timed-step expiry).
+    pub within_ms: Option<u64>,
+    /// Negation arcs active only while this step is awaited.
+    pub forbidden: Vec<Pattern>,
+}
+
+/// A declarative signature automaton.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Signature name (e.g. `S3-hand`, `S2-compiled`).
+    pub name: String,
+    /// Ordered steps; all must match for `Confirmed`.
+    pub steps: Vec<Step>,
+    /// Labelled negation arcs active for the whole run.
+    pub forbidden: Vec<(String, Pattern)>,
+}
+
+impl Signature {
+    /// An empty signature with `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            steps: Vec::new(),
+            forbidden: Vec::new(),
+        }
+    }
+
+    /// Append an untimed step.
+    pub fn step(mut self, label: impl Into<String>, pattern: Pattern) -> Self {
+        self.steps.push(Step {
+            label: label.into(),
+            pattern,
+            within_ms: None,
+            forbidden: Vec::new(),
+        });
+        self
+    }
+
+    /// Append a step that must match within `within_ms` of the previous
+    /// one.
+    pub fn timed_step(
+        mut self,
+        label: impl Into<String>,
+        pattern: Pattern,
+        within_ms: u64,
+    ) -> Self {
+        self.steps.push(Step {
+            label: label.into(),
+            pattern,
+            within_ms: Some(within_ms),
+            forbidden: Vec::new(),
+        });
+        self
+    }
+
+    /// Add a negation arc to the most recently added step (active only
+    /// while that step is awaited).
+    ///
+    /// # Panics
+    /// Panics if no step has been added yet.
+    pub fn forbid_while(mut self, pattern: Pattern) -> Self {
+        self.steps
+            .last_mut()
+            .expect("forbid_while needs a preceding step")
+            .forbidden
+            .push(pattern);
+        self
+    }
+
+    /// Add a signature-global negation arc.
+    pub fn forbid(mut self, label: impl Into<String>, pattern: Pattern) -> Self {
+        self.forbidden.push((label.into(), pattern));
+        self
+    }
+}
+
+/// One matched event of an evidence span.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchedEvent {
+    /// When the event was observed.
+    pub ts: SimTime,
+    /// The step label it satisfied.
+    pub step: String,
+    /// The trace entry's description.
+    pub desc: String,
+    /// The typed payload.
+    pub event: TraceEvent,
+}
+
+/// The full outcome of running one monitor over one trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Signature name.
+    pub signature: String,
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// The matched event span (one entry per completed step; for refuted
+    /// runs, the prefix matched before refutation).
+    pub span: Vec<MatchedEvent>,
+    /// Total number of steps in the signature.
+    pub steps_total: usize,
+    /// Why the signature was refuted, when it was.
+    pub refutation: Option<String>,
+}
+
+/// Online evaluator for one [`Signature`].
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    sig: Signature,
+    next: usize,
+    anchor: SimTime,
+    span: Vec<MatchedEvent>,
+    verdict: Verdict,
+    refutation: Option<String>,
+}
+
+impl Monitor {
+    /// A monitor at the start of `sig`, anchored at trace time zero.
+    pub fn new(sig: Signature) -> Self {
+        let verdict = if sig.steps.is_empty() {
+            // Degenerate: nothing to wait for.
+            Verdict::Confirmed
+        } else {
+            Verdict::Inconclusive
+        };
+        Self {
+            sig,
+            next: 0,
+            anchor: SimTime::from_millis(0),
+            span: Vec::new(),
+            verdict,
+            refutation: None,
+        }
+    }
+
+    /// The current verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.verdict
+    }
+
+    /// The signature being evaluated.
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    fn deadline(&self) -> Option<SimTime> {
+        self.sig.steps[self.next]
+            .within_ms
+            .map(|ms| self.anchor + ms)
+    }
+
+    fn refute(&mut self, why: String) -> Verdict {
+        self.verdict = Verdict::Refuted;
+        self.refutation = Some(why);
+        Verdict::Refuted
+    }
+
+    /// Feed one trace entry; returns the (possibly hardened) verdict.
+    ///
+    /// Precedence per entry: signature-global negation arcs, then the
+    /// awaited step's negation arcs, then timed-step expiry, then the
+    /// awaited step's own pattern.
+    pub fn feed(&mut self, entry: &TraceEntry) -> Verdict {
+        if self.verdict.is_definite() {
+            return self.verdict;
+        }
+        for (label, pat) in &self.sig.forbidden {
+            if pat.matches(entry) {
+                let why = format!("forbidden event at {}: {label} ({})", entry.ts.hhmmss(), entry.desc);
+                return self.refute(why);
+            }
+        }
+        let step = &self.sig.steps[self.next];
+        for pat in &step.forbidden {
+            if pat.matches(entry) {
+                let why = format!(
+                    "forbidden while awaiting `{}` at {}: {}",
+                    step.label,
+                    entry.ts.hhmmss(),
+                    entry.desc
+                );
+                return self.refute(why);
+            }
+        }
+        if let Some(deadline) = self.deadline() {
+            if entry.ts > deadline {
+                let why = format!(
+                    "step `{}` expired at {} (deadline {})",
+                    step.label,
+                    entry.ts.hhmmss(),
+                    deadline.hhmmss()
+                );
+                return self.refute(why);
+            }
+        }
+        if step.pattern.matches(entry) {
+            self.span.push(MatchedEvent {
+                ts: entry.ts,
+                step: step.label.clone(),
+                desc: entry.desc.clone(),
+                event: entry.event.clone(),
+            });
+            self.anchor = entry.ts;
+            self.next += 1;
+            if self.next == self.sig.steps.len() {
+                self.verdict = Verdict::Confirmed;
+            }
+        }
+        self.verdict
+    }
+
+    /// Close the trace at time `end`: a pending timed step whose deadline
+    /// lies before `end` is refuted; anything else pending stays
+    /// `Inconclusive`.
+    pub fn finish(&mut self, end: SimTime) -> Verdict {
+        if self.verdict.is_definite() {
+            return self.verdict;
+        }
+        if let Some(deadline) = self.deadline() {
+            if end > deadline {
+                let why = format!(
+                    "step `{}` still unmatched when the trace ended at {} (deadline {})",
+                    self.sig.steps[self.next].label,
+                    end.hhmmss(),
+                    deadline.hhmmss()
+                );
+                return self.refute(why);
+            }
+        }
+        self.verdict
+    }
+
+    /// Snapshot the outcome.
+    pub fn report(&self) -> MonitorReport {
+        MonitorReport {
+            signature: self.sig.name.clone(),
+            verdict: self.verdict,
+            span: self.span.clone(),
+            steps_total: self.sig.steps.len(),
+            refutation: self.refutation.clone(),
+        }
+    }
+}
+
+impl MonitorReport {
+    /// Render the span as `hh:mm:ss.ms step — desc` lines.
+    pub fn span_lines(&self) -> Vec<String> {
+        self.span
+            .iter()
+            .map(|m| format!("{} {:<22} {}", m.ts.hhmmss(), m.step, m.desc))
+            .collect()
+    }
+}

@@ -73,5 +73,8 @@ pub use phone::PhoneModel;
 pub use radio::{achievable_kbps, ChannelConfig, PathLoss, Rssi};
 pub use rng::DurationDist;
 pub use time::SimTime;
-pub use trace::{TraceCollector, TraceEntry, TraceType};
+pub use trace::{
+    CallPhase, FaultEvent, FaultKind, HazardKind, TraceCollector, TraceEntry, TraceEvent,
+    TraceType,
+};
 pub use world::{Ev, World, WorldConfig};

@@ -4,11 +4,18 @@
 //! item using the format of hh:mm:ss.ms, (2) trace type (e.g., STATE), (3)
 //! network system (e.g., 3G or 4G), (4) the module generating the traces
 //! (e.g., MM or CM/CC), and (5) the basic trace description."
+//!
+//! Beyond the five human-readable fields, every entry carries a typed
+//! [`TraceEvent`] payload so downstream consumers — above all the
+//! `monitor` crate's signature automata — can match on structure
+//! (message kinds, state transitions, fault markers) instead of parsing
+//! the free-form description string.
 
 use serde::{Deserialize, Serialize};
 
-use cellstack::{Protocol, RatSystem};
+use cellstack::{NasMessage, Protocol, RatSystem};
 
+use crate::inject::{Leg, NodeId};
 use crate::time::SimTime;
 
 /// Trace item category (field 2).
@@ -28,7 +35,168 @@ pub enum TraceType {
     Fault,
 }
 
-/// One trace entry with the five fields of §3.3.
+/// Call lifecycle phase, as observed at the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CallPhase {
+    /// The user dialed (MO) — CSFB fallback may still be ahead.
+    Dialed,
+    /// The network paged the device for an MT call.
+    Incoming,
+    /// The call connected end-to-end.
+    Connected,
+    /// The call was released.
+    Released,
+    /// Call setup failed before connecting.
+    Failed,
+}
+
+/// A named cross-layer hazard the simulator detected — the observable
+/// footprint of the paper's problematic instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HazardKind {
+    /// S1: a 3G→4G switch completed without a usable PDP context.
+    S1ContextLoss,
+    /// S4: a CM service request was HOL-blocked behind a location update.
+    S4HolBlocked,
+    /// S6: a 3G location-update failure was propagated into a 4G detach.
+    S6FailurePropagated,
+    /// An in-service device received a network-caused implicit detach.
+    ImplicitDetach,
+}
+
+/// What an injected fault did to a message (or node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The message was silently dropped.
+    Drop,
+    /// The message was corrupted in flight and discarded (or semantically
+    /// rejected) by the receiver.
+    Corrupt,
+    /// The message was held back and delivered out of order.
+    Reorder {
+        /// How long the message was held, ms.
+        hold_ms: u64,
+    },
+    /// A core node restarted after an outage, losing volatile state.
+    NodeRestart,
+}
+
+/// A typed fault record: which kind, on which leg, to which message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What happened.
+    pub kind: FaultKind,
+    /// The signaling leg the message travelled (None for node faults).
+    pub leg: Option<Leg>,
+    /// The affected NAS message (None for node faults).
+    pub msg: Option<NasMessage>,
+    /// The restarted node (NodeRestart only).
+    pub node: Option<NodeId>,
+}
+
+impl FaultEvent {
+    /// A message-level fault on a signaling leg.
+    pub fn on_leg(kind: FaultKind, leg: Leg, msg: NasMessage) -> Self {
+        Self {
+            kind,
+            leg: Some(leg),
+            msg: Some(msg),
+            node: None,
+        }
+    }
+
+    /// A node-restart fault.
+    pub fn node_restart(node: NodeId) -> Self {
+        Self {
+            kind: FaultKind::NodeRestart,
+            leg: None,
+            msg: None,
+            node: Some(node),
+        }
+    }
+
+    /// Message direction, when the fault is tied to a leg.
+    pub fn uplink(&self) -> Option<bool> {
+        self.leg
+            .map(|l| matches!(l, Leg::Ul4g | Leg::Ul3gCs | Leg::Ul3gPs))
+    }
+
+    /// The legacy human-readable description of this fault.
+    pub fn describe(&self) -> String {
+        let dir = match self.uplink() {
+            Some(true) => "uplink",
+            Some(false) => "downlink",
+            None => "node",
+        };
+        match (&self.kind, &self.msg, &self.leg, &self.node) {
+            (FaultKind::Drop, Some(m), Some(leg), _) => {
+                format!("{dir} {} lost on {leg}", m.wire_name())
+            }
+            (FaultKind::Corrupt, Some(m), _, _) if self.uplink() == Some(true) => {
+                format!("{dir} {} corrupted in flight", m.wire_name())
+            }
+            (FaultKind::Corrupt, Some(m), _, _) => {
+                format!("{dir} {} corrupted; discarded by the device", m.wire_name())
+            }
+            (FaultKind::Reorder { hold_ms }, Some(m), _, _) => {
+                format!("{dir} {} held {hold_ms} ms (reordered)", m.wire_name())
+            }
+            (FaultKind::NodeRestart, _, _, Some(node)) => {
+                format!("node {node} restarted after outage (volatile state lost)")
+            }
+            _ => format!("{:?} fault", self.kind),
+        }
+    }
+}
+
+/// The typed payload of a trace entry — the machine-readable counterpart
+/// to the free-form description (field 5).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// No structured payload (legacy free-form entries).
+    #[default]
+    Note,
+    /// A NAS message observed at an endpoint (core for uplink, device for
+    /// downlink).
+    Nas {
+        /// Direction: true = device→core.
+        uplink: bool,
+        /// The message itself.
+        msg: NasMessage,
+    },
+    /// Registration state changed.
+    Registration {
+        /// In service (attached) or out of service.
+        registered: bool,
+        /// The serving system when the change happened.
+        system: RatSystem,
+    },
+    /// The device camped on a system (fallback, return, reselection,
+    /// coverage mobility).
+    CampedOn(RatSystem),
+    /// Call lifecycle transition.
+    Call(CallPhase),
+    /// Shared-channel radio reconfiguration (Figure 10).
+    RadioConfig {
+        /// Whether 64QAM stays available on the shared channel.
+        allow_64qam: bool,
+    },
+    /// A throughput measurement sample.
+    Throughput {
+        /// Uplink (true) or downlink sample.
+        uplink: bool,
+        /// Whether a CS voice call was active during the sample.
+        with_call: bool,
+        /// Achieved rate, kbps (integral — samples are deterministic).
+        kbps: u64,
+    },
+    /// An injected fault.
+    Fault(FaultEvent),
+    /// A detected cross-layer hazard.
+    Hazard(HazardKind),
+}
+
+/// One trace entry: the five fields of §3.3 plus the typed payload.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEntry {
     /// (1) Timestamp.
@@ -41,6 +209,8 @@ pub struct TraceEntry {
     pub module: Protocol,
     /// (5) Description.
     pub desc: String,
+    /// Typed payload ([`TraceEvent::Note`] when none).
+    pub event: TraceEvent,
 }
 
 impl std::fmt::Display for TraceEntry {
@@ -69,7 +239,7 @@ impl TraceCollector {
         Self::default()
     }
 
-    /// Append an entry.
+    /// Append an entry without a structured payload.
     pub fn record(
         &mut self,
         ts: SimTime,
@@ -78,12 +248,26 @@ impl TraceCollector {
         module: Protocol,
         desc: impl Into<String>,
     ) {
+        self.record_event(ts, trace_type, system, module, desc, TraceEvent::Note);
+    }
+
+    /// Append an entry carrying a typed payload.
+    pub fn record_event(
+        &mut self,
+        ts: SimTime,
+        trace_type: TraceType,
+        system: RatSystem,
+        module: Protocol,
+        desc: impl Into<String>,
+        event: TraceEvent,
+    ) {
         self.entries.push(TraceEntry {
             ts,
             trace_type,
             system,
             module,
             desc: desc.into(),
+            event,
         });
     }
 
@@ -105,6 +289,53 @@ impl TraceCollector {
     /// Entries from a module.
     pub fn by_module(&self, module: Protocol) -> impl Iterator<Item = &TraceEntry> {
         self.entries.iter().filter(move |e| e.module == module)
+    }
+
+    /// Entries whose typed payload satisfies `pred`.
+    pub fn find_event<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a TraceEntry> + 'a
+    where
+        F: Fn(&TraceEvent) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |e| pred(&e.event))
+    }
+
+    /// First entry whose typed payload satisfies `pred`.
+    pub fn first_event<F>(&self, pred: F) -> Option<&TraceEntry>
+    where
+        F: Fn(&TraceEvent) -> bool,
+    {
+        self.entries.iter().find(|e| pred(&e.event))
+    }
+
+    /// NAS messages observed on the wire, with their entries.
+    pub fn nas_messages(&self) -> impl Iterator<Item = (&TraceEntry, bool, &NasMessage)> {
+        self.entries.iter().filter_map(|e| match &e.event {
+            TraceEvent::Nas { uplink, msg } => Some((e, *uplink, msg)),
+            _ => None,
+        })
+    }
+
+    /// Injected faults, with their entries.
+    pub fn faults(&self) -> impl Iterator<Item = (&TraceEntry, &FaultEvent)> {
+        self.entries.iter().filter_map(|e| match &e.event {
+            TraceEvent::Fault(f) => Some((e, f)),
+            _ => None,
+        })
+    }
+
+    /// Detected hazards, with their entries.
+    pub fn hazards(&self) -> impl Iterator<Item = (&TraceEntry, HazardKind)> {
+        self.entries.iter().filter_map(|e| match e.event {
+            TraceEvent::Hazard(h) => Some((e, h)),
+            _ => None,
+        })
+    }
+
+    /// Entries in the half-open time window `[from, to)`.
+    pub fn between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TraceEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.ts >= from && e.ts < to)
     }
 
     /// Render the whole log (the Figure 10 style dump).
@@ -140,22 +371,28 @@ impl TraceCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cellstack::UpdateKind;
 
     fn sample() -> TraceCollector {
         let mut t = TraceCollector::new();
-        t.record(
+        t.record_event(
             SimTime::from_millis(1_234),
             TraceType::Signaling,
             RatSystem::Utran3g,
             Protocol::Mm,
             "Location Updating Request",
+            TraceEvent::Nas {
+                uplink: true,
+                msg: NasMessage::UpdateRequest(UpdateKind::LocationArea),
+            },
         );
-        t.record(
+        t.record_event(
             SimTime::from_secs(2),
             TraceType::RadioConfig,
             RatSystem::Utran3g,
             Protocol::Rrc3g,
             "64QAM disabled during CS voice call",
+            TraceEvent::RadioConfig { allow_64qam: false },
         );
         t
     }
@@ -193,6 +430,113 @@ mod tests {
         let t = sample();
         assert_eq!(t.by_module(Protocol::Rrc3g).count(), 1);
         assert_eq!(t.by_module(Protocol::Emm).count(), 0);
+    }
+
+    #[test]
+    fn record_defaults_to_note() {
+        let mut t = TraceCollector::new();
+        t.record(
+            SimTime::from_secs(1),
+            TraceType::State,
+            RatSystem::Lte4g,
+            Protocol::Emm,
+            "free-form",
+        );
+        assert_eq!(t.entries()[0].event, TraceEvent::Note);
+    }
+
+    #[test]
+    fn find_event_matches_typed_payload() {
+        let t = sample();
+        assert_eq!(
+            t.find_event(|e| matches!(e, TraceEvent::Nas { uplink: true, .. }))
+                .count(),
+            1
+        );
+        assert!(t
+            .first_event(|e| matches!(e, TraceEvent::RadioConfig { allow_64qam: false }))
+            .is_some());
+        assert!(t
+            .first_event(|e| matches!(e, TraceEvent::Hazard(_)))
+            .is_none());
+    }
+
+    #[test]
+    fn nas_messages_yields_direction_and_message() {
+        let t = sample();
+        let all: Vec<_> = t.nas_messages().collect();
+        assert_eq!(all.len(), 1);
+        let (entry, uplink, msg) = all[0];
+        assert_eq!(entry.ts, SimTime::from_millis(1_234));
+        assert!(uplink);
+        assert_eq!(msg.wire_name(), "Location Updating Request");
+    }
+
+    #[test]
+    fn faults_and_hazards_query_typed_entries() {
+        let mut t = sample();
+        t.record_event(
+            SimTime::from_secs(3),
+            TraceType::Fault,
+            RatSystem::Lte4g,
+            Protocol::Rrc4g,
+            "uplink Attach Complete lost on ul-4g",
+            TraceEvent::Fault(FaultEvent::on_leg(
+                FaultKind::Drop,
+                Leg::Ul4g,
+                NasMessage::AttachComplete,
+            )),
+        );
+        t.record_event(
+            SimTime::from_secs(4),
+            TraceType::State,
+            RatSystem::Lte4g,
+            Protocol::Emm,
+            "implicit detach",
+            TraceEvent::Hazard(HazardKind::ImplicitDetach),
+        );
+        let faults: Vec<_> = t.faults().collect();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].1.kind, FaultKind::Drop);
+        assert_eq!(faults[0].1.uplink(), Some(true));
+        let hazards: Vec<_> = t.hazards().collect();
+        assert_eq!(hazards.len(), 1);
+        assert_eq!(hazards[0].1, HazardKind::ImplicitDetach);
+    }
+
+    #[test]
+    fn fault_event_describe_matches_legacy_strings() {
+        let f = FaultEvent::on_leg(FaultKind::Drop, Leg::Dl3gCs, NasMessage::CallConnect);
+        assert_eq!(f.describe(), "downlink Connect lost on dl-3g-cs");
+        let r = FaultEvent::on_leg(
+            FaultKind::Reorder { hold_ms: 250 },
+            Leg::Ul4g,
+            NasMessage::AttachComplete,
+        );
+        assert_eq!(
+            r.describe(),
+            "uplink Attach Complete held 250 ms (reordered)"
+        );
+        let n = FaultEvent::node_restart(NodeId::Mme);
+        assert_eq!(
+            n.describe(),
+            "node mme restarted after outage (volatile state lost)"
+        );
+    }
+
+    #[test]
+    fn between_filters_half_open_window() {
+        let t = sample();
+        assert_eq!(
+            t.between(SimTime::from_millis(1_000), SimTime::from_secs(2))
+                .count(),
+            1
+        );
+        assert_eq!(
+            t.between(SimTime::from_millis(0), SimTime::from_secs(10))
+                .count(),
+            2
+        );
     }
 
     #[test]

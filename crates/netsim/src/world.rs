@@ -34,7 +34,9 @@ use crate::operator::OperatorProfile;
 use crate::radio::{achievable_kbps, ChannelConfig, Rssi};
 use crate::rng::rng_from_seed;
 use crate::time::SimTime;
-use crate::trace::{TraceCollector, TraceType};
+use crate::trace::{
+    CallPhase, FaultEvent, FaultKind, HazardKind, TraceCollector, TraceEvent, TraceType,
+};
 
 /// Simulation events.
 #[derive(Clone, Debug)]
@@ -448,12 +450,13 @@ impl World {
                     let mut evs = Vec::new();
                     self.stack.switch_4g_to_3g(&mut evs);
                     self.process_stack_events(evs);
-                    self.trace.record(
+                    self.trace.record_event(
                         self.now,
                         TraceType::State,
                         RatSystem::Utran3g,
                         Protocol::Emm,
                         "coverage mobility: camped on 3G",
+                        TraceEvent::CampedOn(RatSystem::Utran3g),
                     );
                 }
             }
@@ -554,12 +557,13 @@ impl World {
                 cellstack::mm::MmDeviceState::LocationUpdating
                     | cellstack::mm::MmDeviceState::WaitForNetworkCommand
             );
-        self.trace.record(
+        self.trace.record_event(
             self.now,
             TraceType::UserAction,
             self.stack.serving,
             Protocol::CmCc,
             "user dials",
+            TraceEvent::Call(CallPhase::Dialed),
         );
         if self.stack.serving == RatSystem::Lte4g {
             // CSFB: fall back to 3G first (§2, §5.1.1).
@@ -582,12 +586,13 @@ impl World {
         }
         self.dial_time = Some(self.now);
         self.dial_during_update = false;
-        self.trace.record(
+        self.trace.record_event(
             self.now,
             TraceType::UserAction,
             self.stack.serving,
             Protocol::CmCc,
             "incoming call (network pages the device)",
+            TraceEvent::Call(CallPhase::Incoming),
         );
         if self.stack.serving == RatSystem::Lte4g {
             // CSFB paging: the device falls back to 3G first.
@@ -637,6 +642,14 @@ impl World {
         let mut evs = Vec::new();
         self.stack.switch_4g_to_3g_with(defer, &mut evs);
         self.process_stack_events(evs);
+        self.trace.record_event(
+            self.now,
+            TraceType::State,
+            RatSystem::Utran3g,
+            Protocol::Rrc3g,
+            "CSFB fallback complete: camped on 3G",
+            TraceEvent::CampedOn(RatSystem::Utran3g),
+        );
         if let Some(c) = self.csfb.as_mut() {
             c.arrived_in_3g();
         }
@@ -702,6 +715,16 @@ impl World {
         self.drain_mme_outputs(out);
         let mut evs = Vec::new();
         self.stack.switch_3g_to_4g(&mut evs);
+        // The device camps the instant the switch completes; consequences
+        // of the switch (deregistration, context loss) trace after it.
+        self.trace.record_event(
+            self.now,
+            TraceType::State,
+            RatSystem::Lte4g,
+            Protocol::Rrc4g,
+            "returned to 4G: camped on LTE",
+            TraceEvent::CampedOn(RatSystem::Lte4g),
+        );
         self.process_stack_events(evs);
         // S1: a previously-registered device returning without a usable
         // context (regardless of how the context was lost — call, data
@@ -711,12 +734,13 @@ impl World {
             && !self.stack.emm.remedy_reactivate_bearer
         {
             self.metrics.s1_events += 1;
-            self.trace.record(
+            self.trace.record_event(
                 self.now,
                 TraceType::State,
                 RatSystem::Lte4g,
                 Protocol::Emm,
                 "3G->4G switch without PDP context (S1 hazard)",
+                TraceEvent::Hazard(HazardKind::S1ContextLoss),
             );
         }
 
@@ -748,13 +772,31 @@ impl World {
             self.current_hour(),
             self.cfg.op.aggressive_ul_coupling,
         );
+        let with_call = rrc.cs_active;
         self.metrics.throughput.push(ThroughputSample {
             ts: self.now,
             hour: self.current_hour(),
             uplink,
-            with_call: rrc.cs_active,
+            with_call,
             kbps,
         });
+        let dir = if uplink { "uplink" } else { "downlink" };
+        let voice = if with_call { " (CS voice active)" } else { "" };
+        self.trace.record_event(
+            self.now,
+            TraceType::Measurement,
+            self.stack.serving,
+            match self.stack.serving {
+                RatSystem::Utran3g => Protocol::Rrc3g,
+                RatSystem::Lte4g => Protocol::Rrc4g,
+            },
+            format!("{dir} throughput sample: {} kbps{voice}", kbps.round() as u64),
+            TraceEvent::Throughput {
+                uplink,
+                with_call,
+                kbps: kbps.round() as u64,
+            },
+        );
     }
 
     fn on_drive_position(&mut self) {
@@ -781,7 +823,7 @@ impl World {
     // ------------------------------------------------------------------
 
     fn on_arrive_at_core(&mut self, system: RatSystem, domain: Domain, msg: NasMessage) {
-        self.trace.record(
+        self.trace.record_event(
             self.now,
             TraceType::Signaling,
             system,
@@ -791,6 +833,10 @@ impl World {
                 (RatSystem::Utran3g, Domain::Ps) => Protocol::Gmm,
             },
             format!("core received: {}", msg.wire_name()),
+            TraceEvent::Nas {
+                uplink: true,
+                msg: msg.clone(),
+            },
         );
         match (system, domain) {
             (RatSystem::Lte4g, _) => {
@@ -903,6 +949,15 @@ impl World {
                         self.reattach_ready_at = Some(self.now + pace);
                         if matches!(m, NasMessage::NetworkDetach(_)) {
                             self.metrics.s6_events += 1;
+                            self.trace.record_event(
+                                self.now,
+                                TraceType::State,
+                                RatSystem::Lte4g,
+                                Protocol::Emm,
+                                "3G location-update failure propagated to 4G: \
+                                 MME detaches the device (S6 hazard)",
+                                TraceEvent::Hazard(HazardKind::S6FailurePropagated),
+                            );
                         }
                     }
                     self.schedule_downlink(RatSystem::Lte4g, Domain::Ps, m, delay);
@@ -982,19 +1037,13 @@ impl World {
                 .decide(now_ms, leg, msg.class());
             match fate {
                 AdvFate::Drop => {
-                    self.record_fault(system, format!(
-                        "downlink {} lost on {leg}",
-                        msg.wire_name()
-                    ));
+                    self.record_fault(system, FaultEvent::on_leg(FaultKind::Drop, leg, msg));
                     return;
                 }
                 AdvFate::Corrupt => {
                     // The device's integrity check fails; the garbage NAS
                     // PDU is silently discarded (TS 24.301 §4.4.4.2).
-                    self.record_fault(system, format!(
-                        "downlink {} corrupted; discarded by the device",
-                        msg.wire_name()
-                    ));
+                    self.record_fault(system, FaultEvent::on_leg(FaultKind::Corrupt, leg, msg));
                     return;
                 }
                 AdvFate::Duplicate { extra_delay_ms } => {
@@ -1009,10 +1058,10 @@ impl World {
                 }
                 AdvFate::Delay { extra_delay_ms } => delay += extra_delay_ms,
                 AdvFate::Reorder { hold_ms } => {
-                    self.record_fault(system, format!(
-                        "downlink {} held {hold_ms} ms (reordered)",
-                        msg.wire_name()
-                    ));
+                    self.record_fault(
+                        system,
+                        FaultEvent::on_leg(FaultKind::Reorder { hold_ms }, leg, msg.clone()),
+                    );
                     delay += hold_ms;
                 }
                 AdvFate::Deliver => {}
@@ -1020,12 +1069,13 @@ impl World {
         } else if system == RatSystem::Lte4g {
             match self.cfg.inject_dl_4g.fate(&mut self.rng) {
                 Fate::Drop => {
-                    self.trace.record(
+                    self.trace.record_event(
                         self.now,
                         TraceType::Signaling,
                         system,
                         Protocol::Rrc4g,
                         format!("downlink {} lost over the air", msg.wire_name()),
+                        TraceEvent::Fault(FaultEvent::on_leg(FaultKind::Drop, Leg::Dl4g, msg)),
                     );
                     return;
                 }
@@ -1053,14 +1103,22 @@ impl World {
         );
     }
 
-    /// Record an adversary-caused fault in the trace.
-    fn record_fault(&mut self, system: RatSystem, desc: String) {
+    /// Record an injected fault in the trace, typed and queryable — the
+    /// human-readable description is derived from the structured record.
+    fn record_fault(&mut self, system: RatSystem, fault: FaultEvent) {
         let proto = match system {
             RatSystem::Lte4g => Protocol::Rrc4g,
             RatSystem::Utran3g => Protocol::Rrc3g,
         };
-        self.trace
-            .record(self.now, TraceType::Fault, system, proto, desc);
+        let desc = fault.describe();
+        self.trace.record_event(
+            self.now,
+            TraceType::Fault,
+            system,
+            proto,
+            desc,
+            TraceEvent::Fault(fault),
+        );
     }
 
     /// Apply the scheduled restarts of a finished campaign phase: the
@@ -1094,10 +1152,7 @@ impl World {
                 // Base stations hold no NAS state in this model.
                 NodeId::Bs4g | NodeId::Bs3g => {}
             }
-            self.record_fault(
-                self.stack.serving,
-                format!("node {node} restarted after outage (volatile state lost)"),
-            );
+            self.record_fault(self.stack.serving, FaultEvent::node_restart(node));
         }
     }
 
@@ -1139,7 +1194,7 @@ impl World {
             }
             _ => {}
         }
-        self.trace.record(
+        self.trace.record_event(
             self.now,
             TraceType::Signaling,
             system,
@@ -1149,6 +1204,10 @@ impl World {
                 (RatSystem::Utran3g, Domain::Ps) => Protocol::Gmm,
             },
             format!("device received: {}", msg.wire_name()),
+            TraceEvent::Nas {
+                uplink: false,
+                msg: msg.clone(),
+            },
         );
         // Implicit-detach accounting (the Figure 12-left y-axis): a
         // network-caused detach delivered to an in-service device.
@@ -1160,6 +1219,14 @@ impl World {
             && system == RatSystem::Lte4g;
         if implicit {
             self.metrics.implicit_detaches += 1;
+            self.trace.record_event(
+                self.now,
+                TraceType::State,
+                RatSystem::Lte4g,
+                Protocol::Emm,
+                "network-caused detach reached an in-service device",
+                TraceEvent::Hazard(HazardKind::ImplicitDetach),
+            );
         }
         let mut evs = Vec::new();
         self.stack.deliver_nas(system, domain, msg, &mut evs);
@@ -1184,12 +1251,16 @@ impl World {
                             .oos_durations_ms
                             .push(self.now.since(start));
                     }
-                    self.trace.record(
+                    self.trace.record_event(
                         self.now,
                         TraceType::State,
                         self.stack.serving,
                         Protocol::Emm,
                         "registered (in service)",
+                        TraceEvent::Registration {
+                            registered: true,
+                            system: self.stack.serving,
+                        },
                     );
                 }
                 StackEvent::RegChanged(Registration::Deregistered) => {
@@ -1197,24 +1268,29 @@ impl World {
                     if self.oos_since.is_none() && !self.user_detached {
                         self.oos_since = Some(self.now);
                     }
-                    self.trace.record(
+                    self.trace.record_event(
                         self.now,
                         TraceType::State,
                         self.stack.serving,
                         Protocol::Emm,
                         "deregistered (out of service)",
+                        TraceEvent::Registration {
+                            registered: false,
+                            system: self.stack.serving,
+                        },
                     );
                 }
                 StackEvent::CallConnected => {
                     // Figure 10: the carrier reconfigures the shared channel
                     // to a robust modulation for the call.
                     if !self.cfg.decoupled_channels {
-                        self.trace.record(
+                        self.trace.record_event(
                             self.now,
                             TraceType::RadioConfig,
                             RatSystem::Utran3g,
                             Protocol::Rrc3g,
                             "64QAM disabled during CS voice call (shared channel -> 16QAM)",
+                            TraceEvent::RadioConfig { allow_64qam: false },
                         );
                     }
                     if let Some(t) = self.dial_time.take() {
@@ -1231,12 +1307,13 @@ impl World {
                     if let Some(ms) = self.cfg.auto_hangup_after_ms {
                         self.schedule_in(ms, Ev::Hangup);
                     }
-                    self.trace.record(
+                    self.trace.record_event(
                         self.now,
                         TraceType::State,
                         RatSystem::Utran3g,
                         Protocol::CmCc,
                         "call connected",
+                        TraceEvent::Call(CallPhase::Connected),
                     );
                 }
                 StackEvent::CallReleased => {
@@ -1245,21 +1322,38 @@ impl World {
                 StackEvent::CallFailed => {
                     self.metrics.failed_calls += 1;
                     self.dial_time = None;
+                    self.trace.record_event(
+                        self.now,
+                        TraceType::State,
+                        self.stack.serving,
+                        Protocol::CmCc,
+                        "call setup failed",
+                        TraceEvent::Call(CallPhase::Failed),
+                    );
                 }
                 StackEvent::ServiceRequestBlocked => {
                     self.metrics.blocked_requests += 1;
+                    self.trace.record_event(
+                        self.now,
+                        TraceType::State,
+                        RatSystem::Utran3g,
+                        Protocol::Mm,
+                        "CM service request blocked behind location update (S4 hazard)",
+                        TraceEvent::Hazard(HazardKind::S4HolBlocked),
+                    );
                 }
                 StackEvent::DataService(_) => {}
                 StackEvent::WantsSwitchTo(RatSystem::Utran3g) => {
                     // "When all retries fail, the device may start to try
                     // 3G" (§5.1.2): camp on 3G and attach there. The
                     // out-of-service window closes when 3G registers.
-                    self.trace.record(
+                    self.trace.record_event(
                         self.now,
                         TraceType::State,
                         RatSystem::Utran3g,
                         Protocol::Gmm,
                         "4G attach retries exhausted; falling back to 3G",
+                        TraceEvent::CampedOn(RatSystem::Utran3g),
                     );
                     self.stack.serving = RatSystem::Utran3g;
                     let mut evs = Vec::new();
@@ -1311,20 +1405,22 @@ impl World {
     fn on_call_released(&mut self, work: &mut VecDeque<StackEvent>) {
         self.call_end_time = Some(self.now);
         if !self.cfg.decoupled_channels {
-            self.trace.record(
+            self.trace.record_event(
                 self.now,
                 TraceType::RadioConfig,
                 RatSystem::Utran3g,
                 Protocol::Rrc3g,
                 "64QAM re-enabled (CS voice call ended)",
+                TraceEvent::RadioConfig { allow_64qam: true },
             );
         }
-        self.trace.record(
+        self.trace.record_event(
             self.now,
             TraceType::State,
             RatSystem::Utran3g,
             Protocol::CmCc,
             "call released",
+            TraceEvent::Call(CallPhase::Released),
         );
         // CSFB: the deferred first LU fires now, then the return-to-4G
         // choreography per operator mechanism (the S3 split).
@@ -1400,10 +1496,7 @@ impl World {
                 .decide(now_ms, leg, msg.class());
             match fate {
                 AdvFate::Drop => {
-                    self.record_fault(
-                        system,
-                        format!("uplink {} lost on {leg}", msg.wire_name()),
-                    );
+                    self.record_fault(system, FaultEvent::on_leg(FaultKind::Drop, leg, msg));
                     return;
                 }
                 AdvFate::Corrupt => {
@@ -1412,7 +1505,7 @@ impl World {
                     // discarded after the integrity check fails.
                     self.record_fault(
                         system,
-                        format!("uplink {} corrupted in flight", msg.wire_name()),
+                        FaultEvent::on_leg(FaultKind::Corrupt, leg, msg.clone()),
                     );
                     match &msg {
                         NasMessage::AttachRequest { .. } => {
@@ -1451,7 +1544,7 @@ impl World {
                 AdvFate::Reorder { hold_ms } => {
                     self.record_fault(
                         system,
-                        format!("uplink {} held {hold_ms} ms (reordered)", msg.wire_name()),
+                        FaultEvent::on_leg(FaultKind::Reorder { hold_ms }, leg, msg.clone()),
                     );
                     delay += hold_ms;
                 }
@@ -1460,12 +1553,13 @@ impl World {
         } else if system == RatSystem::Lte4g {
             match self.cfg.inject_ul_4g.fate(&mut self.rng) {
                 Fate::Drop => {
-                    self.trace.record(
+                    self.trace.record_event(
                         self.now,
                         TraceType::Signaling,
                         system,
                         Protocol::Rrc4g,
                         format!("uplink {} lost over the air", msg.wire_name()),
+                        TraceEvent::Fault(FaultEvent::on_leg(FaultKind::Drop, Leg::Ul4g, msg)),
                     );
                     return;
                 }

@@ -37,13 +37,22 @@ fn main() {
         }
     }
 
-    // ---- Phase 2: validation (simulated carriers) ----
+    // ---- Phase 2: validation (simulated carriers, monitor verdicts) ----
     println!("\nPhase 2: validating on the simulated carriers...\n");
     for v in cnetverifier::validate_all(2014) {
         println!(
-            "  {} on {:>5}: observed={:<5} — {}",
-            v.instance, v.operator, v.observed, v.evidence
+            "  {} on {:>5}: {:<12} — {}",
+            v.instance,
+            v.operator,
+            v.verdict.to_string(),
+            v.evidence
         );
+    }
+
+    // ---- The diagnosis: design defects vs operational slips ----
+    println!("\nDiagnosis (both phases combined):");
+    for d in cnetverifier::diagnose(2014) {
+        println!("  {}: {}", d.instance, d.class);
     }
 
     // ---- The fix ----
