@@ -1,0 +1,112 @@
+//! Fleet-size scaling of the multi-UE carrier simulation.
+//!
+//! Each arm runs a uniform OP-II fleet (typical 4G behaviour) for one
+//! simulated week at UEs ∈ {1, 20, 200, 2000} on the host's full shard
+//! count. The interesting shape is events/sec versus fleet size: the
+//! per-UE executives are independent apart from the shared-session locks,
+//! so throughput should grow with the fleet until the shards saturate the
+//! host.
+//!
+//! Besides the criterion timings, the run rewrites `BENCH_fleet.json` in
+//! the workspace root: the committed baseline recording events/sec per
+//! fleet size on the machine that produced it.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use netsim::{op_ii, BehaviorProfile, FleetConfig, FleetReport, FleetSim, UeSpec};
+use serde_json::Value;
+
+const FLEET_SIZES: [usize; 4] = [1, 20, 200, 2000];
+const DAYS: u32 = 7;
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn run_fleet(ues: usize) -> FleetReport {
+    let r = FleetSim::new(FleetConfig::uniform(
+        4204,
+        DAYS,
+        threads(),
+        ues,
+        UeSpec {
+            op: op_ii(),
+            behavior: BehaviorProfile::typical_4g(),
+        },
+    ))
+    .run();
+    assert_eq!(r.ues.len(), ues);
+    assert!(r.total_events > 0);
+    r
+}
+
+fn fleet_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_scaling");
+    // The 2000-UE arm runs ~3 s per iteration; keep criterion's sampling
+    // budget sane across four orders of magnitude.
+    g.sample_size(10);
+    for ues in FLEET_SIZES {
+        g.bench_function(BenchmarkId::new("uniform_week", ues), |b| {
+            b.iter(|| run_fleet(ues))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fleet_scaling);
+
+/// Re-measure each arm (best of 3, to shed scheduler noise) and rewrite
+/// the committed baseline.
+fn write_baseline() {
+    let arms: Vec<Value> = FLEET_SIZES
+        .iter()
+        .map(|&ues| {
+            let mut best_rate = 0.0f64;
+            let mut events = 0u64;
+            let mut best_ms = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let r = run_fleet(ues);
+                let secs = t0.elapsed().as_secs_f64();
+                events = r.total_events;
+                best_rate = best_rate.max(r.total_events as f64 / secs);
+                best_ms = best_ms.min(secs * 1_000.0);
+            }
+            println!("baseline: {ues} UE(s) -> {events} events, {best_rate:.0} events/s");
+            Value::Map(vec![
+                ("ues".into(), Value::U64(ues as u64)),
+                ("events".into(), Value::U64(events)),
+                ("wall_ms".into(), Value::F64((best_ms * 10.0).round() / 10.0)),
+                ("events_per_sec".into(), Value::F64(best_rate.round())),
+            ])
+        })
+        .collect();
+    let doc = Value::Map(vec![
+        ("bench".into(), Value::Str("fleet_scaling".into())),
+        (
+            "model".into(),
+            Value::Str(format!(
+                "uniform OP-II fleet, typical 4G behaviour, {DAYS} simulated days"
+            )),
+        ),
+        (
+            "strategy".into(),
+            Value::Str("UE-shard parallel stepping (seed-deterministic)".into()),
+        ),
+        ("host_cpus".into(), Value::U64(threads() as u64)),
+        ("arms".into(), Value::Seq(arms)),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+    // cargo runs benches with the *package* dir as cwd; anchor the baseline
+    // at the workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, text + "\n").expect("write BENCH_fleet.json");
+}
+
+fn main() {
+    benches();
+    write_baseline();
+}

@@ -9,7 +9,7 @@ fn bench_study(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            userstudy::run_study(seed, userstudy::Hazards::default())
+            userstudy::run_study(seed)
         })
     });
     g.bench_function("radio_rate_10k", |b| {

@@ -32,7 +32,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--exp all|screen|valid|diagnose|faults|t1|t2|t3|t4|t5|t6|f4|f6|f7|f8|f9|f10|f12l|f12r|f13|s93|alt-sharing|insights] [--seed N]"
+                    "usage: repro [--exp all|screen|valid|diagnose|faults|study|fleet|t1|t2|t3|t4|t5|t6|f4|f6|f7|f8|f9|f10|f12l|f12r|f13|s93|alt-sharing|insights] [--seed N]"
                 );
                 return;
             }
@@ -117,6 +117,17 @@ fn main() {
     }
     if run("t6") {
         table6(seed);
+        ran_any = true;
+    }
+    if exp == "study" {
+        // The deterministic study matrix (tables 5+6 over the fleet
+        // simulation) — what CI diffs against the golden file.
+        table5(seed);
+        table6(seed);
+        ran_any = true;
+    }
+    if exp == "fleet" {
+        fleet_scaling(seed);
         ran_any = true;
     }
     if run("f12l") {
@@ -459,7 +470,7 @@ fn table5(seed: u64) {
     section("Table 5 — User study: occurrence of S1-S6 (20 users, 2 weeks)");
     println!("paper: S1 3.1% (4/129)  S2 0.0% (0/30)  S3 62.1% (64/103)");
     println!("       S4 7.6% (6/79)   S5 77.4% (113/146)  S6 2.6% (5/190)\n");
-    let r = userstudy::run_study(seed, userstudy::Hazards::default());
+    let r = userstudy::run_study(seed);
     println!("{}", userstudy::table5(&r));
     println!(
         "events: {} CSFB calls, {} CS calls, {} switches, {} attaches (paper: 190/146/436/30)",
@@ -473,7 +484,7 @@ fn table6(seed: u64) {
     section("Table 6 — Duration in 3G after the CSFB call ends");
     println!("paper: OP-I  min 1.1  med 2.3  max 52.6  p90 13.7 avg 6.2 (s)");
     println!("       OP-II min 14.7 med 24.3 max 253.9 p90 34.7 avg 39.6 (s)\n");
-    let r = userstudy::run_study(seed, userstudy::Hazards::default());
+    let r = userstudy::run_study(seed);
     println!("user-study population:\n{}", userstudy::table6(&r));
     println!("directed simulator episodes:");
     for op in bench::carriers() {
@@ -482,6 +493,36 @@ fn table6(seed: u64) {
         println!(
             "{:<6} n={:<3} min={:.1}s median={:.1}s max={:.1}s p90={:.1}s avg={:.1}s",
             op.name, st.n, st.min_s, st.median_s, st.max_s, st.p90_s, st.mean_s
+        );
+    }
+}
+
+fn fleet_scaling(seed: u64) {
+    section("Fleet scaling — multi-UE carrier simulation throughput");
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12}",
+        "UEs", "threads", "events", "wall ms", "events/s"
+    );
+    for n in [1usize, 20, 200] {
+        let spec = netsim::UeSpec {
+            op: netsim::op_ii(),
+            behavior: netsim::BehaviorProfile::typical_4g(),
+        };
+        let cfg = netsim::FleetConfig::uniform(seed, 7, threads, n, spec);
+        let t0 = std::time::Instant::now();
+        let report = netsim::FleetSim::new(cfg).run();
+        let wall = t0.elapsed();
+        let per_sec = report.total_events as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:>6} {:>8} {:>12} {:>12.1} {:>12.0}",
+            n,
+            threads,
+            report.total_events,
+            wall.as_secs_f64() * 1_000.0,
+            per_sec
         );
     }
 }

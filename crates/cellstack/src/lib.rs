@@ -73,6 +73,7 @@ pub mod mobility;
 pub mod msg;
 pub mod rrc3g;
 pub mod rrc4g;
+pub mod session;
 pub mod sm;
 pub mod stack;
 pub mod timers;
@@ -85,6 +86,7 @@ pub use mobility::{ContextMigration, SwitchReason, UpdateTrigger};
 pub use msg::{NasMessage, RrcMessage, SwitchMechanism, UpdateKind};
 pub use rrc3g::{Modulation, Rrc3g, Rrc3gState};
 pub use rrc4g::{DrxMode, Rrc4g, Rrc4gState};
+pub use session::SessionTable;
 pub use stack::{DeviceStack, StackEvent};
 pub use timers::{NasTimer, MAX_NAS_RETRIES};
 pub use types::{Dimension, Domain, IssueKind, MsgClass, Protocol, RatSystem, Registration, Sublayer};

@@ -1,0 +1,99 @@
+//! Per-subscriber session keying for the carrier-side machines.
+//!
+//! A real MSC/SGSN/MME serves every subscriber in its area at once: its
+//! protocol state is a *map* keyed by IMSI, not a single register. The
+//! screening phase keeps the single-subscriber view (one UE against the
+//! core is exactly the product the model checker explores), but the fleet
+//! simulation in `netsim` needs the carrier machines keyed per IMSI so N
+//! phones can share one core without aliasing each other's state.
+//!
+//! [`SessionTable`] is that map: a deterministic (BTreeMap-backed, so
+//! iteration order is the IMSI order) container of per-subscriber machine
+//! bundles, created on demand by a caller-supplied constructor.
+
+use std::collections::BTreeMap;
+
+/// A deterministic per-IMSI table of carrier-side machine bundles.
+///
+/// The value type `M` is whatever bundle of per-subscriber state the
+/// carrier keeps (in `netsim`, the MSC-MM/MSC-CC/SGSN/MME machines for one
+/// UE). Entries are created lazily by [`SessionTable::session_with`] so a
+/// fleet only pays for the subscribers that actually signal.
+#[derive(Clone, Debug, Default)]
+pub struct SessionTable<M> {
+    sessions: BTreeMap<u64, M>,
+}
+
+impl<M> SessionTable<M> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self {
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// The session for `imsi`, created by `make` if this subscriber has
+    /// never signaled before.
+    pub fn session_with(&mut self, imsi: u64, make: impl FnOnce() -> M) -> &mut M {
+        self.sessions.entry(imsi).or_insert_with(make)
+    }
+
+    /// The session for `imsi`, if one exists.
+    pub fn get(&self, imsi: u64) -> Option<&M> {
+        self.sessions.get(&imsi)
+    }
+
+    /// Mutable access to the session for `imsi`, if one exists.
+    pub fn get_mut(&mut self, imsi: u64) -> Option<&mut M> {
+        self.sessions.get_mut(&imsi)
+    }
+
+    /// Number of subscribers with live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no subscriber has signaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Iterate sessions in IMSI order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &M)> {
+        self.sessions.iter().map(|(&imsi, m)| (imsi, m))
+    }
+
+    /// Iterate sessions mutably in IMSI order (deterministic, so a node
+    /// restart recreates machines in the same order on every run).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut M)> {
+        self.sessions.iter_mut().map(|(&imsi, m)| (imsi, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_created_on_demand_and_keyed() {
+        let mut t: SessionTable<u32> = SessionTable::new();
+        assert!(t.is_empty());
+        *t.session_with(7, || 0) += 1;
+        *t.session_with(7, || 0) += 1;
+        *t.session_with(9, || 100) += 1;
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(7), Some(&2));
+        assert_eq!(t.get(9), Some(&101));
+        assert_eq!(t.get(8), None);
+    }
+
+    #[test]
+    fn iteration_is_imsi_ordered() {
+        let mut t: SessionTable<&'static str> = SessionTable::new();
+        t.session_with(30, || "c");
+        t.session_with(10, || "a");
+        t.session_with(20, || "b");
+        let order: Vec<u64> = t.iter().map(|(imsi, _)| imsi).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+}

@@ -161,6 +161,16 @@ impl Monitor {
         }
     }
 
+    /// A monitor at the start of `sig`, anchored at `anchor` instead of
+    /// trace time zero — the restart shape used when counting repeated
+    /// occurrences over one long stream, where "trace start" for a timed
+    /// first step is the point the previous occurrence settled.
+    pub fn new_anchored(sig: Signature, anchor: SimTime) -> Self {
+        let mut m = Self::new(sig);
+        m.anchor = anchor;
+        m
+    }
+
     /// The current verdict.
     pub fn verdict(&self) -> Verdict {
         self.verdict

@@ -32,5 +32,5 @@ pub mod verdict;
 pub use automaton::{MatchedEvent, Monitor, MonitorReport, Signature, Step};
 pub use compile::{compile_witness, hand_signature, observable_for, CompiledWitness};
 pub use pattern::{FaultClass, Pattern};
-pub use runner::{run_signature, Bank};
+pub use runner::{count_signature, run_signature, Bank};
 pub use verdict::Verdict;

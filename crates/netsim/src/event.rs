@@ -17,6 +17,13 @@ struct Pending<E> {
 ///
 /// Events at equal times fire in insertion order, so runs are reproducible
 /// regardless of payload contents (no reliance on payload ordering).
+///
+/// Cancellation is O(1) and lazy (the heap entry stays behind), but the
+/// queue keeps itself compact: the heap front is always a live event (so
+/// [`Self::peek_time`] is O(1)), mass cancellation triggers a heap
+/// rebuild, and the backing allocations shrink after large drains — long
+/// churny runs hold memory proportional to the live event count, not the
+/// historical peak.
 #[derive(Clone, Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(SimTime, u64)>>,
@@ -53,28 +60,54 @@ impl<E> EventQueue<E> {
 
     /// Cancel a previously scheduled event. Returns true if it was pending.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.slots.remove(&handle.0).is_some()
+        let was_live = self.slots.remove(&handle.0).is_some();
+        if was_live {
+            self.compact_front();
+            // Mass cancellation leaves the heap dominated by dead entries;
+            // rebuild it from the live set before it grows unbounded.
+            if self.heap.len() > 2 * self.slots.len() + 64 {
+                self.heap = self
+                    .slots
+                    .iter()
+                    .map(|(seq, p)| Reverse((p.at, *seq)))
+                    .collect();
+            }
+        }
+        was_live
     }
 
     /// Pop the earliest pending event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse((_, seq))) = self.heap.pop() {
-            if let Some(p) = self.slots.remove(&seq) {
-                return Some((p.at, p.payload));
-            }
-            // Cancelled: skip.
+        // The front is live by invariant; restore the invariant after.
+        let popped = self.heap.pop().map(|Reverse((_, seq))| {
+            let p = self.slots.remove(&seq).expect("heap front is live");
+            (p.at, p.payload)
+        });
+        self.compact_front();
+        // After large drains, return the spare allocation instead of
+        // holding the high-water mark for the rest of the run.
+        if self.slots.capacity() > 4 * self.slots.len() + 64 {
+            self.slots.shrink_to_fit();
+            self.heap.shrink_to_fit();
         }
-        None
+        popped
     }
 
-    /// Time of the earliest pending event.
+    /// Time of the earliest pending event. O(1): the heap front is always
+    /// live (cancelled entries are compacted away eagerly).
     pub fn peek_time(&self) -> Option<SimTime> {
-        // The heap may contain cancelled entries; scan past them lazily.
-        self.heap
-            .iter()
-            .filter(|Reverse((_, seq))| self.slots.contains_key(seq))
-            .map(|Reverse((at, _))| *at)
-            .min()
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Drop dead (cancelled) entries off the heap front so the minimum is
+    /// always a live event.
+    fn compact_front(&mut self) {
+        while let Some(Reverse((_, seq))) = self.heap.peek() {
+            if self.slots.contains_key(seq) {
+                break;
+            }
+            self.heap.pop();
+        }
     }
 
     /// Number of live (non-cancelled) events.
@@ -145,6 +178,63 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn mass_cancellation_rebuilds_heap() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..10_000u64)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        // Cancel everything except the last event.
+        for h in &handles[..9_999] {
+            q.cancel(*h);
+        }
+        assert_eq!(q.len(), 1);
+        assert!(
+            q.heap.len() <= 2 * q.len() + 64,
+            "dead heap entries must be rebuilt away, have {}",
+            q.heap.len()
+        );
+        assert_eq!(q.pop().unwrap().1, 9_999);
+    }
+
+    #[test]
+    fn churn_keeps_memory_steady() {
+        let mut q = EventQueue::new();
+        // A retransmission-timer style workload: every event schedules a
+        // follow-up and cancels a stale timer, for a long time.
+        let mut live = std::collections::VecDeque::new();
+        for i in 0..200_000u64 {
+            live.push_back(q.schedule(SimTime::from_millis(i), i));
+            if live.len() > 8 {
+                q.cancel(live.pop_front().unwrap());
+                q.pop();
+            }
+        }
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert!(
+            q.heap.len() <= 64 && q.slots.capacity() <= 256,
+            "after the churn drains, the queue must not hold peak-sized \
+             allocations (heap {}, slots cap {})",
+            q.heap.len(),
+            q.slots.capacity()
+        );
+    }
+
+    #[test]
+    fn peek_time_stays_live_under_interleaved_cancels() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_millis(1), "a");
+        let h2 = q.schedule(SimTime::from_millis(2), "b");
+        q.schedule(SimTime::from_millis(3), "c");
+        q.cancel(h2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        q.cancel(h1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.peek_time(), None);
     }
 }

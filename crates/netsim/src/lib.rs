@@ -52,10 +52,12 @@ pub mod hss;
 pub mod inject;
 pub mod metrics;
 pub mod mobility;
+pub mod node;
 pub mod operator;
 pub mod phone;
 pub mod radio;
 pub mod rng;
+pub mod sim;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -68,10 +70,14 @@ pub use inject::{
 };
 pub use metrics::{CallSetup, Metrics, ThroughputSample};
 pub use mobility::{Drive, Route};
+pub use node::{CarrierCore, CoreSession, Ue, UeId};
 pub use operator::{op_i, op_ii, OperatorProfile};
 pub use phone::PhoneModel;
 pub use radio::{achievable_kbps, ChannelConfig, PathLoss, Rssi};
 pub use rng::DurationDist;
+pub use sim::{
+    Activity, ActivityKind, BehaviorProfile, FleetConfig, FleetReport, FleetSim, UeOutcome, UeSpec,
+};
 pub use time::SimTime;
 pub use trace::{
     CallPhase, FaultEvent, FaultKind, HazardKind, TraceCollector, TraceEntry, TraceEvent,

@@ -1,0 +1,114 @@
+//! The shared carrier core: HSS plus per-IMSI session machines.
+
+use cellstack::cm::MscCc;
+use cellstack::emm::MmeEmm;
+use cellstack::esm::MmeEsm;
+use cellstack::gmm::SgsnGmm;
+use cellstack::mm::MscMm;
+use cellstack::sm::SgsnSm;
+use cellstack::SessionTable;
+
+use crate::hss::Hss;
+use crate::inject::NodeId;
+
+/// The carrier-side protocol machines serving *one* subscriber: the MSC
+/// (MM + CC), the 3G gateways (GMM + SM) and the MME (EMM + standalone
+/// ESM). A real core keeps one such bundle per attached IMSI.
+pub struct CoreSession {
+    /// MSC mobility machine.
+    pub msc_mm: MscMm,
+    /// MSC call handling.
+    pub msc_cc: MscCc,
+    /// 3G gateways, mobility side.
+    pub sgsn_gmm: SgsnGmm,
+    /// 3G gateways, session side.
+    pub sgsn_sm: SgsnSm,
+    /// MME mobility machine.
+    pub mme: MmeEmm,
+    /// MME standalone session machine.
+    pub mme_esm: MmeEsm,
+}
+
+impl CoreSession {
+    fn new(mme_remedy: bool) -> Self {
+        let mut mme = MmeEmm::new();
+        if mme_remedy {
+            mme.forward_lu_failure = false;
+        }
+        Self {
+            msc_mm: MscMm::new(),
+            msc_cc: MscCc::new(),
+            sgsn_gmm: SgsnGmm::new(),
+            sgsn_sm: SgsnSm::new(),
+            mme,
+            mme_esm: MmeEsm::new(),
+        }
+    }
+}
+
+/// One carrier's core network, shared by every UE signaling into it: the
+/// home subscriber server plus the per-IMSI [`CoreSession`] table.
+pub struct CarrierCore {
+    /// The home subscriber server (consulted on 4G attach).
+    pub hss: Hss,
+    sessions: SessionTable<CoreSession>,
+    /// The §8 MME-side remedy applied to every session this core creates.
+    mme_remedy: bool,
+}
+
+impl CarrierCore {
+    /// A fresh core. Sessions are created on demand as subscribers signal;
+    /// each new MME inherits the `mme_remedy` flag.
+    pub fn new(mme_remedy: bool) -> Self {
+        Self {
+            hss: Hss::new(),
+            sessions: SessionTable::new(),
+            mme_remedy,
+        }
+    }
+
+    /// The session bundle serving `imsi`, created on first contact.
+    pub fn session(&mut self, imsi: u64) -> &mut CoreSession {
+        let remedy = self.mme_remedy;
+        self.sessions.session_with(imsi, || CoreSession::new(remedy))
+    }
+
+    /// The session bundle serving `imsi`, if that subscriber ever signaled.
+    pub fn session_if_known(&self, imsi: u64) -> Option<&CoreSession> {
+        self.sessions.get(imsi)
+    }
+
+    /// Number of subscribers with live core sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Restart one core node: its volatile per-subscriber state is lost
+    /// for *every* session (a restarted MME forgets all its UEs at once),
+    /// in deterministic IMSI order.
+    pub fn restart(&mut self, node: NodeId) {
+        let remedy = self.mme_remedy;
+        for (_, s) in self.sessions.iter_mut() {
+            match node {
+                NodeId::Mme => {
+                    let mut mme = MmeEmm::new();
+                    if remedy {
+                        mme.forward_lu_failure = false;
+                    }
+                    s.mme = mme;
+                    s.mme_esm = MmeEsm::new();
+                }
+                NodeId::Msc => {
+                    s.msc_mm = MscMm::new();
+                    s.msc_cc = MscCc::new();
+                }
+                NodeId::Sgsn => {
+                    s.sgsn_gmm = SgsnGmm::new();
+                    s.sgsn_sm = SgsnSm::new();
+                }
+                // Base stations hold no NAS state in this model.
+                NodeId::Bs4g | NodeId::Bs3g => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The two node layers of the simulation: per-phone state ([`ue`]) and the
+//! shared carrier core ([`carrier`]).
+//!
+//! The split mirrors the paper's measurement setup (§3.3): many phones,
+//! each with its own full protocol stack and QXDM-style trace log, all
+//! signaling into *one* carrier whose MSC/SGSN/MME keep per-IMSI session
+//! state. The single-phone [`crate::World`] is a facade over exactly one
+//! [`ue::Ue`] plus one [`carrier::CarrierCore`]; the fleet simulation
+//! ([`crate::sim::fleet`]) runs N of the former against shards of the
+//! latter.
+
+pub mod carrier;
+pub mod ue;
+
+pub use carrier::{CarrierCore, CoreSession};
+pub use ue::{Ue, UeId};

@@ -1,0 +1,673 @@
+//! Fleet-scale simulation: N phones against a shared carrier core.
+//!
+//! [`FleetSim`] runs many [`Ue`]s — each with its own seeded RNG stream,
+//! behavior profile and trace log — against [`CarrierCore`]s whose
+//! MSC/SGSN/MME machines are keyed per IMSI. A per-UE *scheduler* RNG
+//! (separate from the UE's signaling RNG) plans each phone's days as
+//! [`Activity`] lists (CSFB calls, 3G CS calls, coverage switches, power
+//! cycles) and materializes them as [`Ev`] events; the shared executive in
+//! [`crate::sim::exec`] then plays out all the signaling.
+//!
+//! # Determinism under parallelism
+//!
+//! UEs interact with the core only through their own per-IMSI session, the
+//! HSS admission check is read-only, and every random draw comes from a
+//! per-UE stream seeded by `mix_seed(fleet_seed, ue_index)`. Per-UE
+//! trajectories are therefore independent of how UEs are grouped into
+//! worker shards, so the merged [`FleetReport`] is **byte-identical for
+//! any thread count** — the property the determinism tests pin down.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use cellstack::{PdpDeactivationCause, RatSystem, UpdateKind};
+
+use crate::event::EventQueue;
+use crate::metrics::Metrics;
+use crate::node::{CarrierCore, Ue, UeId};
+use crate::operator::OperatorProfile;
+use crate::rng::{rng_from_seed, sample_lognormal};
+use crate::sim::exec::Exec;
+use crate::time::SimTime;
+use crate::trace::TraceCollector;
+use crate::world::{Ev, WorldConfig};
+
+/// Per-phone behavior rates, in events per simulated day, plus the
+/// per-event probabilities the scheduler draws from. The user-study crate
+/// derives these from its §7 participant population.
+#[derive(Clone, Copy, Debug)]
+pub struct BehaviorProfile {
+    /// The phone camps on 3G only (no 4G plan).
+    pub starts_on_3g: bool,
+    /// CSFB voice calls per day (4G phones).
+    pub csfb_calls_per_day: f64,
+    /// Plain 3G CS voice calls per day (3G phones).
+    pub cs_calls_per_day: f64,
+    /// Coverage-driven 4G↔3G round trips per day.
+    pub coverage_switches_per_day: f64,
+    /// Detach/re-attach cycles per day (power off, airplane mode).
+    pub power_cycles_per_day: f64,
+    /// Probability a call/switch happens with an active data session.
+    pub data_on_prob: f64,
+    /// Probability a call is mobile-originated (vs. incoming).
+    pub outgoing_call_prob: f64,
+    /// Probability the network deactivates the PDP context during a 3G
+    /// dwell (Table 3 causes — the S1 trigger).
+    pub pdp_deactivation_prob: f64,
+    /// Probability an outgoing 3G CS call races a location update (the S4
+    /// trigger).
+    pub lau_collision_prob: f64,
+}
+
+impl BehaviorProfile {
+    /// A typical 4G subscriber (rates near the §7 study averages).
+    pub fn typical_4g() -> Self {
+        Self {
+            starts_on_3g: false,
+            csfb_calls_per_day: 1.13,
+            cs_calls_per_day: 0.0,
+            coverage_switches_per_day: 0.17,
+            power_cycles_per_day: 0.107,
+            data_on_prob: 0.65,
+            outgoing_call_prob: 0.54,
+            pdp_deactivation_prob: 0.031,
+            lau_collision_prob: 0.076,
+        }
+    }
+
+    /// A typical 3G-only subscriber.
+    pub fn typical_3g() -> Self {
+        Self {
+            starts_on_3g: true,
+            csfb_calls_per_day: 0.0,
+            cs_calls_per_day: 1.30,
+            coverage_switches_per_day: 0.0,
+            power_cycles_per_day: 0.107,
+            data_on_prob: 0.80,
+            outgoing_call_prob: 0.54,
+            pdp_deactivation_prob: 0.031,
+            lau_collision_prob: 0.076,
+        }
+    }
+}
+
+/// One fleet member: which carrier it subscribes to and how it behaves.
+#[derive(Clone, Copy, Debug)]
+pub struct UeSpec {
+    /// Carrier profile.
+    pub op: OperatorProfile,
+    /// Behavior rates.
+    pub behavior: BehaviorProfile,
+}
+
+/// Fleet run configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Fleet seed; per-UE streams are derived from it.
+    pub seed: u64,
+    /// Simulated days.
+    pub days: u32,
+    /// Worker threads (UEs are sharded round-robin). 0 or 1 = inline.
+    pub threads: usize,
+    /// Per-UE trace bound (`None` = unbounded).
+    pub trace_capacity: Option<usize>,
+    /// One spec per UE.
+    pub specs: Vec<UeSpec>,
+}
+
+impl FleetConfig {
+    /// A uniform fleet of `n` copies of `spec`.
+    pub fn uniform(seed: u64, days: u32, threads: usize, n: usize, spec: UeSpec) -> Self {
+        Self {
+            seed,
+            days,
+            threads,
+            trace_capacity: None,
+            specs: vec![spec; n],
+        }
+    }
+}
+
+/// What one scheduled activity is (with every random parameter already
+/// drawn by the scheduler, so the plan itself is part of the deterministic
+/// record).
+#[derive(Clone, Copy, Debug)]
+pub enum ActivityKind {
+    /// A CSFB voice call from 4G (fallback → call → return).
+    CsfbCall {
+        /// A data session runs across the call.
+        data_on: bool,
+        /// Mobile-originated (vs. paged MT call).
+        outgoing: bool,
+        /// The network deactivates the PDP context mid-call.
+        pdp_deact: bool,
+        /// Talk time after connect, ms.
+        call_ms: u64,
+        /// The data session's demand while the call runs, kbps.
+        demand_kbps: u64,
+        /// How long the data session outlives the call, ms (drawn from
+        /// the carrier's data-session lifetime — what keeps the
+        /// reselection carrier stuck in 3G, Table 6).
+        data_tail_ms: u64,
+    },
+    /// A plain 3G CS voice call.
+    CsCall {
+        /// A data session runs across the call.
+        data_on: bool,
+        /// Mobile-originated.
+        outgoing: bool,
+        /// `Some(offset_ms)`: a location update fires this long before
+        /// the dial (the S4 race).
+        lau_collision: Option<u64>,
+        /// Talk time after connect, ms.
+        call_ms: u64,
+        /// Concurrent data demand, kbps.
+        demand_kbps: u64,
+    },
+    /// A coverage-driven 4G→3G→4G round trip (no call).
+    CoverageSwitch {
+        /// A data session is active across the dwell.
+        data_on: bool,
+        /// The network deactivates the PDP context in 3G.
+        pdp_deact: bool,
+    },
+    /// A detach/re-attach cycle.
+    PowerCycle,
+}
+
+/// One scheduled activity for one UE.
+#[derive(Clone, Copy, Debug)]
+pub struct Activity {
+    /// Anchor time of the activity (the dial / switch / detach moment).
+    pub at: SimTime,
+    /// What happens.
+    pub kind: ActivityKind,
+}
+
+/// Everything one UE produced: its plan, its trace, its measurements.
+pub struct UeOutcome {
+    /// The UE's fleet index.
+    pub id: u32,
+    /// Carrier name the UE subscribed to.
+    pub op_name: &'static str,
+    /// Whether the UE is 3G-only.
+    pub on_3g: bool,
+    /// The scheduler's plan for this UE.
+    pub activities: Vec<Activity>,
+    /// The full per-UE trace stream (possibly capacity-bounded).
+    pub trace: TraceCollector,
+    /// Per-UE measurements.
+    pub metrics: Metrics,
+    /// Events the executive processed for this UE.
+    pub events: u64,
+}
+
+/// The merged, deterministic result of a fleet run.
+pub struct FleetReport {
+    /// Fleet seed.
+    pub seed: u64,
+    /// Simulated days.
+    pub days: u32,
+    /// Total events processed across all UEs.
+    pub total_events: u64,
+    /// Per-UE outcomes, ordered by UE id.
+    pub ues: Vec<UeOutcome>,
+}
+
+impl FleetReport {
+    /// A deterministic, byte-comparable digest of the whole run: one line
+    /// per UE with its event count, plan size, hazard tallies, trace
+    /// length/eviction counters and a hash of the full trace content.
+    /// Equal digests ⇒ the runs are observationally identical.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet seed={} days={} ues={} events={}\n",
+            self.seed,
+            self.days,
+            self.ues.len(),
+            self.total_events
+        ));
+        for u in &self.ues {
+            out.push_str(&format!(
+                "ue {:>4} {:<5} events={:<6} plan={:<3} calls={:<3} s1={} s6={} \
+                 detach={} blocked={} stuck={} trace_len={} evicted={} trace_fnv={:016x}\n",
+                u.id,
+                u.op_name,
+                u.events,
+                u.activities.len(),
+                u.metrics.call_setups.len(),
+                u.metrics.s1_events,
+                u.metrics.s6_events,
+                u.metrics.detach_count,
+                u.metrics.blocked_requests,
+                u.metrics.stuck_in_3g_ms.len(),
+                u.trace.len(),
+                u.trace.evicted(),
+                fnv1a(u.trace.to_jsonl().as_bytes()),
+            ));
+        }
+        out
+    }
+}
+
+/// FNV-1a over bytes (stable, dependency-free content hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Derive the per-UE seed from the fleet seed and the UE index.
+fn mix_seed(seed: u64, i: u32) -> u64 {
+    seed ^ (u64::from(i) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The multi-UE carrier simulation.
+pub struct FleetSim {
+    cfg: FleetConfig,
+}
+
+/// Daily activity window: 07:00–19:00, as 24 half-hour slots.
+const WINDOW_START_MS: u64 = 7 * 3_600_000;
+const SLOT_MS: u64 = 1_800_000;
+const SLOTS_PER_DAY: usize = 24;
+/// Jitter within a slot, bounded so consecutive-slot activities can never
+/// overlap (max activity span ≈ 15 min).
+const JITTER_MS: u64 = 900_000;
+
+impl FleetSim {
+    /// Build a fleet from its configuration.
+    pub fn new(cfg: FleetConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Run the whole fleet and merge the per-UE outcomes (ordered by UE
+    /// id). Same seed ⇒ byte-identical [`FleetReport::digest`] at any
+    /// `threads` value.
+    pub fn run(&self) -> FleetReport {
+        let n = self.cfg.specs.len();
+        let threads = self.cfg.threads.max(1).min(n.max(1));
+        let horizon =
+            SimTime::from_millis(u64::from(self.cfg.days) * 86_400_000 + 900_000);
+
+        // Round-robin sharding: shard t owns UE indices i with i % threads == t.
+        let mut outcomes: Vec<UeOutcome> = if threads <= 1 {
+            let lane_ids: Vec<u32> = (0..n as u32).collect();
+            run_shard(&self.cfg, &lane_ids, horizon)
+        } else {
+            let shards: Vec<Vec<u32>> = (0..threads)
+                .map(|t| {
+                    (0..n as u32)
+                        .filter(|i| (*i as usize) % threads == t)
+                        .collect()
+                })
+                .collect();
+            let cfg = &self.cfg;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|ids| scope.spawn(move || run_shard(cfg, ids, horizon)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("fleet shard panicked"))
+                    .collect()
+            })
+        };
+        outcomes.sort_by_key(|u| u.id);
+        let total_events = outcomes.iter().map(|u| u.events).sum();
+        FleetReport {
+            seed: self.cfg.seed,
+            days: self.cfg.days,
+            total_events,
+            ues: outcomes,
+        }
+    }
+}
+
+struct Lane {
+    id: u32,
+    cfg: WorldConfig,
+    ue: Ue,
+    on_3g: bool,
+    activities: Vec<Activity>,
+    events: u64,
+}
+
+/// Run the UEs in `lane_ids` against one carrier-core shard.
+fn run_shard(fleet: &FleetConfig, lane_ids: &[u32], horizon: SimTime) -> Vec<UeOutcome> {
+    let mut queue: EventQueue<(UeId, Ev)> = EventQueue::new();
+    let mut carrier = CarrierCore::new(false);
+    let mut lanes: Vec<Lane> = Vec::with_capacity(lane_ids.len());
+    let mut index: HashMap<u32, usize> = HashMap::new();
+
+    for &i in lane_ids {
+        let spec = &fleet.specs[i as usize];
+        let mut cfg = WorldConfig::new(spec.op, mix_seed(fleet.seed, i));
+        // Fleet lanes hang up explicitly (scheduled), answer MT calls, and
+        // run the fleet-calibrated OP-I LAU race so S6 lands at the §6.2
+        // rate instead of firing on every fast return.
+        cfg.auto_hangup_after_ms = None;
+        cfg.redirect_defers_to_lau = true;
+        cfg.s6_disrupt_prob = 0.035;
+        cfg.s6_conflict_prob = 0.015;
+        cfg.trace_capacity = fleet.trace_capacity;
+        let imsi = 310_410_000_001 + u64::from(i);
+        carrier.hss.provision(crate::hss::SubscriberRecord {
+            imsi,
+            subscription: crate::hss::Subscription::Active,
+            lte_enabled: !spec.behavior.starts_on_3g,
+        });
+        let ue = Ue::from_config(UeId(i), imsi, &cfg);
+        // The scheduler RNG is a separate stream: planning draws never
+        // perturb the signaling latency trajectories.
+        let mut sched = rng_from_seed(mix_seed(fleet.seed, i) ^ 0x5EED_5CED_0DD5_EED5);
+        let activities = plan_activities(spec, fleet.days, &mut sched);
+        let start_system = if spec.behavior.starts_on_3g {
+            RatSystem::Utran3g
+        } else {
+            RatSystem::Lte4g
+        };
+        queue.schedule(SimTime::from_millis(1_000), (UeId(i), Ev::PowerOn(start_system)));
+        for a in &activities {
+            materialize(&mut queue, UeId(i), a, start_system);
+        }
+        index.insert(i, lanes.len());
+        lanes.push(Lane {
+            id: i,
+            cfg,
+            ue,
+            on_3g: spec.behavior.starts_on_3g,
+            activities,
+            events: 0,
+        });
+    }
+
+    while let Some(at) = queue.peek_time() {
+        if at > horizon {
+            break;
+        }
+        let (at, (id, ev)) = queue.pop().expect("peeked");
+        let li = index[&id.0];
+        let lane = &mut lanes[li];
+        lane.events += 1;
+        let mut ex = Exec {
+            now: at,
+            cfg: &lane.cfg,
+            ue: &mut lane.ue,
+            carrier: &mut carrier,
+            queue: &mut queue,
+        };
+        ex.handle(ev);
+    }
+
+    lanes
+        .into_iter()
+        .map(|l| UeOutcome {
+            id: l.id,
+            op_name: l.cfg.op.name,
+            on_3g: l.on_3g,
+            activities: l.activities,
+            trace: l.ue.trace,
+            metrics: l.ue.metrics,
+            events: l.events,
+        })
+        .collect()
+}
+
+/// Bernoulli-thinned daily count: 8 slots, each firing with `rate / 8` —
+/// the same thinning the pre-fleet study used, so daily totals keep the
+/// §7 event-rate calibration.
+fn draw_count(rng: &mut StdRng, rate: f64) -> u32 {
+    let p = (rate / 8.0).clamp(0.0, 1.0);
+    (0..8).filter(|_| rng.gen::<f64>() < p).count() as u32
+}
+
+/// Plan all of one UE's days. Every random parameter an activity needs is
+/// drawn here, from the scheduler stream, in a fixed order.
+fn plan_activities(spec: &UeSpec, days: u32, rng: &mut StdRng) -> Vec<Activity> {
+    let b = &spec.behavior;
+    let mut plan = Vec::new();
+    for day in 0..u64::from(days) {
+        let base = day * 86_400_000 + WINDOW_START_MS;
+        let n_csfb = draw_count(rng, b.csfb_calls_per_day);
+        let n_cs = draw_count(rng, b.cs_calls_per_day);
+        let n_cov = draw_count(rng, b.coverage_switches_per_day);
+        let n_pwr = draw_count(rng, b.power_cycles_per_day);
+        let mut slots: Vec<u64> = (0..SLOTS_PER_DAY as u64).collect();
+        let mut take_slot = |rng: &mut StdRng| -> Option<u64> {
+            if slots.is_empty() {
+                return None;
+            }
+            let j = rng.gen_range(0..slots.len());
+            Some(slots.swap_remove(j))
+        };
+        for _ in 0..n_csfb {
+            let Some(slot) = take_slot(rng) else { break };
+            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+            let data_on = rng.gen::<f64>() < b.data_on_prob;
+            let outgoing = rng.gen::<f64>() < b.outgoing_call_prob;
+            let pdp_deact = data_on && rng.gen::<f64>() < b.pdp_deactivation_prob;
+            let call_ms = call_duration(rng);
+            let demand_kbps = demand(rng);
+            let data_tail_ms = spec.op.data_session_lifetime.sample_ms(rng);
+            plan.push(Activity {
+                at,
+                kind: ActivityKind::CsfbCall {
+                    data_on,
+                    outgoing,
+                    pdp_deact,
+                    call_ms,
+                    demand_kbps,
+                    data_tail_ms,
+                },
+            });
+        }
+        for _ in 0..n_cs {
+            let Some(slot) = take_slot(rng) else { break };
+            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+            let data_on = rng.gen::<f64>() < b.data_on_prob;
+            let outgoing = rng.gen::<f64>() < b.outgoing_call_prob;
+            let lau_collision = if outgoing && rng.gen::<f64>() < b.lau_collision_prob {
+                Some(rng.gen_range(1..1_200))
+            } else {
+                None
+            };
+            let call_ms = call_duration(rng);
+            let demand_kbps = demand(rng);
+            plan.push(Activity {
+                at,
+                kind: ActivityKind::CsCall {
+                    data_on,
+                    outgoing,
+                    lau_collision,
+                    call_ms,
+                    demand_kbps,
+                },
+            });
+        }
+        for _ in 0..n_cov {
+            let Some(slot) = take_slot(rng) else { break };
+            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+            let data_on = rng.gen::<f64>() < b.data_on_prob;
+            let pdp_deact = data_on && rng.gen::<f64>() < b.pdp_deactivation_prob;
+            plan.push(Activity {
+                at,
+                kind: ActivityKind::CoverageSwitch { data_on, pdp_deact },
+            });
+        }
+        for _ in 0..n_pwr {
+            let Some(slot) = take_slot(rng) else { break };
+            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+            plan.push(Activity {
+                at,
+                kind: ActivityKind::PowerCycle,
+            });
+        }
+    }
+    plan
+}
+
+/// Talk time after connect: log-normal around ≈49 s, clamped to 10–480 s.
+fn call_duration(rng: &mut StdRng) -> u64 {
+    (sample_lognormal(rng, 10.8, 0.7).round().max(0.0) as u64).clamp(10_000, 480_000)
+}
+
+/// Concurrent data demand, kbps: log-normal around ≈25 kbps (light
+/// background traffic with a heavy tail — §7: 109/113 affected calls
+/// moved < 550 KB, max 18.5 MB), clamped to 8–2000.
+fn demand(rng: &mut StdRng) -> u64 {
+    (sample_lognormal(rng, 3.2, 1.0).round().max(0.0) as u64).clamp(8, 2_000)
+}
+
+/// Turn one planned activity into scheduled events for its UE.
+fn materialize(queue: &mut EventQueue<(UeId, Ev)>, id: UeId, a: &Activity, home: RatSystem) {
+    let t = a.at.as_millis();
+    let mut sched = |at_ms: u64, ev: Ev| {
+        queue.schedule(SimTime::from_millis(at_ms), (id, ev));
+    };
+    match a.kind {
+        ActivityKind::CsfbCall {
+            data_on,
+            outgoing,
+            pdp_deact,
+            call_ms,
+            data_tail_ms,
+            ..
+        } => {
+            if data_on {
+                sched(t - 2_000, Ev::DataStart { high_rate: true });
+            }
+            sched(t, if outgoing { Ev::Dial } else { Ev::IncomingCall });
+            if pdp_deact {
+                sched(
+                    t + 6_000,
+                    Ev::NetworkDeactivatePdp(PdpDeactivationCause::OperatorDeterminedBarring),
+                );
+            }
+            if data_on {
+                sched(t + 20_000, Ev::SpeedtestSample { uplink: false });
+                sched(t + 20_500, Ev::SpeedtestSample { uplink: true });
+            }
+            let hangup = t + 15_000 + call_ms;
+            sched(hangup, Ev::Hangup);
+            if data_on {
+                // The data session outlives the call (what keeps the
+                // reselection carrier stuck in 3G — S3); the tail is
+                // bounded so it drains well before the next slot.
+                sched(hangup + data_tail_ms, Ev::DataSessionEnd);
+            }
+        }
+        ActivityKind::CsCall {
+            data_on,
+            outgoing,
+            lau_collision,
+            call_ms,
+            ..
+        } => {
+            if data_on {
+                sched(t - 3_000, Ev::DataStart { high_rate: false });
+            }
+            if let Some(off) = lau_collision {
+                sched(t - off, Ev::TriggerUpdate(UpdateKind::LocationArea));
+            }
+            sched(t, if outgoing { Ev::Dial } else { Ev::IncomingCall });
+            if data_on {
+                sched(t + 20_000, Ev::SpeedtestSample { uplink: false });
+                sched(t + 20_500, Ev::SpeedtestSample { uplink: true });
+            }
+            let hangup = t + 15_000 + call_ms;
+            sched(hangup, Ev::Hangup);
+            if data_on {
+                sched(hangup + 5_000, Ev::DataSessionEnd);
+            }
+        }
+        ActivityKind::CoverageSwitch { data_on, pdp_deact } => {
+            if data_on {
+                sched(t - 2_000, Ev::DataStart { high_rate: false });
+            }
+            sched(t, Ev::CoverageEnter3g);
+            if pdp_deact {
+                sched(
+                    t + 10_000,
+                    Ev::NetworkDeactivatePdp(PdpDeactivationCause::IncompatiblePdpContext),
+                );
+            }
+            sched(t + 60_000, Ev::CoverageReturn4g);
+            if data_on {
+                sched(t + 90_000, Ev::DataSessionEnd);
+            }
+        }
+        ActivityKind::PowerCycle => {
+            sched(t, Ev::Detach);
+            sched(t + 20_000, Ev::PowerOn(home));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{op_i, op_ii};
+
+    fn small_fleet(threads: usize) -> FleetReport {
+        let specs = vec![
+            UeSpec {
+                op: op_i(),
+                behavior: BehaviorProfile::typical_4g(),
+            },
+            UeSpec {
+                op: op_ii(),
+                behavior: BehaviorProfile::typical_4g(),
+            },
+            UeSpec {
+                op: op_i(),
+                behavior: BehaviorProfile::typical_3g(),
+            },
+        ];
+        FleetSim::new(FleetConfig {
+            seed: 2014,
+            days: 2,
+            threads,
+            trace_capacity: None,
+            specs,
+        })
+        .run()
+    }
+
+    #[test]
+    fn fleet_runs_and_produces_calls() {
+        let r = small_fleet(1);
+        assert_eq!(r.ues.len(), 3);
+        assert!(r.total_events > 0);
+        let calls: usize = r.ues.iter().map(|u| u.metrics.call_setups.len()).sum();
+        assert!(calls >= 1, "two days of three phones must produce calls");
+        // Each UE has its own trace stream.
+        assert!(r.ues.iter().all(|u| !u.trace.is_empty()));
+    }
+
+    #[test]
+    fn sharding_does_not_change_outcomes() {
+        let a = small_fleet(1).digest();
+        let b = small_fleet(2).digest();
+        let c = small_fleet(3).digest();
+        assert_eq!(a, b, "1 vs 2 threads");
+        assert_eq!(a, c, "1 vs 3 threads");
+    }
+
+    #[test]
+    fn per_ue_streams_differ() {
+        let r = small_fleet(1);
+        assert_ne!(
+            r.ues[0].trace.to_jsonl(),
+            r.ues[1].trace.to_jsonl(),
+            "different UEs see different trajectories"
+        );
+    }
+}

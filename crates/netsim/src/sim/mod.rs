@@ -1,0 +1,10 @@
+//! The simulation drivers: the per-event executive shared by the
+//! single-UE facade and the fleet ([`exec`]), and the multi-UE carrier
+//! simulation itself ([`fleet`]).
+
+pub(crate) mod exec;
+pub mod fleet;
+
+pub use fleet::{
+    Activity, ActivityKind, BehaviorProfile, FleetConfig, FleetReport, FleetSim, UeOutcome, UeSpec,
+};

@@ -228,15 +228,80 @@ impl std::fmt::Display for TraceEntry {
 }
 
 /// The collector: an append-only log with query helpers.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// By default the log is unbounded (every entry is retained, as the
+/// single-phone validation scenarios require). With a capacity set, the
+/// collector becomes a ring buffer over the most recent `cap` entries:
+/// older entries are evicted and only counted ([`Self::evicted`]), which
+/// bounds per-UE memory in fleet runs. Eviction is amortized O(1) — the
+/// backing vector compacts only once the dead prefix reaches half the
+/// buffer.
+#[derive(Clone, Debug, Default)]
 pub struct TraceCollector {
     entries: Vec<TraceEntry>,
+    /// Index of the first live entry (dead prefix below it awaits compaction).
+    start: usize,
+    capacity: Option<usize>,
+    evicted: u64,
 }
 
 impl TraceCollector {
-    /// An empty collector.
+    /// An empty, unbounded collector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty collector retaining at most `cap` entries (`None` =
+    /// unbounded).
+    pub fn with_capacity(cap: Option<usize>) -> Self {
+        Self {
+            capacity: cap.map(|c| c.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Change the retention bound. Shrinking evicts the oldest entries
+    /// immediately; `None` removes the bound (already-evicted entries stay
+    /// evicted).
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.capacity = cap.map(|c| c.max(1));
+        self.enforce_capacity();
+    }
+
+    /// The configured retention bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// How many entries were evicted by the capacity bound over the whole
+    /// run. `len() + evicted()` is the total ever recorded.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    fn enforce_capacity(&mut self) {
+        if let Some(cap) = self.capacity {
+            let live = self.entries.len() - self.start;
+            if live > cap {
+                let drop_n = live - cap;
+                self.start += drop_n;
+                self.evicted += drop_n as u64;
+            }
+        }
+        // Amortized compaction: reclaim the dead prefix once it dominates.
+        if self.start > 0 && self.start >= self.entries.len() / 2 {
+            self.entries.drain(..self.start);
+            self.start = 0;
+            // After a large drain, keep the allocation proportional to the
+            // live set rather than the historical peak.
+            if self.entries.capacity() > 4 * (self.entries.len().max(16)) {
+                self.entries.shrink_to_fit();
+            }
+        }
+    }
+
+    fn live(&self) -> &[TraceEntry] {
+        &self.entries[self.start..]
     }
 
     /// Append an entry without a structured payload.
@@ -269,26 +334,23 @@ impl TraceCollector {
             desc: desc.into(),
             event,
         });
+        self.enforce_capacity();
     }
 
-    /// All entries in order.
+    /// All retained entries in order (the most recent `capacity()` when
+    /// bounded).
     pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+        self.live()
     }
 
     /// Entries whose description contains `needle`.
     pub fn find<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
-        self.entries.iter().filter(move |e| e.desc.contains(needle))
+        self.live().iter().filter(move |e| e.desc.contains(needle))
     }
 
     /// First entry matching `needle`, if any.
     pub fn first(&self, needle: &str) -> Option<&TraceEntry> {
-        self.entries.iter().find(|e| e.desc.contains(needle))
-    }
-
-    /// Entries from a module.
-    pub fn by_module(&self, module: Protocol) -> impl Iterator<Item = &TraceEntry> {
-        self.entries.iter().filter(move |e| e.module == module)
+        self.live().iter().find(|e| e.desc.contains(needle))
     }
 
     /// Entries whose typed payload satisfies `pred`.
@@ -296,7 +358,7 @@ impl TraceCollector {
     where
         F: Fn(&TraceEvent) -> bool + 'a,
     {
-        self.entries.iter().filter(move |e| pred(&e.event))
+        self.live().iter().filter(move |e| pred(&e.event))
     }
 
     /// First entry whose typed payload satisfies `pred`.
@@ -304,12 +366,12 @@ impl TraceCollector {
     where
         F: Fn(&TraceEvent) -> bool,
     {
-        self.entries.iter().find(|e| pred(&e.event))
+        self.live().iter().find(|e| pred(&e.event))
     }
 
     /// NAS messages observed on the wire, with their entries.
     pub fn nas_messages(&self) -> impl Iterator<Item = (&TraceEntry, bool, &NasMessage)> {
-        self.entries.iter().filter_map(|e| match &e.event {
+        self.live().iter().filter_map(|e| match &e.event {
             TraceEvent::Nas { uplink, msg } => Some((e, *uplink, msg)),
             _ => None,
         })
@@ -317,7 +379,7 @@ impl TraceCollector {
 
     /// Injected faults, with their entries.
     pub fn faults(&self) -> impl Iterator<Item = (&TraceEntry, &FaultEvent)> {
-        self.entries.iter().filter_map(|e| match &e.event {
+        self.live().iter().filter_map(|e| match &e.event {
             TraceEvent::Fault(f) => Some((e, f)),
             _ => None,
         })
@@ -325,7 +387,7 @@ impl TraceCollector {
 
     /// Detected hazards, with their entries.
     pub fn hazards(&self) -> impl Iterator<Item = (&TraceEntry, HazardKind)> {
-        self.entries.iter().filter_map(|e| match e.event {
+        self.live().iter().filter_map(|e| match e.event {
             TraceEvent::Hazard(h) => Some((e, h)),
             _ => None,
         })
@@ -333,7 +395,7 @@ impl TraceCollector {
 
     /// Entries in the half-open time window `[from, to)`.
     pub fn between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TraceEntry> {
-        self.entries
+        self.live()
             .iter()
             .filter(move |e| e.ts >= from && e.ts < to)
     }
@@ -341,7 +403,7 @@ impl TraceCollector {
     /// Render the whole log (the Figure 10 style dump).
     pub fn dump(&self) -> String {
         let mut s = String::new();
-        for e in &self.entries {
+        for e in self.live() {
             s.push_str(&e.to_string());
             s.push('\n');
         }
@@ -350,21 +412,21 @@ impl TraceCollector {
 
     /// Serialize to JSON lines for offline analysis.
     pub fn to_jsonl(&self) -> String {
-        self.entries
+        self.live()
             .iter()
             .map(|e| serde_json::to_string(e).expect("trace entries serialize"))
             .collect::<Vec<_>>()
             .join("\n")
     }
 
-    /// Number of entries.
+    /// Number of retained entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() - self.start
     }
 
-    /// No entries recorded.
+    /// No entries retained.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -423,13 +485,6 @@ mod tests {
         assert_eq!(t.find("64QAM").count(), 1);
         assert!(t.first("64QAM").is_some());
         assert!(t.first("nonexistent").is_none());
-    }
-
-    #[test]
-    fn by_module_filters() {
-        let t = sample();
-        assert_eq!(t.by_module(Protocol::Rrc3g).count(), 1);
-        assert_eq!(t.by_module(Protocol::Emm).count(), 0);
     }
 
     #[test]
@@ -553,5 +608,71 @@ mod tests {
     fn dump_one_line_per_entry() {
         let t = sample();
         assert_eq!(t.dump().lines().count(), 2);
+    }
+
+    fn push_note(t: &mut TraceCollector, i: u64) {
+        t.record(
+            SimTime::from_millis(i),
+            TraceType::State,
+            RatSystem::Lte4g,
+            Protocol::Emm,
+            format!("entry {i}"),
+        );
+    }
+
+    #[test]
+    fn capacity_retains_most_recent_and_counts_evictions() {
+        let mut t = TraceCollector::with_capacity(Some(100));
+        for i in 0..1_000 {
+            push_note(&mut t, i);
+            assert!(t.len() <= 100, "bound holds at every step");
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.evicted(), 900);
+        assert_eq!(t.entries()[0].desc, "entry 900");
+        assert_eq!(t.entries()[99].desc, "entry 999");
+        assert!(t.first("entry 899").is_none(), "evicted entries are gone");
+        assert_eq!(t.between(SimTime::from_millis(0), SimTime::from_secs(60)).count(), 100);
+    }
+
+    #[test]
+    fn default_is_unbounded_with_zero_evictions() {
+        let mut t = TraceCollector::new();
+        for i in 0..5_000 {
+            push_note(&mut t, i);
+        }
+        assert_eq!(t.len(), 5_000);
+        assert_eq!(t.evicted(), 0);
+        assert_eq!(t.capacity(), None);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_immediately_and_lifting_keeps_history() {
+        let mut t = TraceCollector::new();
+        for i in 0..50 {
+            push_note(&mut t, i);
+        }
+        t.set_capacity(Some(10));
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.evicted(), 40);
+        assert_eq!(t.entries()[0].desc, "entry 40");
+        t.set_capacity(None);
+        push_note(&mut t, 50);
+        assert_eq!(t.len(), 11, "unbounded again, evictions stay counted");
+        assert_eq!(t.evicted(), 40);
+    }
+
+    #[test]
+    fn bounded_churn_keeps_backing_memory_steady() {
+        let mut t = TraceCollector::with_capacity(Some(64));
+        let mut peak = 0;
+        for i in 0..100_000 {
+            push_note(&mut t, i);
+            peak = peak.max(t.entries.capacity());
+        }
+        assert!(
+            peak <= 64 * 4 + 16,
+            "backing vector must stay proportional to the bound, peaked at {peak}"
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! `userstudy` — population simulation of the paper's §7 user study.
+//! `userstudy` — the paper's §7 user study, rebased on the fleet simulator.
 //!
 //! "To assess the real-world impact, we conduct \[a\] two-week user study
 //! with 20 volunteers ... 12 people use 4G-capable phones, while others use
@@ -6,15 +6,16 @@
 //! inter-system switches (380 switches are caused by 190 CSFB calls), and
 //! 30 attaches."
 //!
-//! [`study::run_study`] regenerates that event volume from per-participant
-//! behaviour models and detects each instance S1–S6 with its causal
-//! mechanism, producing the Table 5 occurrence probabilities and the
-//! Table 6 stuck-in-3G quantiles (rendered by [`stats`]).
+//! [`study::run_study`] translates that population into per-UE behaviour
+//! specs, runs a real [`netsim::FleetSim`] for the two weeks, and detects
+//! each instance S1–S6 on the resulting phone-side traces with signature
+//! automata ([`detect`]) — producing the Table 5 occurrence probabilities
+//! and the Table 6 stuck-in-3G quantiles (rendered by [`stats`]).
 //!
 //! # Example
 //!
 //! ```
-//! let result = userstudy::run_study(2014, userstudy::Hazards::default());
+//! let result = userstudy::run_study(2014);
 //! // Event volume near the paper's: 190 CSFB calls observed.
 //! assert!((150..=230).contains(&result.csfb_calls));
 //! // S5 dominates, S2 is absent — the Table 5 ordering.
@@ -26,12 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod journal;
+pub mod detect;
 pub mod population;
 pub mod stats;
 pub mod study;
 
-pub use journal::{run_detectors, DetectorCounts, StudyEvent};
-pub use population::{build_population, Carrier, Participant, Persona, STUDY_DAYS};
+pub use detect::{collect_spans, s3_episodes, s5_overlap, s6_detach, StuckEpisode};
+pub use population::{build_population, spec_for, Carrier, Participant, Persona, STUDY_DAYS};
 pub use stats::{table5, table6};
-pub use study::{run_study, Hazards, Occurrence, StudyResult};
+pub use study::{analyze, run_study, Occurrence, StudyResult};

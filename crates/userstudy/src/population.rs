@@ -11,6 +11,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use netsim::{op_i, op_ii, BehaviorProfile, UeSpec};
+
 /// The carrier a participant subscribes to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Carrier {
@@ -118,8 +120,49 @@ pub mod rates {
     /// Non-CSFB 4G→3G switches per 4G-user day (coverage + carrier; the
     /// study observed 28 alongside the 380 CSFB-caused legs).
     pub const OTHER_SWITCHES_PER_DAY: f64 = 0.17;
-    /// Attaches (power cycles / auto recovery) per user-day (≈30 total).
-    pub const ATTACHES_PER_DAY: f64 = 0.107;
+    /// Power cycles per user-day. Every participant's phone attaches once
+    /// when the study starts, so ≈30 observed attaches = 20 initial
+    /// attaches + 20 × 14 × 0.036 ≈ 10 re-attach cycles.
+    pub const POWER_CYCLES_PER_DAY: f64 = 0.036;
+}
+
+/// Translate a participant into the fleet-simulation spec that drives
+/// their phone: the carrier profile picks the operator policies
+/// (release-with-redirect vs cell reselection — the S3/S6 split) and the
+/// behaviour rates are the §7 base rates scaled by the persona intensity.
+pub fn spec_for(p: &Participant) -> UeSpec {
+    let intensity = p.persona.intensity();
+    UeSpec {
+        op: match p.carrier {
+            Carrier::OpI => op_i(),
+            Carrier::OpII => op_ii(),
+        },
+        behavior: BehaviorProfile {
+            starts_on_3g: !p.has_4g,
+            csfb_calls_per_day: if p.has_4g {
+                rates::CSFB_CALLS_PER_DAY * intensity
+            } else {
+                0.0
+            },
+            cs_calls_per_day: if p.has_4g {
+                0.0
+            } else {
+                rates::CS_CALLS_PER_DAY * intensity
+            },
+            coverage_switches_per_day: if p.has_4g {
+                rates::OTHER_SWITCHES_PER_DAY * intensity
+            } else {
+                0.0
+            },
+            power_cycles_per_day: rates::POWER_CYCLES_PER_DAY,
+            data_on_prob: p.data_on_prob,
+            outgoing_call_prob: p.outgoing_call_prob,
+            // Table 3 / §7 hazard rates: a few percent of 3G dwells lose
+            // their PDP context; 7.6% of outgoing calls race an LAU.
+            pdp_deactivation_prob: 0.031,
+            lau_collision_prob: 0.076,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -158,12 +201,35 @@ mod tests {
         assert!((185.0..=195.0).contains(&csfb), "≈190 CSFB calls, {csfb}");
         let cs = 8.0 * STUDY_DAYS as f64 * rates::CS_CALLS_PER_DAY;
         assert!((140.0..=152.0).contains(&cs), "≈146 CS calls, {cs}");
-        let attaches = 20.0 * STUDY_DAYS as f64 * rates::ATTACHES_PER_DAY;
+        // Initial attach per participant + re-attach power cycles.
+        let attaches = 20.0 + 20.0 * STUDY_DAYS as f64 * rates::POWER_CYCLES_PER_DAY;
         assert!((27.0..=33.0).contains(&attaches), "≈30 attaches, {attaches}");
     }
 
     #[test]
     fn personas_scale_intensity() {
         assert!(Persona::Student.intensity() > Persona::TechUnsavvy.intensity());
+    }
+
+    #[test]
+    fn specs_follow_phone_capability_and_carrier() {
+        let mut rng = rng_from_seed(3);
+        let pop = build_population(&mut rng);
+        for p in &pop {
+            let spec = spec_for(p);
+            assert_eq!(spec.behavior.starts_on_3g, !p.has_4g);
+            if p.has_4g {
+                assert!(spec.behavior.csfb_calls_per_day > 0.0);
+                assert_eq!(spec.behavior.cs_calls_per_day, 0.0);
+            } else {
+                assert_eq!(spec.behavior.csfb_calls_per_day, 0.0);
+                assert!(spec.behavior.cs_calls_per_day > 0.0);
+            }
+            let want = match p.carrier {
+                Carrier::OpI => "OP-I",
+                Carrier::OpII => "OP-II",
+            };
+            assert_eq!(spec.op.name, want);
+        }
     }
 }

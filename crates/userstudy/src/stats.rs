@@ -65,11 +65,11 @@ pub fn table6(r: &StudyResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::study::{run_study, Hazards};
+    use crate::study::run_study;
 
     #[test]
     fn table5_renders_all_instances() {
-        let r = run_study(2014, Hazards::default());
+        let r = run_study(2014);
         let t = table5(&r);
         assert!(t.contains("S1") && t.contains("S6"));
         assert!(t.contains('%'));
@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn table6_renders_both_operators() {
-        let r = run_study(2014, Hazards::default());
+        let r = run_study(2014);
         let t = table6(&r);
         assert!(t.contains("OP-I"));
         assert!(t.contains("OP-II"));

@@ -1,56 +1,39 @@
-//! The study simulation: generate two weeks of events for the population
-//! and detect instance occurrences per §7's counting rules.
+//! The study simulation: drive the §7 population through a real
+//! [`FleetSim`] run and count instance occurrences from the traces.
 //!
-//! Events are generated from the calibrated per-user rates; instance
-//! occurrence follows the causal mechanism of each instance:
+//! The population (20 participants, 12 on 4G phones) is translated into
+//! per-UE behaviour specs ([`crate::population::spec_for`]) and simulated
+//! for two weeks against the shared carrier cores. Every occurrence
+//! number in the result is then *detected* on the phone-side traces by a
+//! signature automaton ([`crate::detect`]) — exactly the paper's
+//! methodology, where the instances are found by post-processing the
+//! volunteers' modem logs:
 //!
-//! * **S1** occurs on a data-on 4G→3G→4G excursion whose PDP context was
-//!   deactivated during the 3G dwell (paper: 4/129 ⇒ the deactivation
-//!   hazard is a few percent per dwell).
-//! * **S2** would need an attach in weak coverage with signal loss; the
-//!   study's attaches all happened at good coverage (−95 dBm or better), so
-//!   the expected count is zero.
-//! * **S3** occurs deterministically for a CSFB call with ongoing data on a
-//!   cell-reselection carrier (OP-II) — hence 64/103 ≈ 62.1%.
-//! * **S4** occurs when a location-area update lands within the 1.2 s
-//!   window after an outgoing call starts.
-//! * **S5** occurs whenever a 3G CS call overlaps ongoing data traffic
-//!   (113/146 ≈ 77.4% of calls did).
-//! * **S6** occurs when the CSFB double-update race is lost (5/190 ≈ 2.6%).
+//! * **S1** — the hand S1 signature (PDP deactivated in 3G → 4G return
+//!   without a context → network detach → timed recovery).
+//! * **S2** — the hand S2 signature; the study's attaches all happen in
+//!   good coverage, so the expected count is zero.
+//! * **S3** — the S3 signature's evidence spans: a data-on CSFB call
+//!   whose release→return gap exceeds 10 s counts as an occurrence, and
+//!   the gaps themselves are the Table 6 series.
+//! * **S4** — the hand S4 signature (dial blocked behind a location
+//!   update — head-of-line blocking).
+//! * **S5** — the study overlap signature ([`crate::detect::s5_overlap`]):
+//!   voice drops the shared channel to 16QAM and data traffic is observed
+//!   mid-call.
+//! * **S6** — the study S6 signature ([`crate::detect::s6_detach`]):
+//!   post-call update failure propagated across systems, detaching an
+//!   in-service device on 4G; covers both the OP-I disrupted-update and
+//!   the OP-II conflicting-update shapes.
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use monitor::{compile, count_signature};
 use netsim::rng::rng_from_seed;
-use netsim::{op_i, op_ii};
+use netsim::{ActivityKind, FleetConfig, FleetReport, FleetSim, SimTime};
 
-use crate::journal::{run_detectors, StudyEvent};
-use crate::population::{build_population, rates, Carrier, Participant, STUDY_DAYS};
-
-/// Tunable hazard rates for the stochastic mechanisms.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct Hazards {
-    /// P(PDP context deactivated during one 3G dwell with data on) — S1.
-    pub pdp_deact_per_dwell: f64,
-    /// P(signal-loss detach per attach in good coverage) — S2.
-    pub attach_loss_good_coverage: f64,
-    /// P(an LAU lands in the 1.2 s window after an outgoing call) — S4.
-    pub lau_collision_per_call: f64,
-    /// P(the CSFB double-update race is lost) — S6.
-    pub lu_race_per_csfb: f64,
-}
-
-impl Default for Hazards {
-    fn default() -> Self {
-        Self {
-            pdp_deact_per_dwell: 0.031,
-            attach_loss_good_coverage: 0.0005,
-            lau_collision_per_call: 0.076,
-            lu_race_per_csfb: 0.026,
-        }
-    }
-}
+use crate::detect;
+use crate::population::{build_population, spec_for, Carrier, Participant, STUDY_DAYS};
 
 /// Counters for one instance: occurrences / denominator (the Table 5 cells).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,166 +74,157 @@ pub struct StudyResult {
     pub csfb_calls: u32,
     /// Total 3G CS calls (paper: 146).
     pub cs_calls_3g: u32,
-    /// Total inter-system switches (paper: 436).
+    /// Total inter-system switches (paper: 436; 380 from the CSFB calls).
     pub switches: u32,
-    /// Total attaches (paper: 30).
+    /// Total attaches — one per participant at study start plus every
+    /// power cycle (paper: 30).
     pub attaches: u32,
-    /// Per-carrier stuck-in-3G durations after CSFB calls, ms (Table 6).
+    /// Per-carrier stuck-in-3G durations after data-on CSFB calls, ms
+    /// (Table 6), recovered from the S3 evidence spans.
     pub stuck_op1_ms: Vec<u64>,
     /// OP-II durations.
     pub stuck_op2_ms: Vec<u64>,
     /// S5: affected data volume per affected call, KB (paper: avg 368 KB).
     pub s5_affected_kb: Vec<f64>,
-    /// The raw event journal the detectors ran over (§7's phone logs).
-    pub journal: Vec<StudyEvent>,
+    /// Events the fleet executive processed across all 20 phones.
+    pub fleet_events: u64,
 }
 
-/// Poisson-ish event count for a day: we draw from a Bernoulli chain to
-/// keep it simple and bounded (rates are around 1/day).
-fn draw_count(rng: &mut StdRng, rate: f64) -> u32 {
-    // Split the day into 8 slots, each with p = rate/8 (rate << 8).
-    let p = rate / 8.0;
-    (0..8).filter(|_| rng.gen::<f64>() < p).count() as u32
-}
+/// An S3 occurrence: the phone failed to return to 4G "promptly" — the
+/// §5.3.2 threshold separating a redirect-speed return from waiting out a
+/// data session.
+const S3_STUCK_THRESHOLD_MS: u64 = 10_000;
 
-/// Run the full two-week study.
-pub fn run_study(seed: u64, hazards: Hazards) -> StudyResult {
+/// Run the full two-week study on a fleet simulation.
+pub fn run_study(seed: u64) -> StudyResult {
     let mut rng = rng_from_seed(seed);
     let population = build_population(&mut rng);
-    let mut r = StudyResult::default();
-    let profile_op1 = op_i();
-    let profile_op2 = op_ii();
-
-    for user in &population {
-        for _day in 0..STUDY_DAYS {
-            simulate_user_day(
-                user,
-                &mut rng,
-                hazards,
-                &mut r,
-                &profile_op1,
-                &profile_op2,
-            );
-        }
-    }
-
-    // Post-process the journal with the §7 detectors (the occurrence
-    // columns of Table 5) — the generation above only logs raw events.
-    let counts = run_detectors(&r.journal);
-    r.s1 = Occurrence { events: counts.s1.0, denominator: counts.s1.1 };
-    r.s2 = Occurrence { events: counts.s2.0, denominator: counts.s2.1 };
-    r.s3 = Occurrence { events: counts.s3.0, denominator: counts.s3.1 };
-    r.s4 = Occurrence { events: counts.s4.0, denominator: counts.s4.1 };
-    r.s5 = Occurrence { events: counts.s5.0, denominator: counts.s5.1 };
-    r.s6 = Occurrence { events: counts.s6.0, denominator: counts.s6.1 };
-    r
+    let specs = population.iter().map(spec_for).collect();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let report = FleetSim::new(FleetConfig {
+        seed,
+        days: STUDY_DAYS,
+        threads,
+        trace_capacity: None,
+        specs,
+    })
+    .run();
+    analyze(&population, &report)
 }
 
-fn simulate_user_day(
-    user: &Participant,
-    rng: &mut StdRng,
-    hz: Hazards,
-    r: &mut StudyResult,
-    op1: &netsim::OperatorProfile,
-    op2: &netsim::OperatorProfile,
-) {
-    let intensity = user.persona.intensity();
+/// Post-process a fleet run with the §7 detectors.
+pub fn analyze(population: &[Participant], report: &FleetReport) -> StudyResult {
+    assert_eq!(
+        population.len(),
+        report.ues.len(),
+        "one trace stream per participant"
+    );
+    let end = SimTime::from_millis(u64::from(report.days) * 86_400_000 + 900_000);
+    let mut r = StudyResult {
+        fleet_events: report.total_events,
+        ..StudyResult::default()
+    };
 
-    if user.has_4g {
-        // CSFB calls.
-        for _ in 0..draw_count(rng, rates::CSFB_CALLS_PER_DAY * intensity) {
-            r.csfb_calls += 1;
-            r.switches += 2; // fallback + return
-            let data_on = rng.gen::<f64>() < user.data_on_prob;
-            let pdp_deactivated = data_on && rng.gen::<f64>() < hz.pdp_deact_per_dwell;
-            let lu_race_lost = rng.gen::<f64>() < hz.lu_race_per_csfb;
-
-            // Table 6 durations: only data-on calls are recorded (the paper
-            // measures the 103 CSFB-with-data calls).
-            let mut stuck_ms = 0;
-            if data_on {
-                match user.carrier {
-                    Carrier::OpII => {
-                        stuck_ms = op2
-                            .data_session_lifetime
-                            .sample_ms(rng)
-                            .clamp(14_700, 253_900);
-                        r.stuck_op2_ms.push(stuck_ms);
+    for (p, u) in population.iter().zip(&report.ues) {
+        // Denominators come from the deterministic activity plan (what
+        // the phone *did*); occurrences come from the trace (what the
+        // network *made of it*).
+        r.attaches += 1; // initial power-on attach
+        for a in &u.activities {
+            match a.kind {
+                ActivityKind::CsfbCall { data_on, .. } => {
+                    r.csfb_calls += 1;
+                    r.switches += 2; // fallback + return
+                    r.s6.denominator += 1;
+                    if data_on {
+                        r.s1.denominator += 1;
+                        r.s3.denominator += 1;
                     }
-                    Carrier::OpI => {
-                        stuck_ms = op1.redirect_return_delay.sample_ms(rng);
-                        r.stuck_op1_ms.push(stuck_ms);
+                }
+                ActivityKind::CsCall {
+                    data_on, outgoing, ..
+                } => {
+                    r.cs_calls_3g += 1;
+                    r.s5.denominator += 1;
+                    if outgoing {
+                        r.s4.denominator += 1;
+                    }
+                    let _ = data_on;
+                }
+                ActivityKind::CoverageSwitch { data_on, .. } => {
+                    r.switches += 2;
+                    if data_on {
+                        r.s1.denominator += 1;
+                    }
+                }
+                ActivityKind::PowerCycle => r.attaches += 1,
+            }
+        }
+
+        let entries = u.trace.entries();
+        r.s2.events += count_signature(&compile::s2(), entries, end) as u32;
+        if p.has_4g {
+            r.s1.events += count_signature(&compile::s1(), entries, end) as u32;
+            r.s6.events += count_signature(&detect::s6_detach(), entries, end) as u32;
+            for ep in detect::s3_episodes(entries) {
+                // Attribute the episode to the activity that dialed it:
+                // the latest planned CSFB call at or before the release.
+                let data_on = u
+                    .activities
+                    .iter()
+                    .filter(|a| a.at <= ep.released)
+                    .filter_map(|a| match a.kind {
+                        ActivityKind::CsfbCall { data_on, .. } => Some((a.at, data_on)),
+                        _ => None,
+                    })
+                    .max_by_key(|&(at, _)| at)
+                    .map(|(_, d)| d);
+                if data_on != Some(true) {
+                    continue; // paper measures the 103 data-on calls
+                }
+                let stuck = ep.stuck_ms();
+                match p.carrier {
+                    Carrier::OpI => r.stuck_op1_ms.push(stuck),
+                    Carrier::OpII => r.stuck_op2_ms.push(stuck),
+                }
+                if stuck > S3_STUCK_THRESHOLD_MS {
+                    r.s3.events += 1;
+                }
+            }
+        } else {
+            r.s4.events += count_signature(&compile::s4(), entries, end) as u32;
+            r.s5.events += count_signature(&detect::s5_overlap(), entries, end) as u32;
+            for a in &u.activities {
+                if let ActivityKind::CsCall {
+                    data_on: true,
+                    call_ms,
+                    demand_kbps,
+                    ..
+                } = a.kind
+                {
+                    let to = a.at + (call_ms + 25_000);
+                    if let Some(kbps) = detect::dl_rate_during_call(entries, a.at, to) {
+                        let secs = (call_ms + 15_000) as f64 / 1_000.0;
+                        r.s5_affected_kb.push(secs * demand_kbps.min(kbps) as f64 / 8.0);
                     }
                 }
             }
-            r.journal.push(StudyEvent::CsfbCall {
-                user: user.id,
-                carrier: user.carrier,
-                data_on,
-                pdp_deactivated,
-                lu_race_lost,
-                stuck_ms,
-            });
-        }
-        // Non-CSFB switches (coverage / carrier-initiated).
-        for _ in 0..draw_count(rng, rates::OTHER_SWITCHES_PER_DAY * intensity) {
-            r.switches += 1;
-            let data_on = rng.gen::<f64>() < user.data_on_prob;
-            let pdp_deactivated = data_on && rng.gen::<f64>() < hz.pdp_deact_per_dwell;
-            r.journal.push(StudyEvent::Switch {
-                user: user.id,
-                data_on,
-                pdp_deactivated,
-            });
-        }
-    } else {
-        // 3G-only users: plain CS calls.
-        for _ in 0..draw_count(rng, rates::CS_CALLS_PER_DAY * intensity) {
-            r.cs_calls_3g += 1;
-            let data_traffic = rng.gen::<f64>() < user.data_on_prob;
-            let outgoing = rng.gen::<f64>() < user.outgoing_call_prob;
-            let lau_within_window = outgoing && rng.gen::<f64>() < hz.lau_collision_per_call;
-            // Call duration (avg ≈67 s) and the data the user transferred
-            // during it at their background rate — light traffic with a
-            // heavy tail (§7: 109/113 calls < 550 KB, max 18.5 MB).
-            let call_s = netsim::rng::sample_lognormal(rng, 3.9, 0.7).clamp(10.0, 600.0);
-            let data_kb = if data_traffic {
-                let rate_kbps =
-                    netsim::rng::sample_lognormal(rng, 3.0, 1.3).clamp(2.0, 3_000.0);
-                let kb = call_s * rate_kbps / 8.0;
-                r.s5_affected_kb.push(kb);
-                kb
-            } else {
-                0.0
-            };
-            r.journal.push(StudyEvent::CsCall {
-                user: user.id,
-                outgoing,
-                data_traffic,
-                lau_within_window,
-                duration_s: call_s,
-                data_kb,
-            });
         }
     }
-
-    // Attaches (power cycles, recoveries) for everyone.
-    for _ in 0..draw_count(rng, rates::ATTACHES_PER_DAY) {
-        r.attaches += 1;
-        let loss_detach = rng.gen::<f64>() < hz.attach_loss_good_coverage;
-        r.journal.push(StudyEvent::Attach {
-            user: user.id,
-            loss_detach,
-        });
-    }
+    r.s2.denominator = r.attaches;
+    r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
 
-    fn study() -> StudyResult {
-        run_study(2014, Hazards::default())
+    fn study() -> &'static StudyResult {
+        static STUDY: OnceLock<StudyResult> = OnceLock::new();
+        STUDY.get_or_init(|| run_study(2014))
     }
 
     #[test]
@@ -271,7 +245,7 @@ mod tests {
             "≈436 switches, got {}",
             r.switches
         );
-        assert!((15..=45).contains(&r.attaches), "≈30 attaches, got {}", r.attaches);
+        assert!((20..=45).contains(&r.attaches), "≈30 attaches, got {}", r.attaches);
     }
 
     #[test]
@@ -284,7 +258,7 @@ mod tests {
     #[test]
     fn s2_rare_or_absent() {
         let r = study();
-        assert!(r.s2.events <= 1, "paper observed 0/30");
+        assert!(r.s2.events <= 1, "paper observed 0/30, got {}", r.s2.events);
     }
 
     #[test]
@@ -313,7 +287,7 @@ mod tests {
         let r = study();
         let p = r.s6.probability();
         assert!((0.0..=0.08).contains(&p), "paper 2.6%, got {:.3}", p);
-        assert!(r.s6.events >= 1, "expect a few S6 events over 190 calls");
+        assert!(r.s6.events >= 1, "expect a few S6 events over ~190 calls");
     }
 
     #[test]
@@ -335,6 +309,7 @@ mod tests {
     #[test]
     fn s5_affected_volume_near_368_kb() {
         let r = study();
+        assert!(!r.s5_affected_kb.is_empty());
         let avg = r.s5_affected_kb.iter().sum::<f64>() / r.s5_affected_kb.len() as f64;
         assert!(
             (150.0..=900.0).contains(&avg),
@@ -344,30 +319,23 @@ mod tests {
 
     #[test]
     fn reproducible() {
-        let a = run_study(7, Hazards::default());
-        let b = run_study(7, Hazards::default());
+        let a = run_study(7);
+        let b = run_study(7);
         assert_eq!(a.csfb_calls, b.csfb_calls);
         assert_eq!(a.s3, b.s3);
         assert_eq!(a.stuck_op2_ms, b.stuck_op2_ms);
+        assert_eq!(a.fleet_events, b.fleet_events);
     }
 
     #[test]
-    fn zero_hazards_zero_stochastic_instances() {
-        let r = run_study(
-            5,
-            Hazards {
-                pdp_deact_per_dwell: 0.0,
-                attach_loss_good_coverage: 0.0,
-                lau_collision_per_call: 0.0,
-                lu_race_per_csfb: 0.0,
-            },
+    fn occurrences_never_exceed_denominators() {
+        let r = study();
+        for o in [r.s1, r.s2, r.s3, r.s4, r.s5, r.s6] {
+            assert!(o.events <= o.denominator, "{o:?}");
+        }
+        // Every Table 6 sample comes from a data-on CSFB call.
+        assert!(
+            (r.stuck_op1_ms.len() + r.stuck_op2_ms.len()) as u32 <= r.s3.denominator
         );
-        assert_eq!(r.s1.events, 0);
-        assert_eq!(r.s2.events, 0);
-        assert_eq!(r.s4.events, 0);
-        assert_eq!(r.s6.events, 0);
-        // S3 and S5 are policy-deterministic, not hazard-driven.
-        assert!(r.s3.events > 0);
-        assert!(r.s5.events > 0);
     }
 }

@@ -1,106 +1,111 @@
-//! Property-based tests for the user-study journal and detectors.
+//! Property-based tests for the trace-based study detectors.
 
 use proptest::prelude::*;
 
-use userstudy::journal::{run_detectors, StudyEvent};
-use userstudy::{run_study, Carrier, Hazards};
+use cellstack::{Protocol, RatSystem};
+use monitor::count_signature;
+use netsim::trace::{CallPhase, TraceCollector, TraceEvent, TraceType};
+use netsim::SimTime;
+use userstudy::{analyze, build_population, s3_episodes, s5_overlap, spec_for};
 
-fn study_event() -> impl Strategy<Value = StudyEvent> {
-    prop_oneof![
-        (
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
-            0u64..300_000
-        )
-            .prop_map(|(op2, data_on, pdp, race, stuck)| StudyEvent::CsfbCall {
-                user: 1,
-                carrier: if op2 { Carrier::OpII } else { Carrier::OpI },
-                data_on,
-                pdp_deactivated: pdp && data_on,
-                lu_race_lost: race,
-                stuck_ms: stuck,
-            }),
-        (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(out, data, lau)| {
-            StudyEvent::CsCall {
-                user: 2,
-                outgoing: out,
-                data_traffic: data,
-                lau_within_window: lau && out,
-                duration_s: 60.0,
-                data_kb: 100.0,
-            }
-        }),
-        (any::<bool>(), any::<bool>()).prop_map(|(d, pdp)| StudyEvent::Switch {
-            user: 3,
-            data_on: d,
-            pdp_deactivated: pdp && d,
-        }),
-        any::<bool>().prop_map(|l| StudyEvent::Attach {
-            user: 4,
-            loss_detach: l,
-        }),
-    ]
+/// Append one synthetic 3G CS call to a trace; returns the next free
+/// timestamp.
+fn push_call(t: &mut TraceCollector, at_ms: u64, with_data: bool, stuck_ms: u64) -> u64 {
+    let mut rec = |ts: u64, event: TraceEvent| {
+        t.record_event(
+            SimTime::from_millis(ts),
+            TraceType::State,
+            RatSystem::Utran3g,
+            Protocol::Rrc3g,
+            "synthetic",
+            event,
+        );
+    };
+    rec(at_ms, TraceEvent::CampedOn(RatSystem::Utran3g));
+    rec(at_ms + 500, TraceEvent::RadioConfig { allow_64qam: false });
+    rec(at_ms + 500, TraceEvent::Call(CallPhase::Connected));
+    if with_data {
+        rec(
+            at_ms + 5_000,
+            TraceEvent::Throughput {
+                uplink: false,
+                with_call: true,
+                kbps: 300,
+            },
+        );
+    }
+    rec(at_ms + 30_000, TraceEvent::RadioConfig { allow_64qam: true });
+    rec(at_ms + 30_000, TraceEvent::Call(CallPhase::Released));
+    rec(
+        at_ms + 30_000 + stuck_ms,
+        TraceEvent::CampedOn(RatSystem::Lte4g),
+    );
+    at_ms + 40_000 + stuck_ms
 }
 
 proptest! {
-    /// Detector counts are coherent for arbitrary journals: occurrences
-    /// never exceed denominators, and denominators match the event mix.
+    /// The S5 overlap count equals exactly the number of calls that carried
+    /// mid-call traffic, for any call mix.
     #[test]
-    fn detector_counts_are_coherent(journal in proptest::collection::vec(study_event(), 0..200)) {
-        let c = run_detectors(&journal);
-        for (ev, den) in [c.s1, c.s2, c.s3, c.s4, c.s5, c.s6] {
-            prop_assert!(ev <= den);
+    fn s5_count_equals_data_on_calls(pattern in proptest::collection::vec(any::<bool>(), 0..24)) {
+        let mut t = TraceCollector::new();
+        let mut at = 10_000;
+        for &with_data in &pattern {
+            at = push_call(&mut t, at, with_data, 2_000);
         }
-        let csfb = journal.iter().filter(|e| matches!(e, StudyEvent::CsfbCall { .. })).count() as u32;
-        let cs = journal.iter().filter(|e| matches!(e, StudyEvent::CsCall { .. })).count() as u32;
-        let attaches = journal.iter().filter(|e| matches!(e, StudyEvent::Attach { .. })).count() as u32;
-        prop_assert_eq!(c.s6.1, csfb, "every CSFB call is an S6 opportunity");
-        prop_assert_eq!(c.s5.1, cs, "every CS call is an S5 opportunity");
-        prop_assert_eq!(c.s2.1, attaches);
-        // S3's denominator is the data-on subset of CSFB calls.
-        prop_assert!(c.s3.1 <= csfb);
+        let n = count_signature(&s5_overlap(), t.entries(), SimTime::from_millis(at + 60_000));
+        prop_assert_eq!(n, pattern.iter().filter(|&&d| d).count());
     }
 
-    /// A full study is internally consistent for any seed: the detectors'
-    /// denominators reconcile with the event totals, and Table 6 samples
-    /// exist iff S3 opportunities exist.
+    /// Every synthetic release→return gap is recovered exactly by the S3
+    /// span detector, in order.
     #[test]
-    fn study_is_internally_consistent(seed in any::<u64>()) {
-        let r = run_study(seed, Hazards::default());
+    fn s3_episodes_recover_all_gaps(gaps in proptest::collection::vec(1_000u64..400_000, 1..16)) {
+        let mut t = TraceCollector::new();
+        let mut at = 10_000;
+        for &g in &gaps {
+            at = push_call(&mut t, at, false, g);
+        }
+        let eps = s3_episodes(t.entries());
+        prop_assert_eq!(eps.len(), gaps.len());
+        for (ep, g) in eps.iter().zip(&gaps) {
+            prop_assert_eq!(ep.stuck_ms(), *g);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A full fleet-backed study is internally consistent for any seed:
+    /// occurrences never exceed denominators and the plan-derived totals
+    /// reconcile. (Few cases — each one simulates a 20-phone fleet.)
+    #[test]
+    fn study_is_internally_consistent(seed in 0u64..1024) {
+        let mut rng = netsim::rng::rng_from_seed(seed);
+        let population = build_population(&mut rng);
+        let specs = population.iter().map(spec_for).collect();
+        let report = netsim::FleetSim::new(netsim::FleetConfig {
+            seed,
+            days: 3, // short horizon keeps the property cheap
+            threads: 2,
+            trace_capacity: None,
+            specs,
+        })
+        .run();
+        let r = analyze(&population, &report);
+        for o in [r.s1, r.s2, r.s3, r.s4, r.s5, r.s6] {
+            prop_assert!(o.events <= o.denominator, "{:?}", o);
+        }
         prop_assert_eq!(r.s6.denominator, r.csfb_calls);
         prop_assert_eq!(r.s5.denominator, r.cs_calls_3g);
         prop_assert_eq!(r.s2.denominator, r.attaches);
         prop_assert!(r.s3.denominator <= r.csfb_calls);
-        prop_assert_eq!(
-            (r.stuck_op1_ms.len() + r.stuck_op2_ms.len()) as u32,
-            r.s3.denominator,
-            "one Table 6 sample per data-on CSFB call"
+        prop_assert!(r.attaches >= 20, "an initial attach per participant");
+        prop_assert!(r.switches >= 2 * r.csfb_calls, "two legs per CSFB call");
+        prop_assert!(
+            (r.stuck_op1_ms.len() + r.stuck_op2_ms.len()) as u32 <= r.s3.denominator,
+            "Table 6 samples come only from data-on CSFB calls"
         );
-        prop_assert_eq!(r.s5_affected_kb.len() as u32, r.s5.events);
-        // The journal carries everything the counters summarize.
-        prop_assert_eq!(
-            r.journal.len() as u32,
-            r.csfb_calls + r.cs_calls_3g + (r.switches - 2 * r.csfb_calls) + r.attaches
-        );
-    }
-
-    /// Zeroed hazards zero exactly the hazard-driven instances, at any seed.
-    #[test]
-    fn zero_hazards_only_policy_instances_remain(seed in any::<u64>()) {
-        let r = run_study(
-            seed,
-            Hazards {
-                pdp_deact_per_dwell: 0.0,
-                attach_loss_good_coverage: 0.0,
-                lau_collision_per_call: 0.0,
-                lu_race_per_csfb: 0.0,
-            },
-        );
-        prop_assert_eq!(r.s1.events, 0);
-        prop_assert_eq!(r.s2.events, 0);
-        prop_assert_eq!(r.s4.events, 0);
-        prop_assert_eq!(r.s6.events, 0);
     }
 }

@@ -1,0 +1,83 @@
+//! End-to-end §7 study: run the full 20-phone × 14-day fleet and check
+//! the Table 5 / Table 6 shapes against the paper, plus thread-count
+//! independence of the whole analysis pipeline.
+
+use std::sync::OnceLock;
+
+use netsim::rng::rng_from_seed;
+use netsim::{FleetConfig, FleetSim};
+use userstudy::{analyze, build_population, run_study, spec_for, StudyResult, STUDY_DAYS};
+
+fn study() -> &'static StudyResult {
+    static STUDY: OnceLock<StudyResult> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(2014))
+}
+
+#[test]
+fn proportions_track_table5() {
+    let r = study();
+    // Paper: S1 3.1%, S2 0%, S3 62.1%, S4 7.6%, S5 77.4%, S6 2.6%.
+    assert!((0.005..=0.08).contains(&r.s1.probability()), "S1 {:?}", r.s1);
+    assert!(r.s2.events <= 1, "S2 {:?}", r.s2);
+    assert!((0.45..=0.75).contains(&r.s3.probability()), "S3 {:?}", r.s3);
+    assert!((0.01..=0.16).contains(&r.s4.probability()), "S4 {:?}", r.s4);
+    assert!((0.65..=0.90).contains(&r.s5.probability()), "S5 {:?}", r.s5);
+    assert!((0.005..=0.08).contains(&r.s6.probability()), "S6 {:?}", r.s6);
+    // The paper's ordering across instances: S5 > S3 >> S4 > S1, S6.
+    assert!(r.s5.probability() > r.s3.probability());
+    assert!(r.s3.probability() > r.s4.probability());
+    assert!(r.s4.probability() > r.s6.probability());
+}
+
+#[test]
+fn event_volume_tracks_the_study() {
+    let r = study();
+    // Paper: 190 CSFB calls, 146 CS calls, 436 switches, 30 attaches.
+    assert!((150..=230).contains(&r.csfb_calls), "{}", r.csfb_calls);
+    assert!((110..=180).contains(&r.cs_calls_3g), "{}", r.cs_calls_3g);
+    assert!((350..=520).contains(&r.switches), "{}", r.switches);
+    assert!((20..=45).contains(&r.attaches), "{}", r.attaches);
+    // 2 switch legs per CSFB call, plus the coverage-driven remainder.
+    assert!(r.switches >= 2 * r.csfb_calls);
+}
+
+#[test]
+fn table6_carrier_asymmetry() {
+    let r = study();
+    let med = |v: &[u64]| {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        s[s.len() / 2]
+    };
+    assert!(!r.stuck_op1_ms.is_empty() && !r.stuck_op2_ms.is_empty());
+    // Paper Table 6: OP-I median 2.3 s, OP-II median 24.3 s.
+    assert!(med(&r.stuck_op1_ms) < 10_000);
+    assert!(med(&r.stuck_op2_ms) > 14_000);
+}
+
+#[test]
+fn analysis_is_thread_count_independent() {
+    let fleet = |threads: usize| {
+        let mut rng = rng_from_seed(2014);
+        let population = build_population(&mut rng);
+        let specs = population.iter().map(spec_for).collect();
+        let report = FleetSim::new(FleetConfig {
+            seed: 2014,
+            days: STUDY_DAYS,
+            threads,
+            trace_capacity: None,
+            specs,
+        })
+        .run();
+        (report.digest(), analyze(&population, &report))
+    };
+    let (da, a) = fleet(1);
+    let (db, b) = fleet(8);
+    assert_eq!(da, db, "fleet digests, 1 vs 8 threads");
+    assert_eq!(a.s3, b.s3);
+    assert_eq!(a.s5, b.s5);
+    assert_eq!(a.s6, b.s6);
+    assert_eq!(a.stuck_op1_ms, b.stuck_op1_ms);
+    assert_eq!(a.stuck_op2_ms, b.stuck_op2_ms);
+    assert_eq!(a.fleet_events, b.fleet_events);
+}

@@ -54,7 +54,7 @@ fn s1_counterexample_replays_on_the_simulator() {
                 let pdp = w.stack.sm.active_context();
                 use cellstack::emm::MmeInput;
                 let mut out = Vec::new();
-                w.mme.on_input(MmeInput::SwitchedIn { pdp }, &mut out);
+                w.mme_mut().on_input(MmeInput::SwitchedIn { pdp }, &mut out);
                 let mut evs = Vec::new();
                 w.stack.switch_3g_to_4g(&mut evs);
             }

@@ -133,7 +133,7 @@ fn table5_probabilities_keep_the_paper_ordering() {
     let mut p = [0.0f64; 6];
     let seeds = [2014u64, 1, 2, 3, 4];
     for &seed in &seeds {
-        let r = userstudy::run_study(seed, userstudy::Hazards::default());
+        let r = userstudy::run_study(seed);
         for (slot, v) in p.iter_mut().zip([
             r.s1.probability(),
             r.s2.probability(),
