@@ -57,8 +57,9 @@ pub use findings::{Category, Finding, Instance, Phase};
 pub use insights::{insight_for, lesson_for, Insight, Lesson, INSIGHTS, LESSONS};
 pub use monitor::{MatchedEvent, Verdict};
 pub use screening::{
-    run_screening, run_screening_budgeted, run_screening_deterministic, run_screening_remedied,
-    run_screening_with_retries, ModelRun, ScreenBudget, ScreeningReport,
+    load_specs, run_screening, run_screening_budgeted, run_screening_deterministic,
+    run_screening_remedied, run_screening_with_retries, run_spec_screening, spec_agreement,
+    LoadedSpec, ModelRun, ScreenBudget, ScreeningReport, SpecAgreement,
 };
 pub use validation::{
     diagnose, diagnose_against, validate_all, validate_instance, DefectClass, Diagnosis,

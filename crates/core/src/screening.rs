@@ -28,10 +28,13 @@
 //! [`ModelRun::panicked`] (naming the model family) and the other
 //! families' findings are reported normally.
 
+use std::fs;
+use std::path::Path;
 use std::thread;
 use std::time::Duration;
 
 use mck::{CheckStats, Checker, Model, RandomWalk, SearchStrategy, Verdict, Violation};
+use specl::SpecModel;
 
 use crate::findings::{Finding, Instance};
 use crate::models::attach::AttachModel;
@@ -529,6 +532,219 @@ pub fn run_screening_with_retries() -> ScreeningReport {
         ]
     });
     ScreeningReport { runs: runs.into() }
+}
+
+// ---------------------------------------------------------------------------
+// specl front-end — screening models compiled from `.specl` sources.
+//
+// The paper's methodology writes each protocol-interaction scenario as a
+// Promela model; this repository's equivalent is the `specl` language
+// (crates/specl). Everything below lets `.specl` sources ride the same
+// screening pipeline as the hand-written Rust models, and cross-checks the
+// two front-ends against each other (`spec_agreement`, `--exp spec`).
+// ---------------------------------------------------------------------------
+
+/// A `.specl` source compiled and ready to screen.
+#[derive(Clone, Debug)]
+pub struct LoadedSpec {
+    /// The spec's own name (`spec <name>;` in the source).
+    pub name: String,
+    /// File name inside the spec directory (load order sorts on this).
+    pub file: String,
+    /// The `instance` tag, mapped onto the paper's S1–S6.
+    pub instance: Instance,
+    /// The compiled, checkable model.
+    pub model: SpecModel,
+}
+
+fn instance_from_tag(tag: &str) -> Option<Instance> {
+    Instance::ALL
+        .into_iter()
+        .find(|i| i.to_string() == tag)
+}
+
+/// Load and compile every `*.specl` file directly under `dir`, sorted by
+/// file name so reports and goldens are deterministic.
+///
+/// Any failure — unreadable directory, compile errors, a missing or
+/// unrecognised `instance` tag — comes back as one rendered message;
+/// compile errors keep their `file:line:col` caret snippets.
+pub fn load_specs(dir: &Path) -> Result<Vec<LoadedSpec>, String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read spec dir {}: {e}", dir.display()))?;
+    let mut files: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "specl"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .specl files under {}", dir.display()));
+    }
+    let mut specs = Vec::with_capacity(files.len());
+    for path in files {
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let source = fs::read_to_string(&path).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let model = specl::compile(&source)
+            .map_err(|diags| specl::render_diagnostics(&diags, &file, &source))?;
+        let tag = model.program.instance.clone().ok_or_else(|| {
+            format!("{file}: spec `{}` declares no `instance` tag", model.program.name)
+        })?;
+        let instance = instance_from_tag(&tag)
+            .ok_or_else(|| format!("{file}: unknown instance tag `{tag}` (expected S1..S6)"))?;
+        specs.push(LoadedSpec {
+            name: model.program.name.clone(),
+            file,
+            instance,
+            model,
+        });
+    }
+    Ok(specs)
+}
+
+/// Screen one compiled spec with sequential BFS (the deterministic engine:
+/// spec runs feed goldens). All declared properties are checked in one
+/// sweep; each violated one becomes a [`Finding`].
+fn screen_spec(spec: &LoadedSpec, budget: ScreenBudget) -> ModelRun {
+    let result = check_rung(&spec.model, SearchStrategy::Bfs, budget);
+    let findings = result
+        .violations
+        .iter()
+        .map(|v| finding_from(&spec.model, spec.instance, v))
+        .collect();
+    let verdict = result.verdict();
+    ModelRun {
+        model_name: specl::intern::intern(&format!("spec:{} <{}>", spec.name, spec.file)),
+        stats: result.stats,
+        findings,
+        engine: "bfs",
+        verdict,
+        panicked: None,
+    }
+}
+
+/// Run the screening phase over every `.specl` model under `dir`.
+///
+/// The report has one [`ModelRun`] per spec, in file-name order, each
+/// produced by an exhaustive sequential BFS sweep (deterministic output —
+/// this run feeds the `--exp spec` golden).
+pub fn run_spec_screening(dir: &Path) -> Result<ScreeningReport, String> {
+    let specs = load_specs(dir)?;
+    let budget = ScreenBudget::default();
+    let runs = specs.iter().map(|s| screen_spec(s, budget)).collect();
+    Ok(ScreeningReport { runs })
+}
+
+/// One row of the spec-vs-hand-model agreement table.
+///
+/// The cross-check demands more than matching verdicts: the compiled spec
+/// must reach exactly as many unique states as the hand-written Rust model
+/// (the state encodings are bijective) and BFS must find equally short
+/// counterexamples. Any daylight between the columns means the two
+/// front-ends disagree about the protocol.
+#[derive(Clone, Debug)]
+pub struct SpecAgreement {
+    /// Spec name (`spec <name>;`).
+    pub name: String,
+    /// Source file the spec came from.
+    pub file: String,
+    /// Paper instance both models target.
+    pub instance: Instance,
+    /// Hand-written counterpart's name, for the report.
+    pub hand_model: &'static str,
+    /// The property cross-checked on both sides.
+    pub property: &'static str,
+    /// Reachable unique states of the compiled spec.
+    pub spec_states: u64,
+    /// Reachable unique states of the Rust model.
+    pub hand_states: u64,
+    /// Did the spec violate the property?
+    pub spec_violated: bool,
+    /// Did the Rust model violate the property?
+    pub hand_violated: bool,
+    /// BFS counterexample length (steps) on the spec side, if violated.
+    pub spec_witness: Option<usize>,
+    /// BFS counterexample length (steps) on the Rust side, if violated.
+    pub hand_witness: Option<usize>,
+}
+
+impl SpecAgreement {
+    /// Full agreement: verdict, state count and witness length all match.
+    pub fn agree(&self) -> bool {
+        self.spec_violated == self.hand_violated
+            && self.spec_states == self.hand_states
+            && self.spec_witness == self.hand_witness
+    }
+}
+
+/// Exhaustive sequential-BFS profile of one model against one property:
+/// (unique states, violated?, counterexample length).
+fn bfs_profile<M>(model: M, property: &str) -> (u64, bool, Option<usize>)
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+{
+    let result = Checker::new(model).strategy(SearchStrategy::Bfs).run();
+    assert!(result.complete, "agreement profiles must be exhaustive");
+    let v = result.violation(property);
+    (result.stats.unique_states, v.is_some(), v.map(|v| v.path.len()))
+}
+
+/// Cross-check every spec under `dir` against its hand-written Rust
+/// counterpart, pairing them by spec name. A spec with no counterpart is an
+/// error — the agreement table is a verification artifact, not a best-effort
+/// report.
+pub fn spec_agreement(dir: &Path) -> Result<Vec<SpecAgreement>, String> {
+    let specs = load_specs(dir)?;
+    let mut rows = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let (hand_model, property, hand) = match spec.name.as_str() {
+            "attach" => (
+                "AttachModel::paper()",
+                props::PACKET_SERVICE_OK,
+                bfs_profile(AttachModel::paper(), props::PACKET_SERVICE_OK),
+            ),
+            "attach_reliable" => (
+                "AttachModel::with_reliable_transport()",
+                props::PACKET_SERVICE_OK,
+                bfs_profile(
+                    AttachModel::with_reliable_transport(),
+                    props::PACKET_SERVICE_OK,
+                ),
+            ),
+            "crosssys_lu" => (
+                "CrossSysLuModel::paper()",
+                props::MM_OK,
+                bfs_profile(CrossSysLuModel::paper(), props::MM_OK),
+            ),
+            other => {
+                return Err(format!(
+                    "{}: spec `{other}` has no hand-written counterpart to cross-check",
+                    spec.file
+                ))
+            }
+        };
+        let (spec_states, spec_violated, spec_witness) = bfs_profile(spec.model.clone(), property);
+        let (hand_states, hand_violated, hand_witness) = hand;
+        rows.push(SpecAgreement {
+            name: spec.name,
+            file: spec.file,
+            instance: spec.instance,
+            hand_model,
+            property,
+            spec_states,
+            hand_states,
+            spec_violated,
+            hand_violated,
+            spec_witness,
+            hand_witness,
+        });
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]

@@ -81,7 +81,7 @@ pub use checker::{default_workers, CheckResult, Checker, SearchStrategy, Verdict
 pub use fingerprint::fingerprint;
 pub use graph::{explore, StateGraph};
 pub use model::Model;
-pub use path::Path;
+pub use path::{render_path, Path};
 pub use property::{Expectation, Property};
 pub use simulate::{RandomWalk, WalkOutcome, WalkReport};
 pub use stats::CheckStats;

@@ -82,6 +82,31 @@ impl<S: fmt::Debug, A: fmt::Debug> fmt::Display for Path<S, A> {
     }
 }
 
+/// Render a path through the model's own [`Model::format_state`] /
+/// [`Model::format_action`] vocabulary instead of the raw `Debug` shapes.
+///
+/// This is the stable, diffable form: golden files and cross-model trace
+/// comparisons (hand-written Rust model vs compiled spec) use it, so its
+/// layout is pinned by a unit test and must not drift casually.
+///
+/// [`Model::format_state`]: crate::model::Model::format_state
+/// [`Model::format_action`]: crate::model::Model::format_action
+pub fn render_path<M: crate::model::Model>(model: &M, path: &Path<M::State, M::Action>) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "  [init] {}", model.format_state(path.init_state()));
+    for (i, (a, s)) in path.steps().enumerate() {
+        let _ = writeln!(
+            out,
+            "  [{:>4}] --{}--> {}",
+            i + 1,
+            model.format_action(a),
+            model.format_state(s)
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,13 @@
 //!   a terminal state or closes a cycle) the condition must hold at least
 //!   once. This is the classic finite-graph reading of ◇p and is what "each
 //!   call request should not be ... delayed \[forever\]" compiles to.
+//!
+//! Conditions are boxed closures (not bare `fn` pointers) so that they can
+//! capture data — the `specl` compiler builds them at runtime from parsed
+//! property expressions. Hand-written models keep passing plain closures or
+//! functions; nothing changes at their call sites.
+
+use std::sync::Arc;
 
 use crate::model::Model;
 
@@ -25,6 +32,9 @@ pub enum Expectation {
     Eventually,
 }
 
+/// A shared, thread-safe state predicate over a model.
+pub type Condition<M> = Arc<dyn Fn(&M, &<M as Model>::State) -> bool + Send + Sync>;
+
 /// A named property over model states.
 ///
 /// The condition receives the model itself so conditions can consult model
@@ -35,7 +45,7 @@ pub struct Property<M: Model + ?Sized> {
     /// Stable name, reported in violations (e.g. `"PacketService_OK"`).
     pub name: &'static str,
     /// The state predicate.
-    pub condition: fn(&M, &M::State) -> bool,
+    pub condition: Condition<M>,
 }
 
 // Manual impls: `derive` would wrongly require `M: Clone`/`M: Debug`.
@@ -44,7 +54,7 @@ impl<M: Model + ?Sized> Clone for Property<M> {
         Self {
             expectation: self.expectation,
             name: self.name,
-            condition: self.condition,
+            condition: Arc::clone(&self.condition),
         }
     }
 }
@@ -60,30 +70,39 @@ impl<M: Model + ?Sized> std::fmt::Debug for Property<M> {
 
 impl<M: Model + ?Sized> Property<M> {
     /// An invariant: `condition` holds in every reachable state.
-    pub fn always(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+    pub fn always(
+        name: &'static str,
+        condition: impl Fn(&M, &M::State) -> bool + Send + Sync + 'static,
+    ) -> Self {
         Self {
             expectation: Expectation::Always,
             name,
-            condition,
+            condition: Arc::new(condition),
         }
     }
 
     /// An error-state detector: `condition` holds in no reachable state.
-    pub fn never(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+    pub fn never(
+        name: &'static str,
+        condition: impl Fn(&M, &M::State) -> bool + Send + Sync + 'static,
+    ) -> Self {
         Self {
             expectation: Expectation::Never,
             name,
-            condition,
+            condition: Arc::new(condition),
         }
     }
 
     /// A service guarantee: every maximal path satisfies `condition` at
     /// least once.
-    pub fn eventually(name: &'static str, condition: fn(&M, &M::State) -> bool) -> Self {
+    pub fn eventually(
+        name: &'static str,
+        condition: impl Fn(&M, &M::State) -> bool + Send + Sync + 'static,
+    ) -> Self {
         Self {
             expectation: Expectation::Eventually,
             name,
-            condition,
+            condition: Arc::new(condition),
         }
     }
 
@@ -149,6 +168,16 @@ mod tests {
         let q = p.clone();
         assert_eq!(q.name, "x");
         assert_eq!(q.expectation, Expectation::Never);
+    }
+
+    #[test]
+    fn conditions_may_capture_data() {
+        // The reason conditions are closures: a compiled spec captures its
+        // expression tree (here stood in for by a captured threshold).
+        let limit = 7;
+        let p = Property::<Dummy>::never("over-limit", move |_, s| *s > limit);
+        assert!(p.violated_at(&Dummy, &8));
+        assert!(!p.violated_at(&Dummy, &7));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Pins the rendered shape of counterexample traces.
+//!
+//! `mck::render_path` output is what golden files and the spec-vs-Rust
+//! trace comparisons diff, so its layout must be stable. This test drives a
+//! tiny two-process handshake (P sends `ping`, Q answers `pong`, P acks)
+//! with custom `format_state`/`format_action`, and asserts the exact text —
+//! if the rendering ever changes shape, this fails before any golden does.
+
+use mck::{render_path, Checker, Model, Path, Property, SearchStrategy};
+
+/// Locations of the two processes plus the single-slot wire between them.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct HandshakeState {
+    p: u8,
+    q: u8,
+    wire: Option<&'static str>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum HandshakeAction {
+    PSendsPing,
+    QRepliesPong,
+    PAcksPong,
+}
+
+struct Handshake;
+
+impl Model for Handshake {
+    type State = HandshakeState;
+    type Action = HandshakeAction;
+
+    fn init_states(&self) -> Vec<HandshakeState> {
+        vec![HandshakeState {
+            p: 0,
+            q: 0,
+            wire: None,
+        }]
+    }
+
+    fn actions(&self, s: &HandshakeState, out: &mut Vec<HandshakeAction>) {
+        if s.p == 0 && s.wire.is_none() {
+            out.push(HandshakeAction::PSendsPing);
+        }
+        if s.q == 0 && s.wire == Some("ping") {
+            out.push(HandshakeAction::QRepliesPong);
+        }
+        if s.p == 1 && s.wire == Some("pong") {
+            out.push(HandshakeAction::PAcksPong);
+        }
+    }
+
+    fn next_state(&self, s: &HandshakeState, a: &HandshakeAction) -> Option<HandshakeState> {
+        let mut n = s.clone();
+        match a {
+            HandshakeAction::PSendsPing => {
+                n.p = 1;
+                n.wire = Some("ping");
+            }
+            HandshakeAction::QRepliesPong => {
+                n.q = 1;
+                n.wire = Some("pong");
+            }
+            HandshakeAction::PAcksPong => {
+                n.p = 2;
+                n.wire = None;
+            }
+        }
+        Some(n)
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        vec![Property::never("rally-done", |_, s: &HandshakeState| {
+            s.p == 2
+        })]
+    }
+
+    fn format_state(&self, s: &HandshakeState) -> String {
+        let loc = |l: u8| match l {
+            0 => "idle",
+            1 => "waiting",
+            _ => "done",
+        };
+        format!(
+            "P@{} Q@{} wire=[{}]",
+            loc(s.p),
+            loc(s.q),
+            s.wire.unwrap_or("")
+        )
+    }
+
+    fn format_action(&self, a: &HandshakeAction) -> String {
+        match a {
+            HandshakeAction::PSendsPing => "P sends ping".into(),
+            HandshakeAction::QRepliesPong => "Q replies pong".into(),
+            HandshakeAction::PAcksPong => "P acks pong".into(),
+        }
+    }
+}
+
+#[test]
+fn render_path_output_is_pinned() {
+    let result = Checker::new(Handshake).strategy(SearchStrategy::Bfs).run();
+    let v = result.violation("rally-done").expect("handshake completes");
+    assert_eq!(v.path.len(), 3, "BFS finds the 3-step rally");
+    let rendered = render_path(&Handshake, &v.path);
+    assert_eq!(
+        rendered,
+        "  [init] P@idle Q@idle wire=[]\n\
+         \x20 [   1] --P sends ping--> P@waiting Q@idle wire=[ping]\n\
+         \x20 [   2] --Q replies pong--> P@waiting Q@waiting wire=[pong]\n\
+         \x20 [   3] --P acks pong--> P@done Q@waiting wire=[]\n"
+    );
+}
+
+#[test]
+fn render_path_empty_path_shows_only_init() {
+    let init = Handshake.init_states().remove(0);
+    let path: Path<HandshakeState, HandshakeAction> = Path::new(init);
+    assert_eq!(
+        render_path(&Handshake, &path),
+        "  [init] P@idle Q@idle wire=[]\n"
+    );
+}
+
+#[test]
+fn render_path_uses_model_vocabulary_not_debug() {
+    let result = Checker::new(Handshake).strategy(SearchStrategy::Bfs).run();
+    let v = result.violation("rally-done").unwrap();
+    let rendered = render_path(&Handshake, &v.path);
+    // The Debug names of the state struct / action enum must not leak into
+    // the stable rendering.
+    assert!(!rendered.contains("HandshakeState"));
+    assert!(!rendered.contains("PSendsPing"));
+}

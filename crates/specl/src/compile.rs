@@ -1,0 +1,959 @@
+//! Lowering a checked spec into an executable [`mck::Model`].
+//!
+//! Compilation flattens the AST into index-addressed tables ([`Program`]):
+//! messages, channels, variables (globals first, then each process's locals)
+//! and per-state edge lists, with every name resolved to a slot and every
+//! expression lowered to a small [`CExpr`] tree. [`SpecModel`] then
+//! interprets that program under exactly the channel semantics of
+//! [`mck::Chan`] so that a spec and a hand-written Rust model of the same
+//! protocol explore *identical* state graphs:
+//!
+//! - the checker's interleaving actions are the enabled `when` edges plus,
+//!   per non-empty channel, deliver / drop (lossy only) / duplicate
+//!   (duplicating with budget left only) of the head message;
+//! - `deliver` pops the head and runs the receiver's first matching `recv`
+//!   edge (by declaration order) whose guard holds; an unmatched message is
+//!   consumed silently, like the Rust FSMs ignoring unexpected NAS messages;
+//! - `duplicate` hands the head to the receiver while leaving it queued and
+//!   burns one unit of the channel's duplication budget;
+//! - `send` onto a full lossy channel bumps a per-channel overflow counter
+//!   (a visible state change, as in `Chan::send`); onto a full reliable
+//!   channel it vanishes silently (the models ignore `ChanFull`);
+//! - edge bodies are atomic: recv + assignments + sends + goto are one
+//!   transition, never interleaved.
+//!
+//! Integer assignment clamps to the variable's declared range, which is what
+//! keeps every spec finite-state by construction.
+
+use std::sync::Arc;
+
+use mck::{Model, Property};
+
+use crate::ast::{self, BinOp, Quant, Spec, Stmt, Trigger, Ty, UnOp};
+use crate::diag::Diagnostic;
+use crate::intern::intern;
+use crate::sema;
+
+/// A lowered, index-addressed spec.
+#[derive(Debug)]
+pub struct Program {
+    /// Spec name.
+    pub name: String,
+    /// Paper-instance tag (`instance S2;`), if declared.
+    pub instance: Option<String>,
+    /// Message alphabet; a message id is an index here.
+    pub msgs: Vec<String>,
+    /// Channels.
+    pub chans: Vec<ChanDef>,
+    /// All variables: globals first, then each process's locals.
+    pub vars: Vec<VarDef>,
+    /// Processes.
+    pub procs: Vec<ProcDef>,
+    /// Properties.
+    pub props: Vec<PropDef>,
+    /// Boundary predicate.
+    pub boundary: Option<CExpr>,
+}
+
+/// A lowered channel.
+#[derive(Debug)]
+pub struct ChanDef {
+    /// Name (for rendering).
+    pub name: String,
+    /// Receiving process index (deliveries route here).
+    pub to: usize,
+    /// Queue capacity.
+    pub cap: usize,
+    /// May drop messages.
+    pub lossy: bool,
+    /// May duplicate messages.
+    pub duplicating: bool,
+    /// Initial duplication budget.
+    pub dup_budget: u8,
+}
+
+/// A lowered variable.
+#[derive(Debug)]
+pub struct VarDef {
+    /// Qualified display name (`ever_registered` or `dev.attempts`).
+    pub name: String,
+    /// True for `bool` variables (rendered true/false).
+    pub is_bool: bool,
+    /// Clamp floor.
+    pub lo: i64,
+    /// Clamp ceiling.
+    pub hi: i64,
+    /// Initial value.
+    pub init: i64,
+}
+
+/// A lowered process.
+#[derive(Debug)]
+pub struct ProcDef {
+    /// Name.
+    pub name: String,
+    /// Slots of this process's locals (contiguous).
+    pub local_slots: std::ops::Range<usize>,
+    /// Init-block operations, run once while building the initial state.
+    pub init_ops: Vec<Op>,
+    /// States; the location of a process is an index here.
+    pub states: Vec<StateDef>,
+}
+
+/// A lowered state.
+#[derive(Debug)]
+pub struct StateDef {
+    /// Name (for `@` tests and rendering).
+    pub name: String,
+    /// Outgoing edges in declaration order.
+    pub edges: Vec<EdgeDef>,
+}
+
+/// What fires a lowered edge.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EdgeTrigger {
+    /// Spontaneous guarded step.
+    When,
+    /// Fires when the checker delivers `msg` from `chan`.
+    Recv {
+        /// Channel index.
+        chan: usize,
+        /// Message id.
+        msg: u16,
+    },
+}
+
+/// A lowered edge.
+#[derive(Debug)]
+pub struct EdgeDef {
+    /// Trigger kind.
+    pub trigger: EdgeTrigger,
+    /// Guard (the `when` expression); `None` means always enabled.
+    pub guard: Option<CExpr>,
+    /// Atomic body.
+    pub ops: Vec<Op>,
+    /// Rendering label (`as "..."` or a derived `proc@State#k`).
+    pub display: String,
+}
+
+/// A lowered statement.
+#[derive(Debug)]
+pub enum Op {
+    /// Assign `slot = expr` (ints clamp to the declared range).
+    Set(usize, CExpr),
+    /// Queue a message (channel, message id).
+    Send(usize, u16),
+    /// Move the executing process to a state index.
+    Goto(u16),
+}
+
+/// A lowered property.
+#[derive(Debug)]
+pub struct PropDef {
+    /// Interned name (mck property names are `&'static str`).
+    pub name: &'static str,
+    /// Quantifier.
+    pub quant: Quant,
+    /// Predicate.
+    pub cond: CExpr,
+}
+
+/// A lowered expression; booleans evaluate to 0/1.
+#[derive(Debug)]
+pub enum CExpr {
+    /// Literal (bools lowered to 0/1).
+    Lit(i64),
+    /// Read a variable slot.
+    Var(usize),
+    /// `proc @ State` as (process index, state index).
+    AtLoc(usize, u16),
+    /// Unary op.
+    Unary(UnOp, Box<CExpr>),
+    /// Binary op.
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+/// One interpreter channel: queued message ids plus the mutable budget and
+/// overflow counters mirrored from [`mck::Chan`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ChanState {
+    /// Queued message ids, front first.
+    pub queue: Vec<u16>,
+    /// Remaining duplication budget.
+    pub dup_left: u8,
+    /// Messages dropped by sends onto a full lossy queue.
+    pub overflow: u32,
+}
+
+/// A global interpreter state: one location per process, one value per
+/// variable slot, one [`ChanState`] per channel.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SpecState {
+    /// Current state index of each process.
+    pub locs: Vec<u16>,
+    /// Variable values (globals first, then locals).
+    pub vars: Vec<i64>,
+    /// Channel contents.
+    pub chans: Vec<ChanState>,
+}
+
+/// A transition label of the interpreted model.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SpecAction {
+    /// Fire edge `edge` of state `state` of process `proc`.
+    Edge {
+        /// Process index.
+        proc: u16,
+        /// State index (the process must still be there).
+        state: u16,
+        /// Edge index within the state.
+        edge: u16,
+    },
+    /// Deliver the head message of a channel to its receiver.
+    Deliver {
+        /// Channel index.
+        chan: u16,
+        /// Expected head (kept in the label for rendering and replay).
+        msg: u16,
+    },
+    /// Drop the head message of a lossy channel.
+    Drop {
+        /// Channel index.
+        chan: u16,
+        /// Expected head.
+        msg: u16,
+    },
+    /// Duplicate the head of a duplicating channel (deliver it while leaving
+    /// it queued; burns one unit of budget).
+    Dup {
+        /// Channel index.
+        chan: u16,
+        /// Expected head.
+        msg: u16,
+    },
+}
+
+/// An executable spec: a thin, cloneable handle around the lowered
+/// [`Program`], implementing [`mck::Model`].
+#[derive(Clone, Debug)]
+pub struct SpecModel {
+    /// The lowered program.
+    pub program: Arc<Program>,
+}
+
+/// Parse + check + lower a spec source into a runnable model.
+///
+/// `Err` carries every diagnostic found (parse errors are a single entry).
+pub fn compile(source: &str) -> Result<SpecModel, Vec<Diagnostic>> {
+    let spec = crate::parser::parse(source).map_err(|d| vec![d])?;
+    sema::check(&spec)?;
+    Ok(lower(&spec))
+}
+
+/// Lower a spec that already passed [`sema::check`]. Panics on unresolved
+/// names — run the checker first.
+pub fn lower(spec: &Spec) -> SpecModel {
+    let msgs: Vec<String> = spec.msgs.iter().map(|m| m.name.clone()).collect();
+    let msg_id = |name: &str| -> u16 {
+        msgs.iter().position(|m| m == name).expect("sema checked msgs") as u16
+    };
+    let proc_idx = |name: &str| -> usize {
+        spec.procs
+            .iter()
+            .position(|p| p.name.name == name)
+            .expect("sema checked procs")
+    };
+
+    let chans: Vec<ChanDef> = spec
+        .chans
+        .iter()
+        .map(|c| ChanDef {
+            name: c.name.name.clone(),
+            to: proc_idx(&c.to.name),
+            cap: c.cap as usize,
+            lossy: c.lossy,
+            duplicating: c.dup.is_some(),
+            dup_budget: c.dup.unwrap_or(0) as u8,
+        })
+        .collect();
+    let chan_idx = |name: &str| -> usize {
+        spec.chans
+            .iter()
+            .position(|c| c.name.name == name)
+            .expect("sema checked chans")
+    };
+
+    // Variable slots: globals first, then each process's locals in order.
+    let mut vars: Vec<VarDef> = Vec::new();
+    let lower_var = |v: &ast::VarDecl, qual: Option<&str>| -> VarDef {
+        let (is_bool, lo, hi) = match v.ty {
+            Ty::Bool => (true, 0, 1),
+            Ty::Int { lo, hi } => (false, lo, hi),
+        };
+        let init = match v.init {
+            ast::Literal::Bool(b) => b as i64,
+            ast::Literal::Int(n) => n,
+        };
+        let name = match qual {
+            Some(p) => format!("{p}.{}", v.name.name),
+            None => v.name.name.clone(),
+        };
+        VarDef {
+            name,
+            is_bool,
+            lo,
+            hi,
+            init,
+        }
+    };
+    for g in &spec.globals {
+        vars.push(lower_var(g, None));
+    }
+    let mut local_ranges = Vec::new();
+    for p in &spec.procs {
+        let start = vars.len();
+        for v in &p.vars {
+            vars.push(lower_var(v, Some(&p.name.name)));
+        }
+        local_ranges.push(start..vars.len());
+    }
+
+    // Slot of an unqualified name seen from inside process `pi`
+    // (local-then-global), or of a global when `pi` is None.
+    let slot_of = |name: &str, pi: Option<usize>| -> usize {
+        if let Some(pi) = pi {
+            let p = &spec.procs[pi];
+            if let Some(k) = p.vars.iter().position(|v| v.name.name == name) {
+                return local_ranges[pi].start + k;
+            }
+        }
+        spec.globals
+            .iter()
+            .position(|g| g.name.name == name)
+            .expect("sema checked vars")
+    };
+    let field_slot = |proc: &str, var: &str| -> usize {
+        let pi = proc_idx(proc);
+        let k = spec.procs[pi]
+            .vars
+            .iter()
+            .position(|v| v.name.name == var)
+            .expect("sema checked fields");
+        local_ranges[pi].start + k
+    };
+    let state_idx = |pi: usize, name: &str| -> u16 {
+        spec.procs[pi]
+            .states
+            .iter()
+            .position(|s| s.name.name == name)
+            .expect("sema checked states") as u16
+    };
+
+    fn lower_expr(
+        e: &ast::Expr,
+        pi: Option<usize>,
+        slot_of: &dyn Fn(&str, Option<usize>) -> usize,
+        field_slot: &dyn Fn(&str, &str) -> usize,
+        proc_idx: &dyn Fn(&str) -> usize,
+        state_idx: &dyn Fn(usize, &str) -> u16,
+    ) -> CExpr {
+        match e {
+            ast::Expr::Int(n, _) => CExpr::Lit(*n),
+            ast::Expr::Bool(b, _) => CExpr::Lit(*b as i64),
+            ast::Expr::Var(id) => CExpr::Var(slot_of(&id.name, pi)),
+            ast::Expr::Field { proc, var } => CExpr::Var(field_slot(&proc.name, &var.name)),
+            ast::Expr::AtLoc { proc, loc } => {
+                let p = proc_idx(&proc.name);
+                CExpr::AtLoc(p, state_idx(p, &loc.name))
+            }
+            ast::Expr::Unary { op, expr } => CExpr::Unary(
+                *op,
+                Box::new(lower_expr(expr, pi, slot_of, field_slot, proc_idx, state_idx)),
+            ),
+            ast::Expr::Binary { op, lhs, rhs } => CExpr::Binary(
+                *op,
+                Box::new(lower_expr(lhs, pi, slot_of, field_slot, proc_idx, state_idx)),
+                Box::new(lower_expr(rhs, pi, slot_of, field_slot, proc_idx, state_idx)),
+            ),
+        }
+    }
+    let lx = |e: &ast::Expr, pi: Option<usize>| -> CExpr {
+        lower_expr(e, pi, &slot_of, &field_slot, &proc_idx, &state_idx)
+    };
+    let lower_stmts = |stmts: &[Stmt], pi: usize| -> Vec<Op> {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign { target, value } => {
+                    Op::Set(slot_of(&target.name, Some(pi)), lx(value, Some(pi)))
+                }
+                Stmt::Send { chan, msg } => Op::Send(chan_idx(&chan.name), msg_id(&msg.name)),
+                Stmt::Goto { target } => Op::Goto(state_idx(pi, &target.name)),
+            })
+            .collect()
+    };
+
+    let procs: Vec<ProcDef> = spec
+        .procs
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| ProcDef {
+            name: p.name.name.clone(),
+            local_slots: local_ranges[pi].clone(),
+            init_ops: lower_stmts(&p.init, pi),
+            states: p
+                .states
+                .iter()
+                .map(|s| StateDef {
+                    name: s.name.name.clone(),
+                    edges: s
+                        .edges
+                        .iter()
+                        .enumerate()
+                        .map(|(k, e)| {
+                            let (trigger, guard) = match &e.trigger {
+                                Trigger::When(g) => (EdgeTrigger::When, Some(lx(g, Some(pi)))),
+                                Trigger::Recv { chan, msg, guard } => (
+                                    EdgeTrigger::Recv {
+                                        chan: chan_idx(&chan.name),
+                                        msg: msg_id(&msg.name),
+                                    },
+                                    guard.as_ref().map(|g| lx(g, Some(pi))),
+                                ),
+                            };
+                            let display = e.label.clone().unwrap_or_else(|| {
+                                format!("{}@{}#{}", p.name.name, s.name.name, k)
+                            });
+                            EdgeDef {
+                                trigger,
+                                guard,
+                                ops: lower_stmts(&e.body, pi),
+                                display,
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect();
+
+    let props: Vec<PropDef> = spec
+        .props
+        .iter()
+        .map(|p| PropDef {
+            name: intern(&p.name.name),
+            quant: p.quant,
+            cond: lx(&p.expr, None),
+        })
+        .collect();
+    let boundary = spec.boundary.as_ref().map(|b| lx(b, None));
+
+    SpecModel {
+        program: Arc::new(Program {
+            name: spec.name.name.clone(),
+            instance: spec.instance.as_ref().map(|i| i.name.clone()),
+            msgs,
+            chans,
+            vars,
+            procs,
+            props,
+            boundary,
+        }),
+    }
+}
+
+impl Program {
+    fn eval(&self, e: &CExpr, s: &SpecState) -> i64 {
+        match e {
+            CExpr::Lit(n) => *n,
+            CExpr::Var(slot) => s.vars[*slot],
+            CExpr::AtLoc(p, loc) => (s.locs[*p] == *loc) as i64,
+            CExpr::Unary(op, inner) => {
+                let v = self.eval(inner, s);
+                match op {
+                    UnOp::Not => (v == 0) as i64,
+                    UnOp::Neg => -v,
+                }
+            }
+            CExpr::Binary(op, lhs, rhs) => {
+                let a = self.eval(lhs, s);
+                let b = self.eval(rhs, s);
+                match op {
+                    BinOp::Or => ((a != 0) || (b != 0)) as i64,
+                    BinOp::And => ((a != 0) && (b != 0)) as i64,
+                    BinOp::Eq => (a == b) as i64,
+                    BinOp::Ne => (a != b) as i64,
+                    BinOp::Lt => (a < b) as i64,
+                    BinOp::Le => (a <= b) as i64,
+                    BinOp::Gt => (a > b) as i64,
+                    BinOp::Ge => (a >= b) as i64,
+                    BinOp::Add => a.saturating_add(b),
+                    BinOp::Sub => a.saturating_sub(b),
+                }
+            }
+        }
+    }
+
+    fn eval_bool(&self, e: &CExpr, s: &SpecState) -> bool {
+        self.eval(e, s) != 0
+    }
+
+    /// Run an edge/init body atomically: sends mirror `mck::Chan::send`
+    /// (lossy-full counts an overflow, reliable-full vanishes silently).
+    fn exec(&self, s: &mut SpecState, pi: usize, ops: &[Op]) {
+        for op in ops {
+            match op {
+                Op::Set(slot, e) => {
+                    let v = self.eval(e, s);
+                    let d = &self.vars[*slot];
+                    s.vars[*slot] = v.clamp(d.lo, d.hi);
+                }
+                Op::Send(ci, msg) => {
+                    let def = &self.chans[*ci];
+                    let c = &mut s.chans[*ci];
+                    if c.queue.len() >= def.cap {
+                        if def.lossy {
+                            c.overflow += 1;
+                        }
+                    } else {
+                        c.queue.push(*msg);
+                    }
+                }
+                Op::Goto(loc) => s.locs[pi] = *loc,
+            }
+        }
+    }
+
+    /// The receiver's first matching recv edge for `msg` on `chan` in the
+    /// receiver's current location, by declaration order.
+    fn matching_recv(&self, s: &SpecState, ci: usize, msg: u16) -> Option<(usize, usize)> {
+        let pi = self.chans[ci].to;
+        let loc = s.locs[pi] as usize;
+        for (k, e) in self.procs[pi].states[loc].edges.iter().enumerate() {
+            if e.trigger == (EdgeTrigger::Recv { chan: ci, msg }) {
+                let open = e.guard.as_ref().is_none_or(|g| self.eval_bool(g, s));
+                if open {
+                    return Some((pi, k));
+                }
+            }
+        }
+        None
+    }
+
+    fn initial_state(&self) -> SpecState {
+        let mut s = SpecState {
+            locs: vec![0; self.procs.len()],
+            vars: self.vars.iter().map(|v| v.init).collect(),
+            chans: self
+                .chans
+                .iter()
+                .map(|c| ChanState {
+                    queue: Vec::new(),
+                    dup_left: c.dup_budget,
+                    overflow: 0,
+                })
+                .collect(),
+        };
+        for (pi, p) in self.procs.iter().enumerate() {
+            let ops: &[Op] = &p.init_ops;
+            self.exec(&mut s, pi, ops);
+        }
+        s
+    }
+}
+
+impl Model for SpecModel {
+    type State = SpecState;
+    type Action = SpecAction;
+
+    fn init_states(&self) -> Vec<SpecState> {
+        vec![self.program.initial_state()]
+    }
+
+    fn actions(&self, s: &SpecState, out: &mut Vec<SpecAction>) {
+        let prog = &*self.program;
+        for (pi, p) in prog.procs.iter().enumerate() {
+            let loc = s.locs[pi] as usize;
+            for (k, e) in p.states[loc].edges.iter().enumerate() {
+                if e.trigger == EdgeTrigger::When
+                    && e.guard.as_ref().is_none_or(|g| prog.eval_bool(g, s))
+                {
+                    out.push(SpecAction::Edge {
+                        proc: pi as u16,
+                        state: loc as u16,
+                        edge: k as u16,
+                    });
+                }
+            }
+        }
+        for (ci, c) in prog.chans.iter().enumerate() {
+            let cs = &s.chans[ci];
+            let Some(&head) = cs.queue.first() else {
+                continue;
+            };
+            out.push(SpecAction::Deliver {
+                chan: ci as u16,
+                msg: head,
+            });
+            if c.lossy {
+                out.push(SpecAction::Drop {
+                    chan: ci as u16,
+                    msg: head,
+                });
+            }
+            if c.duplicating && cs.dup_left > 0 {
+                out.push(SpecAction::Dup {
+                    chan: ci as u16,
+                    msg: head,
+                });
+            }
+        }
+    }
+
+    fn next_state(&self, s: &SpecState, a: &SpecAction) -> Option<SpecState> {
+        let prog = &*self.program;
+        match *a {
+            SpecAction::Edge { proc, state, edge } => {
+                let pi = proc as usize;
+                if s.locs[pi] != state {
+                    return None;
+                }
+                let e = prog.procs[pi].states[state as usize].edges.get(edge as usize)?;
+                if e.trigger != EdgeTrigger::When {
+                    return None;
+                }
+                if let Some(g) = &e.guard {
+                    if !prog.eval_bool(g, s) {
+                        return None;
+                    }
+                }
+                let mut n = s.clone();
+                prog.exec(&mut n, pi, &e.ops);
+                Some(n)
+            }
+            SpecAction::Deliver { chan, msg } => {
+                let ci = chan as usize;
+                if s.chans[ci].queue.first() != Some(&msg) {
+                    return None;
+                }
+                let mut n = s.clone();
+                n.chans[ci].queue.remove(0);
+                if let Some((pi, k)) = prog.matching_recv(s, ci, msg) {
+                    let loc = s.locs[pi] as usize;
+                    // Split borrow: clone not needed, ops indexed directly.
+                    let ops = &prog.procs[pi].states[loc].edges[k].ops;
+                    prog.exec(&mut n, pi, ops);
+                }
+                Some(n)
+            }
+            SpecAction::Drop { chan, msg } => {
+                let ci = chan as usize;
+                if !prog.chans[ci].lossy || s.chans[ci].queue.first() != Some(&msg) {
+                    return None;
+                }
+                let mut n = s.clone();
+                n.chans[ci].queue.remove(0);
+                Some(n)
+            }
+            SpecAction::Dup { chan, msg } => {
+                let ci = chan as usize;
+                let ok = prog.chans[ci].duplicating
+                    && s.chans[ci].dup_left > 0
+                    && s.chans[ci].queue.first() == Some(&msg);
+                if !ok {
+                    return None;
+                }
+                let mut n = s.clone();
+                n.chans[ci].dup_left -= 1;
+                if let Some((pi, k)) = prog.matching_recv(s, ci, msg) {
+                    let loc = s.locs[pi] as usize;
+                    let ops = &prog.procs[pi].states[loc].edges[k].ops;
+                    prog.exec(&mut n, pi, ops);
+                }
+                Some(n)
+            }
+        }
+    }
+
+    fn properties(&self) -> Vec<Property<Self>> {
+        self.program
+            .props
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let cond = move |m: &SpecModel, s: &SpecState| {
+                    let p = &m.program.props[i];
+                    m.program.eval_bool(&p.cond, s)
+                };
+                match p.quant {
+                    Quant::Always => Property::always(p.name, cond),
+                    Quant::Never => Property::never(p.name, cond),
+                    Quant::Eventually => Property::eventually(p.name, cond),
+                }
+            })
+            .collect()
+    }
+
+    fn within_boundary(&self, s: &SpecState) -> bool {
+        match &self.program.boundary {
+            Some(b) => self.program.eval_bool(b, s),
+            None => true,
+        }
+    }
+
+    fn format_state(&self, s: &SpecState) -> String {
+        use std::fmt::Write;
+        let prog = &*self.program;
+        let mut out = String::new();
+        for (pi, p) in prog.procs.iter().enumerate() {
+            if pi > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}@{}", p.name, p.states[s.locs[pi] as usize].name);
+            if !p.local_slots.is_empty() {
+                out.push('{');
+                for (j, slot) in p.local_slots.clone().enumerate() {
+                    if j > 0 {
+                        out.push(' ');
+                    }
+                    let d = &prog.vars[slot];
+                    let local = d.name.rsplit('.').next().unwrap_or(&d.name);
+                    let _ = write!(out, "{}={}", local, render_val(d, s.vars[slot]));
+                }
+                out.push('}');
+            }
+        }
+        let n_globals = prog.vars.len() - prog.procs.iter().map(|p| p.local_slots.len()).sum::<usize>();
+        if n_globals > 0 {
+            out.push_str(" |");
+            for slot in 0..n_globals {
+                let d = &prog.vars[slot];
+                let _ = write!(out, " {}={}", d.name, render_val(d, s.vars[slot]));
+            }
+        }
+        for (ci, c) in prog.chans.iter().enumerate() {
+            let cs = &s.chans[ci];
+            let msgs: Vec<&str> = cs.queue.iter().map(|&m| prog.msgs[m as usize].as_str()).collect();
+            let _ = write!(out, " | {}=[{}]", c.name, msgs.join(","));
+            if c.duplicating {
+                let _ = write!(out, " dup={}", cs.dup_left);
+            }
+            if c.lossy {
+                let _ = write!(out, " lost={}", cs.overflow);
+            }
+        }
+        out
+    }
+
+    fn format_action(&self, a: &SpecAction) -> String {
+        let prog = &*self.program;
+        match *a {
+            SpecAction::Edge { proc, state, edge } => prog.procs[proc as usize].states
+                [state as usize]
+                .edges[edge as usize]
+                .display
+                .clone(),
+            SpecAction::Deliver { chan, msg } => format!(
+                "{} delivers {}",
+                prog.chans[chan as usize].name, prog.msgs[msg as usize]
+            ),
+            SpecAction::Drop { chan, msg } => format!(
+                "{} drops {}",
+                prog.chans[chan as usize].name, prog.msgs[msg as usize]
+            ),
+            SpecAction::Dup { chan, msg } => format!(
+                "{} duplicates {}",
+                prog.chans[chan as usize].name, prog.msgs[msg as usize]
+            ),
+        }
+    }
+}
+
+fn render_val(d: &VarDef, v: i64) -> String {
+    if d.is_bool {
+        (v != 0).to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mck::{Checker, SearchStrategy};
+
+    const PINGPONG: &str = r#"
+spec pingpong;
+msg Ping, Pong;
+chan up from p to q cap 1 lossy dup 1;
+chan down from q to p cap 1;
+global rallies: int 0..2 = 0;
+
+proc p {
+    init {
+        send up Ping;
+        goto Waiting;
+    }
+    state Waiting {
+        recv down Pong when rallies < 2 as "pong back" {
+            rallies = rallies + 1;
+            send up Ping;
+        }
+        recv down Pong when rallies >= 2 {
+            goto Done;
+        }
+    }
+    state Done {
+    }
+}
+
+proc q {
+    state Echo {
+        recv up Ping {
+            send down Pong;
+        }
+    }
+}
+
+never RallyDone: p @ Done;
+"#;
+
+    #[test]
+    fn compiles_and_explores() {
+        let model = compile(PINGPONG).expect("compiles");
+        assert_eq!(model.program.procs.len(), 2);
+        let result = Checker::new(model).strategy(SearchStrategy::Bfs).run();
+        let v = result.violation("RallyDone").expect("rally completes");
+        assert!(v.path.len() >= 6, "three rallies need sends+delivers, got {}", v.path.len());
+        assert!(result.stats.unique_states > 5);
+    }
+
+    #[test]
+    fn lossy_full_send_bumps_overflow_reliable_full_send_vanishes() {
+        let model = compile(
+            "spec t; msg M;
+             chan l from a to b cap 1 lossy;
+             chan r from a to b cap 1;
+             proc a { init { send l M; send l M; send r M; send r M; } state S { } }
+             proc b { state T { } }",
+        )
+        .unwrap();
+        let s = model.init_states().remove(0);
+        assert_eq!(s.chans[0].queue, vec![0]);
+        assert_eq!(s.chans[0].overflow, 1, "lossy overflow is counted state");
+        assert_eq!(s.chans[1].queue, vec![0]);
+        assert_eq!(s.chans[1].overflow, 0, "reliable full send vanishes silently");
+    }
+
+    #[test]
+    fn duplicate_burns_budget_and_keeps_message() {
+        let model = compile(
+            "spec t; msg M;
+             chan c from a to b cap 2 lossy dup 1;
+             global got: int 0..9 = 0;
+             proc a { init { send c M; } state S { } }
+             proc b { state T { recv c M { got = got + 1; } } }",
+        )
+        .unwrap();
+        let s0 = model.init_states().remove(0);
+        let dup = SpecAction::Dup { chan: 0, msg: 0 };
+        let s1 = model.next_state(&s0, &dup).expect("dup enabled");
+        assert_eq!(s1.chans[0].queue, vec![0], "message stays queued");
+        assert_eq!(s1.chans[0].dup_left, 0);
+        assert_eq!(s1.vars[0], 1, "receiver handled the duplicate");
+        assert!(model.next_state(&s1, &dup).is_none(), "budget exhausted");
+    }
+
+    #[test]
+    fn unmatched_delivery_consumes_the_message() {
+        let model = compile(
+            "spec t; msg M, N;
+             chan c from a to b cap 2;
+             proc a { init { send c N; } state S { } }
+             proc b { state T { recv c M { goto U; } } state U { } }",
+        )
+        .unwrap();
+        let s0 = model.init_states().remove(0);
+        let s1 = model
+            .next_state(&s0, &SpecAction::Deliver { chan: 0, msg: 1 })
+            .expect("deliver enabled");
+        assert!(s1.chans[0].queue.is_empty(), "message consumed");
+        assert_eq!(s1.locs[1], 0, "receiver unmoved by unexpected message");
+    }
+
+    #[test]
+    fn int_assignment_clamps_to_range() {
+        let model = compile(
+            "spec t;
+             global n: int 0..3 = 0;
+             proc a { init { n = n - 2; } state S { when n < 3 { n = n + 9; } } }",
+        )
+        .unwrap();
+        let s0 = model.init_states().remove(0);
+        assert_eq!(s0.vars[0], 0, "clamped at the floor");
+        let s1 = model
+            .next_state(
+                &s0,
+                &SpecAction::Edge {
+                    proc: 0,
+                    state: 0,
+                    edge: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(s1.vars[0], 3, "clamped at the ceiling");
+    }
+
+    #[test]
+    fn boundary_prunes_exploration() {
+        let unbounded = compile(
+            "spec t;
+             global n: int 0..9 = 0;
+             proc a { state S { when n < 9 { n = n + 1; } } }",
+        )
+        .unwrap();
+        let bounded = compile(
+            "spec t;
+             global n: int 0..9 = 0;
+             proc a { state S { when n < 9 { n = n + 1; } } }
+             boundary: n <= 3;",
+        )
+        .unwrap();
+        let full = Checker::new(unbounded).strategy(SearchStrategy::Bfs).run();
+        let cut = Checker::new(bounded).strategy(SearchStrategy::Bfs).run();
+        assert_eq!(full.stats.unique_states, 10);
+        assert_eq!(cut.stats.unique_states, 5, "states past the boundary are not expanded");
+    }
+
+    #[test]
+    fn format_state_is_readable() {
+        let model = compile(PINGPONG).unwrap();
+        let s = model.init_states().remove(0);
+        let txt = model.format_state(&s);
+        assert!(txt.contains("p@Waiting"), "{txt}");
+        assert!(txt.contains("rallies=0"), "{txt}");
+        assert!(txt.contains("up=[Ping] dup=1 lost=0"), "{txt}");
+        assert!(txt.contains("down=[]"), "{txt}");
+    }
+
+    #[test]
+    fn replay_rejects_stale_actions() {
+        let model = compile(PINGPONG).unwrap();
+        let s = model.init_states().remove(0);
+        // down is empty: delivering from it must be vetoed.
+        assert!(model
+            .next_state(&s, &SpecAction::Deliver { chan: 1, msg: 1 })
+            .is_none());
+        // p sits in Waiting (state 0); an edge claiming state 1 is stale.
+        assert!(model
+            .next_state(
+                &s,
+                &SpecAction::Edge {
+                    proc: 0,
+                    state: 1,
+                    edge: 0
+                }
+            )
+            .is_none());
+    }
+}

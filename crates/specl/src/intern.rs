@@ -1,0 +1,44 @@
+//! A global, deduplicating string interner.
+//!
+//! `mck::Property` names are `&'static str` (they flow into `Violation` and
+//! `WalkOutcome`, which are `Copy`-friendly); spec property names only exist
+//! at runtime, so they are interned here. Deduplication means compiling the
+//! same spec a thousand times leaks each distinct name once, not a thousand
+//! times — the "leak" is bounded by the set of distinct property names ever
+//! seen by the process.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+static INTERNED: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);
+
+/// Return a `&'static str` equal to `s`, allocating (and intentionally
+/// leaking) only the first time each distinct string is seen.
+pub fn intern(s: &str) -> &'static str {
+    let mut guard = INTERNED.lock().expect("interner poisoned");
+    let set = guard.get_or_insert_with(HashSet::new);
+    if let Some(existing) = set.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes_to_the_same_pointer() {
+        let a = intern("PacketService_OK_test_key");
+        let b = intern("PacketService_OK_test_key");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b), "second intern must reuse the first");
+    }
+
+    #[test]
+    fn distinct_strings_stay_distinct() {
+        assert_ne!(intern("alpha_key"), intern("beta_key"));
+    }
+}
