@@ -133,6 +133,10 @@ fn main() {
         fleet_scaling(seed);
         ran_any = true;
     }
+    if exp == "fleetdigest" {
+        fleet_digest(seed);
+        ran_any = true;
+    }
     if run("f12l") {
         figure12_left(seed);
         ran_any = true;
@@ -181,7 +185,8 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("valid", "validation phase: simulated-carrier traces for S1-S6"),
     ("diagnose", "runtime-verification diagnosis matrix (golden-diffed)"),
     ("study", "deterministic study matrix: tables 5+6 over the fleet (golden-diffed)"),
-    ("fleet", "multi-UE fleet scaling sweep"),
+    ("fleet", "multi-UE fleet scaling sweep with kernel stats"),
+    ("fleetdigest", "deterministic fleet report digest (golden-diffed)"),
     ("t1", "Table 1 — finding summary"),
     ("t2", "Table 2 — studied protocols"),
     ("t3", "Table 3 — PDP context deactivation causes"),
@@ -612,33 +617,68 @@ fn table6(seed: u64) {
 }
 
 fn fleet_scaling(seed: u64) {
-    section("Fleet scaling — multi-UE carrier simulation throughput");
+    section("Fleet scaling — timing-wheel kernel throughput and health");
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>12}",
-        "UEs", "threads", "events", "wall ms", "events/s"
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "UEs", "threads", "events", "wall ms", "events/s", "bytes/UE", "cascades", "evicted"
     );
-    for n in [1usize, 20, 200] {
+    for n in [1usize, 20, 200, 2_000, 20_000] {
         let spec = netsim::UeSpec {
             op: netsim::op_ii(),
             behavior: netsim::BehaviorProfile::typical_4g(),
         };
-        let cfg = netsim::FleetConfig::uniform(seed, 7, threads, n, spec);
+        let mut cfg = netsim::FleetConfig::uniform(seed, 7, threads, n, spec);
+        cfg.trace_capacity = Some(32); // the million-UE trace policy on every arm
         let t0 = std::time::Instant::now();
         let report = netsim::FleetSim::new(cfg).run();
         let wall = t0.elapsed();
         let per_sec = report.total_events as f64 / wall.as_secs_f64().max(1e-9);
         println!(
-            "{:>6} {:>8} {:>12} {:>12.1} {:>12.0}",
+            "{:>6} {:>8} {:>12} {:>12.1} {:>12.0} {:>10} {:>12} {:>10}",
             n,
             threads,
             report.total_events,
             wall.as_secs_f64() * 1_000.0,
-            per_sec
+            per_sec,
+            report.kernel.bytes_per_ue,
+            report.kernel.wheel_cascades,
+            report.kernel.trace_evicted,
         );
+        if n == 20_000 {
+            println!("\n20k-UE arm kernel detail:\n{}", report.kernel.summary());
+        }
     }
+}
+
+/// The golden-diffed fleet digest: a mixed-carrier, mixed-class fleet with
+/// ring-bounded traces, rendered through the streaming report. Everything
+/// printed is a pure function of the seed — no wall-clock, no thread
+/// counts (the run uses 4 shards; any count yields the same bytes, which
+/// is the property the determinism tests pin).
+fn fleet_digest(seed: u64) {
+    section("Fleet digest — streaming report (byte-stable across hosts and thread counts)");
+    let mut specs = Vec::new();
+    for i in 0..40 {
+        specs.push(netsim::UeSpec {
+            op: if i % 2 == 0 {
+                netsim::op_i()
+            } else {
+                netsim::op_ii()
+            },
+            behavior: if i % 5 == 0 {
+                netsim::BehaviorProfile::typical_3g()
+            } else {
+                netsim::BehaviorProfile::typical_4g()
+            },
+        });
+    }
+    let mut cfg = netsim::FleetConfig::new(seed, 3, 4, specs);
+    cfg.trace_capacity = Some(64);
+    let report = netsim::FleetSim::new(cfg).run();
+    print!("{}", report.digest());
 }
 
 fn figure12_left(seed: u64) {

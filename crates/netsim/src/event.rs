@@ -30,6 +30,11 @@ pub struct EventQueue<E> {
     // Payloads stored separately keyed by seq to avoid Ord bounds on E.
     slots: std::collections::HashMap<u64, Pending<E>>,
     next_seq: u64,
+    /// Cancellations since the last heap rebuild — the rebuild trigger.
+    cancelled_since_rebuild: usize,
+    /// Heap rebuilds over the queue's lifetime (observability for the
+    /// compaction-thrash regression test).
+    rebuilds: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -45,6 +50,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             slots: std::collections::HashMap::new(),
             next_seq: 0,
+            cancelled_since_rebuild: 0,
+            rebuilds: 0,
         }
     }
 
@@ -64,16 +71,32 @@ impl<E> EventQueue<E> {
         if was_live {
             self.compact_front();
             // Mass cancellation leaves the heap dominated by dead entries;
-            // rebuild it from the live set before it grows unbounded.
-            if self.heap.len() > 2 * self.slots.len() + 64 {
+            // rebuild it from the live set before it grows unbounded. The
+            // trigger counts cancellations since the previous rebuild
+            // rather than comparing instantaneous sizes: a size comparison
+            // re-fires every time the live set halves during one drain
+            // (and can re-fire after fewer cancels than the rebuild costs
+            // under cancel/re-arm cycles — NAS retx storms), while the
+            // counter guarantees at least `live + 64` cancellations
+            // between rebuilds, so rebuild work stays amortized O(1) per
+            // cancel with a hysteresis floor of 64.
+            self.cancelled_since_rebuild += 1;
+            if self.cancelled_since_rebuild > self.slots.len() + 64 {
                 self.heap = self
                     .slots
                     .iter()
                     .map(|(seq, p)| Reverse((p.at, *seq)))
                     .collect();
+                self.cancelled_since_rebuild = 0;
+                self.rebuilds += 1;
             }
         }
         was_live
+    }
+
+    /// Heap rebuilds triggered by mass cancellation so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
     }
 
     /// Pop the earliest pending event, if any.
@@ -221,6 +244,55 @@ mod tests {
              allocations (heap {}, slots cap {})",
             q.heap.len(),
             q.slots.capacity()
+        );
+    }
+
+    #[test]
+    fn cancel_rearm_cycles_do_not_thrash_rebuilds() {
+        // A NAS-retx-storm shape: ~1000 timers stay armed while every step
+        // cancels one and re-arms a replacement. The rebuild trigger must
+        // honour its hysteresis floor — at least `live + 64` cancellations
+        // between rebuilds — instead of re-firing on instantaneous sizes.
+        let mut q = EventQueue::new();
+        let mut armed: std::collections::VecDeque<_> = (0..1_000u64)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        let mut cancels = 0u64;
+        for i in 1_000..101_000u64 {
+            let h = armed.pop_front().unwrap();
+            if q.cancel(h) {
+                cancels += 1;
+            }
+            armed.push_back(q.schedule(SimTime::from_millis(i), i));
+        }
+        assert_eq!(q.len(), 1_000);
+        // With ~1000 live events, each rebuild needs > 1064 cancellations.
+        assert!(
+            q.rebuilds() <= cancels / 1_000 + 1,
+            "{} rebuilds for {} cancels thrashes the compactor",
+            q.rebuilds(),
+            cancels
+        );
+        assert!(q.rebuilds() >= 1, "the storm must eventually compact");
+        // The memory invariant survives: dead entries stay bounded by the
+        // live count plus the hysteresis floor.
+        assert!(q.heap.len() <= 2 * q.len() + 64 + 1);
+    }
+
+    #[test]
+    fn one_mass_drain_costs_logarithmic_rebuilds() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..10_000u64)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        for h in handles {
+            q.cancel(h);
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.rebuilds() <= 16,
+            "a single mass-cancel drain did {} rebuilds",
+            q.rebuilds()
         );
     }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fleetmetrics;
 pub mod hss;
 pub mod inject;
 pub mod metrics;
@@ -63,6 +64,7 @@ pub mod trace;
 pub mod world;
 
 pub use event::{EventHandle, EventQueue};
+pub use fleetmetrics::{MetricSample, MetricsRegistry, MetricsSnapshot};
 pub use hss::{Hss, SubscriberRecord, Subscription};
 pub use inject::{
     AdvFate, Adversary, Campaign, CampaignReport, Fate, FaultPhase, FaultPolicy, Injection, Leg,
@@ -76,7 +78,8 @@ pub use phone::PhoneModel;
 pub use radio::{achievable_kbps, ChannelConfig, PathLoss, Rssi};
 pub use rng::DurationDist;
 pub use sim::{
-    Activity, ActivityKind, BehaviorProfile, FleetConfig, FleetReport, FleetSim, UeOutcome, UeSpec,
+    Activity, ActivityKind, BehaviorProfile, FleetAgg, FleetConfig, FleetReport, FleetSim,
+    KernelStats, Members, PlanSummary, SeriesAgg, TimingWheel, UeOutcome, UeSpec, WheelHandle,
 };
 pub use time::SimTime;
 pub use trace::{

@@ -79,6 +79,13 @@ impl Ue {
     /// `cfg.seed` exactly as the pre-fleet `World` did, so single-UE
     /// trajectories (and the checked-in goldens) are unchanged.
     pub fn from_config(id: UeId, imsi: u64, cfg: &WorldConfig) -> Self {
+        Self::with_seed(id, imsi, cfg, cfg.seed)
+    }
+
+    /// Build one phone from a shared configuration but its own RNG seed —
+    /// the fleet path, where one `WorldConfig` per behavior class is
+    /// shared across every member and only the seed is per-UE.
+    pub fn with_seed(id: UeId, imsi: u64, cfg: &WorldConfig, seed: u64) -> Self {
         let mut stack = DeviceStack::new();
         if cfg.phone_quirk {
             stack.emm.quirk_tau_before_detach = true;
@@ -89,7 +96,7 @@ impl Ue {
         if cfg.nas_retx {
             stack = stack.with_retransmission();
         }
-        let rng = rng_from_seed(cfg.seed);
+        let rng = rng_from_seed(seed);
         let adversary = cfg.campaign.clone().map(Adversary::new);
         Self {
             id,

@@ -16,7 +16,7 @@ use cellstack::SwitchMechanism;
 use crate::rng::DurationDist;
 
 /// A carrier's policy + latency profile.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct OperatorProfile {
     /// Display name ("OP-I" / "OP-II").
     pub name: &'static str,

@@ -1,0 +1,463 @@
+//! Streaming fleet aggregation: bounded, order-independent folds of the
+//! per-UE measurements.
+//!
+//! A million-UE [`crate::FleetSim`] run cannot hold a million
+//! [`crate::Metrics`] structs (each full of duration vectors) in its
+//! report. Instead, every lane folds into a [`FleetAgg`] the moment it
+//! finishes: counters add, duration series collapse into [`SeriesAgg`]
+//! sketches (count / sum / min / max / log₂ histogram), and activity
+//! plans collapse into [`PlanSummary`] counts — the §7 Table 5
+//! denominators. Every field is an integer accumulated with commutative,
+//! associative operations, so the merged aggregate (and everything
+//! rendered from it) is byte-identical for any thread count and any lane
+//! completion order.
+
+use crate::sim::fleet::{ActivityKind, UeOutcome};
+
+/// Log₂ histogram buckets: values up to `2^39` ms (~17 simulated years).
+pub const HIST_BUCKETS: usize = 40;
+
+/// A bounded sketch of one duration/rate series: exact count, sum, min
+/// and max plus a log₂ histogram for quantile estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesAgg {
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u64,
+    /// Exact minimum (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// `buckets[i]` counts observations with `floor(log2(v)) == i - 1`
+    /// (bucket 0 holds zeros).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for SeriesAgg {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl SeriesAgg {
+    /// Bucket index for a value.
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Fold one observation in.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket(v)] += 1;
+    }
+
+    /// Fold a whole slice in.
+    pub fn observe_all(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.observe(v);
+        }
+    }
+
+    /// Merge another sketch (commutative, associative).
+    pub fn merge(&mut self, o: &SeriesAgg) {
+        self.count += o.count;
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        for (a, b) in self.buckets.iter_mut().zip(&o.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Histogram quantile estimate by nearest rank: the upper edge of the
+    /// bucket holding the rank, clamped to the exact min/max.
+    pub fn quantile_est(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// One deterministic summary line: `n sum mean min p50est p90est max`.
+    pub fn line(&self) -> String {
+        format!(
+            "n={} sum={} mean={:.1} min={} p50~{} p90~{} max={}",
+            self.count,
+            self.sum,
+            self.mean(),
+            if self.count == 0 { 0 } else { self.min },
+            self.quantile_est(0.5),
+            self.quantile_est(0.9),
+            self.max
+        )
+    }
+}
+
+/// Activity-plan counts for one UE (or summed over a fleet): the Table 5
+/// denominator inputs, folded from the plan instead of retaining it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// All planned activities.
+    pub total: u64,
+    /// CSFB calls planned.
+    pub csfb_calls: u64,
+    /// … of which had an active data session (S1/S3 denominators).
+    pub csfb_data_on: u64,
+    /// 3G CS calls planned (S5 denominator).
+    pub cs_calls: u64,
+    /// … of which mobile-originated (S4 denominator).
+    pub cs_outgoing: u64,
+    /// … of which had an active data session.
+    pub cs_data_on: u64,
+    /// Coverage-driven 4G↔3G round trips.
+    pub coverage_switches: u64,
+    /// … of which had an active data session (adds to the S1 denominator).
+    pub cov_data_on: u64,
+    /// Power cycles (each adds an attach).
+    pub power_cycles: u64,
+}
+
+impl PlanSummary {
+    /// Fold one planned activity in.
+    pub fn observe(&mut self, kind: &ActivityKind) {
+        self.total += 1;
+        match *kind {
+            ActivityKind::CsfbCall { data_on, .. } => {
+                self.csfb_calls += 1;
+                if data_on {
+                    self.csfb_data_on += 1;
+                }
+            }
+            ActivityKind::CsCall {
+                data_on, outgoing, ..
+            } => {
+                self.cs_calls += 1;
+                if outgoing {
+                    self.cs_outgoing += 1;
+                }
+                if data_on {
+                    self.cs_data_on += 1;
+                }
+            }
+            ActivityKind::CoverageSwitch { data_on, .. } => {
+                self.coverage_switches += 1;
+                if data_on {
+                    self.cov_data_on += 1;
+                }
+            }
+            ActivityKind::PowerCycle => self.power_cycles += 1,
+        }
+    }
+
+    /// Merge another summary (commutative).
+    pub fn merge(&mut self, o: &PlanSummary) {
+        self.total += o.total;
+        self.csfb_calls += o.csfb_calls;
+        self.csfb_data_on += o.csfb_data_on;
+        self.cs_calls += o.cs_calls;
+        self.cs_outgoing += o.cs_outgoing;
+        self.cs_data_on += o.cs_data_on;
+        self.coverage_switches += o.coverage_switches;
+        self.cov_data_on += o.cov_data_on;
+        self.power_cycles += o.power_cycles;
+    }
+
+    /// Inter-system switches implied by the plan (fallback + return per
+    /// CSFB call and per coverage round trip).
+    pub fn switches(&self) -> u64 {
+        2 * (self.csfb_calls + self.coverage_switches)
+    }
+}
+
+/// The streaming aggregate of a whole fleet run: everything the report
+/// retains about per-UE measurements. O(1) size regardless of fleet size.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetAgg {
+    /// UEs folded in.
+    pub ues: u64,
+    /// … of which 3G-only.
+    pub ues_3g: u64,
+    /// Summed activity plans (Table 5 denominators).
+    pub plan: PlanSummary,
+    /// All detaches observed at devices.
+    pub detaches: u64,
+    /// Network-caused detaches.
+    pub implicit_detaches: u64,
+    /// Calls that never connected.
+    pub failed_calls: u64,
+    /// CM/SM requests observed HOL-blocked (S4 occurrences).
+    pub blocked_requests: u64,
+    /// S1 occurrences.
+    pub s1_events: u64,
+    /// S6 occurrences.
+    pub s6_events: u64,
+    /// Attach attempts observed at MMEs.
+    pub attach_attempts: u64,
+    /// Connected calls (size of the per-UE `call_setups` series).
+    pub calls: u64,
+    /// Out-of-service periods, ms.
+    pub oos_ms: SeriesAgg,
+    /// Detach → re-registered recovery times, ms.
+    pub recovery_ms: SeriesAgg,
+    /// Dial → connect setup times, ms.
+    pub setup_ms: SeriesAgg,
+    /// Location-area update durations, ms.
+    pub lau_ms: SeriesAgg,
+    /// Routing-area update durations, ms.
+    pub rau_ms: SeriesAgg,
+    /// Tracking-area update durations, ms.
+    pub tau_ms: SeriesAgg,
+    /// Stuck-in-3G durations after CSFB calls, ms (Table 6).
+    pub stuck3g_ms: SeriesAgg,
+    /// Throughput samples (kbps, rounded) by `[uplink][with_call]`.
+    pub tput_kbps: [[SeriesAgg; 2]; 2],
+    /// Trace entries recorded (retained + evicted).
+    pub trace_recorded: u64,
+    /// Trace entries evicted by per-UE ring bounds.
+    pub trace_evicted: u64,
+    /// Order-independent mix of the per-UE digest-line hashes: summing
+    /// with wrapping add commutes, so the mix is identical however lanes
+    /// are sharded while still pinning every UE's full observable record.
+    pub digest_mix: u64,
+}
+
+impl FleetAgg {
+    /// Fold one finished lane in. The outcome's vectors are read, not
+    /// retained — the caller is free to drop it afterwards.
+    pub fn observe_ue(&mut self, u: &UeOutcome) {
+        self.ues += 1;
+        if u.on_3g {
+            self.ues_3g += 1;
+        }
+        self.plan.merge(&u.plan);
+        let m = &u.metrics;
+        self.detaches += u64::from(m.detach_count);
+        self.implicit_detaches += u64::from(m.implicit_detaches);
+        self.failed_calls += u64::from(m.failed_calls);
+        self.blocked_requests += u64::from(m.blocked_requests);
+        self.s1_events += u64::from(m.s1_events);
+        self.s6_events += u64::from(m.s6_events);
+        self.attach_attempts += u64::from(m.attach_attempts);
+        self.calls += m.call_setups.len() as u64;
+        self.oos_ms.observe_all(&m.oos_durations_ms);
+        self.recovery_ms.observe_all(&m.recovery_times_ms);
+        for c in &m.call_setups {
+            self.setup_ms.observe(c.setup_ms);
+        }
+        self.lau_ms.observe_all(&m.lau_durations_ms);
+        self.rau_ms.observe_all(&m.rau_durations_ms);
+        self.tau_ms.observe_all(&m.tau_durations_ms);
+        self.stuck3g_ms.observe_all(&m.stuck_in_3g_ms);
+        for s in &m.throughput {
+            // Integer kbps keeps the fold order-independent (f64 addition
+            // is not associative across merge orders).
+            self.tput_kbps[usize::from(s.uplink)][usize::from(s.with_call)]
+                .observe(s.kbps.round().max(0.0) as u64);
+        }
+        self.trace_recorded += u.trace.len() as u64 + u.trace.evicted();
+        self.trace_evicted += u.trace.evicted();
+        self.digest_mix = self.digest_mix.wrapping_add(u.line_hash());
+    }
+
+    /// Merge another aggregate (commutative).
+    pub fn merge(&mut self, o: &FleetAgg) {
+        self.ues += o.ues;
+        self.ues_3g += o.ues_3g;
+        self.plan.merge(&o.plan);
+        self.detaches += o.detaches;
+        self.implicit_detaches += o.implicit_detaches;
+        self.failed_calls += o.failed_calls;
+        self.blocked_requests += o.blocked_requests;
+        self.s1_events += o.s1_events;
+        self.s6_events += o.s6_events;
+        self.attach_attempts += o.attach_attempts;
+        self.calls += o.calls;
+        self.oos_ms.merge(&o.oos_ms);
+        self.recovery_ms.merge(&o.recovery_ms);
+        self.setup_ms.merge(&o.setup_ms);
+        self.lau_ms.merge(&o.lau_ms);
+        self.rau_ms.merge(&o.rau_ms);
+        self.tau_ms.merge(&o.tau_ms);
+        self.stuck3g_ms.merge(&o.stuck3g_ms);
+        for (a, b) in self
+            .tput_kbps
+            .iter_mut()
+            .flatten()
+            .zip(o.tput_kbps.iter().flatten())
+        {
+            a.merge(b);
+        }
+        self.trace_recorded += o.trace_recorded;
+        self.trace_evicted += o.trace_evicted;
+        self.digest_mix = self.digest_mix.wrapping_add(o.digest_mix);
+    }
+
+    /// Deterministic multi-line rendering (part of the fleet digest).
+    pub fn summary(&self) -> String {
+        let p = &self.plan;
+        let mut s = String::new();
+        s.push_str(&format!(
+            "agg ues={} on3g={} plan={} csfb={} (data_on={}) cs={} (out={} data_on={}) \
+             cov={} (data_on={}) pwr={} switches={}\n",
+            self.ues,
+            self.ues_3g,
+            p.total,
+            p.csfb_calls,
+            p.csfb_data_on,
+            p.cs_calls,
+            p.cs_outgoing,
+            p.cs_data_on,
+            p.coverage_switches,
+            p.cov_data_on,
+            p.power_cycles,
+            p.switches(),
+        ));
+        s.push_str(&format!(
+            "agg calls={} failed={} detach={} implicit={} blocked={} s1={} s6={} attach={}\n",
+            self.calls,
+            self.failed_calls,
+            self.detaches,
+            self.implicit_detaches,
+            self.blocked_requests,
+            self.s1_events,
+            self.s6_events,
+            self.attach_attempts,
+        ));
+        s.push_str(&format!("agg setup_ms {}\n", self.setup_ms.line()));
+        s.push_str(&format!("agg stuck3g_ms {}\n", self.stuck3g_ms.line()));
+        s.push_str(&format!("agg oos_ms {}\n", self.oos_ms.line()));
+        s.push_str(&format!("agg recovery_ms {}\n", self.recovery_ms.line()));
+        s.push_str(&format!("agg lau_ms {}\n", self.lau_ms.line()));
+        s.push_str(&format!("agg rau_ms {}\n", self.rau_ms.line()));
+        s.push_str(&format!("agg tau_ms {}\n", self.tau_ms.line()));
+        for (ul, name_ul) in [(0, "dl"), (1, "ul")] {
+            for (wc, name_wc) in [(0, "idle"), (1, "call")] {
+                s.push_str(&format!(
+                    "agg tput_{name_ul}_{name_wc}_kbps {}\n",
+                    self.tput_kbps[ul][wc].line()
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "agg trace recorded={} evicted={} mix={:016x}\n",
+            self.trace_recorded, self.trace_evicted, self.digest_mix
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_agg_tracks_exact_moments() {
+        let mut a = SeriesAgg::default();
+        a.observe_all(&[1_000, 2_000, 3_000, 4_000, 5_000]);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 15_000);
+        assert_eq!(a.min, 1_000);
+        assert_eq!(a.max, 5_000);
+        assert!((a.mean() - 3_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_agg_quantiles_are_bucket_bounded() {
+        let mut a = SeriesAgg::default();
+        for v in 1..=1_000u64 {
+            a.observe(v);
+        }
+        let p50 = a.quantile_est(0.5);
+        // Rank 500 lives in the 512..1023 bucket; the estimate is its
+        // upper edge clamped to the observed max.
+        assert!((500..=1_023).contains(&p50), "p50 estimate {p50}");
+        assert_eq!(a.quantile_est(0.0), 1);
+        assert_eq!(a.quantile_est(1.0), 1_000);
+    }
+
+    #[test]
+    fn series_agg_merge_is_commutative() {
+        let mut a = SeriesAgg::default();
+        let mut b = SeriesAgg::default();
+        a.observe_all(&[5, 10, 1 << 20]);
+        b.observe_all(&[0, 7]);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 5);
+        assert_eq!(ab.min, 0);
+        assert_eq!(ab.max, 1 << 20);
+    }
+
+    #[test]
+    fn empty_series_renders_zeroes() {
+        let a = SeriesAgg::default();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.quantile_est(0.5), 0);
+        assert_eq!(a.line(), "n=0 sum=0 mean=0.0 min=0 p50~0 p90~0 max=0");
+    }
+
+    #[test]
+    fn plan_summary_counts_kinds() {
+        let mut p = PlanSummary::default();
+        p.observe(&ActivityKind::CsfbCall {
+            data_on: true,
+            outgoing: true,
+            pdp_deact: false,
+            call_ms: 30_000,
+            demand_kbps: 100,
+            data_tail_ms: 5_000,
+        });
+        p.observe(&ActivityKind::CsCall {
+            data_on: false,
+            outgoing: true,
+            lau_collision: None,
+            call_ms: 30_000,
+            demand_kbps: 100,
+        });
+        p.observe(&ActivityKind::CoverageSwitch {
+            data_on: true,
+            pdp_deact: false,
+        });
+        p.observe(&ActivityKind::PowerCycle);
+        assert_eq!(p.total, 4);
+        assert_eq!(p.csfb_calls, 1);
+        assert_eq!(p.csfb_data_on, 1);
+        assert_eq!(p.cs_outgoing, 1);
+        assert_eq!(p.cov_data_on, 1);
+        assert_eq!(p.power_cycles, 1);
+        assert_eq!(p.switches(), 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Block-local lane storage for the fleet kernel.
+//!
+//! The pre-rebuild fleet held one boxed `Lane` struct per UE for the whole
+//! run — a million live `Ue`s, traces and plans at once. The kernel now
+//! streams each shard through fixed-size *blocks* of lanes, and
+//! [`LaneArena`] is one block's storage: parallel arrays (structure of
+//! arrays) holding every per-lane field the step loop touches, indexed by
+//! the lane's block-local slot. Hot fields (event counters, pending
+//! activities, scheduler state) sit in their own contiguous arrays, so
+//! stepping scans cache-linear memory instead of chasing per-lane boxes;
+//! cold per-run output ([`Ue`] internals, kept plans) stays out of the hot
+//! arrays. [`LaneArena::resident_bytes`] makes the bytes/UE budget
+//! measurable — the number the bench's bytes-per-UE column and the
+//! kernel-stats report read.
+
+use rand::rngs::StdRng;
+
+use crate::node::Ue;
+use crate::sim::agg::PlanSummary;
+use crate::sim::fleet::Activity;
+use crate::time::SimTime;
+
+/// One block of fleet lanes, stored as parallel arrays. Cleared and
+/// refilled for every block, so allocations are reused across the whole
+/// shard.
+#[derive(Default)]
+pub struct LaneArena {
+    /// Global UE index per lane.
+    pub(crate) ids: Vec<u32>,
+    /// Behavior-class index per lane (into the fleet's class table).
+    pub(crate) class_of: Vec<u16>,
+    /// The phones.
+    pub(crate) ues: Vec<Ue>,
+    /// Per-lane scheduler RNG stream (planning draws only).
+    pub(crate) sched: Vec<StdRng>,
+    /// Next day the scheduler has not planned yet.
+    pub(crate) next_day: Vec<u32>,
+    /// This lane's not-yet-materialized activities, *reversed* so the
+    /// soonest is at the back (`pop()` yields the next one).
+    pub(crate) pending: Vec<Vec<Activity>>,
+    /// Streaming fold of the lane's planned activities.
+    pub(crate) plan_sum: Vec<PlanSummary>,
+    /// Full plans, retained only when the fleet asked to keep them.
+    pub(crate) kept: Vec<Vec<Activity>>,
+    /// Simulation events handled per lane.
+    pub(crate) events: Vec<u64>,
+    /// 3G-only lane.
+    pub(crate) on_3g: Vec<bool>,
+}
+
+impl LaneArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lanes currently stored.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// No lanes stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Drop all lanes, keeping the arrays' allocations for the next block.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.class_of.clear();
+        self.ues.clear();
+        self.sched.clear();
+        self.next_day.clear();
+        self.pending.clear();
+        self.plan_sum.clear();
+        self.kept.clear();
+        self.events.clear();
+        self.on_3g.clear();
+    }
+
+    /// Add one lane; returns its block-local slot.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_lane(
+        &mut self,
+        id: u32,
+        class: u16,
+        ue: Ue,
+        sched: StdRng,
+        on_3g: bool,
+    ) -> usize {
+        let slot = self.ids.len();
+        self.ids.push(id);
+        self.class_of.push(class);
+        self.ues.push(ue);
+        self.sched.push(sched);
+        self.next_day.push(0);
+        self.pending.push(Vec::new());
+        self.plan_sum.push(PlanSummary::default());
+        self.kept.push(Vec::new());
+        self.events.push(0);
+        self.on_3g.push(false);
+        self.on_3g[slot] = on_3g;
+        slot
+    }
+
+    /// Resident bytes of the arena's own storage: array headers, inline
+    /// lane state, and the per-lane heap the arena owns (pending plans,
+    /// kept plans, trace rings). An accounting estimate — capacities, not
+    /// a malloc census — but it tracks exactly the state whose growth
+    /// would break the bounded-memory contract.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let inline = self.ids.capacity() * size_of::<u32>()
+            + self.class_of.capacity() * size_of::<u16>()
+            + self.ues.capacity() * size_of::<Ue>()
+            + self.sched.capacity() * size_of::<StdRng>()
+            + self.next_day.capacity() * size_of::<u32>()
+            + self.pending.capacity() * size_of::<Vec<Activity>>()
+            + self.plan_sum.capacity() * size_of::<PlanSummary>()
+            + self.kept.capacity() * size_of::<Vec<Activity>>()
+            + self.events.capacity() * size_of::<u64>()
+            + self.on_3g.capacity() * size_of::<bool>();
+        let plans: usize = self
+            .pending
+            .iter()
+            .chain(self.kept.iter())
+            .map(|p| p.capacity() * size_of::<Activity>())
+            .sum();
+        let traces: usize = self
+            .ues
+            .iter()
+            .map(|u| u.trace.resident_bytes_estimate())
+            .sum();
+        size_of::<Self>() + inline + plans + traces
+    }
+
+    /// The time of this lane's next not-yet-materialized activity, if any.
+    pub(crate) fn next_activity_at(&self, slot: usize) -> Option<SimTime> {
+        self.pending[slot].last().map(|a| a.at)
+    }
+}

@@ -31,9 +31,25 @@ use crate::time::SimTime;
 use crate::trace::{CallPhase, FaultEvent, FaultKind, HazardKind, TraceEvent, TraceType};
 use crate::world::{Ev, WorldConfig};
 
+/// Destination for the events the executive schedules. The single-UE
+/// facade plugs in its [`EventQueue`]; the fleet plugs in its timing
+/// wheel (wrapping the payload in its block-level event type). The
+/// executive is monomorphized per sink, so the indirection costs nothing
+/// on the hot path.
+pub(crate) trait EvSink {
+    /// Schedule `key` at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, key: (UeId, Ev));
+}
+
+impl EvSink for EventQueue<(UeId, Ev)> {
+    fn schedule(&mut self, at: SimTime, key: (UeId, Ev)) {
+        EventQueue::schedule(self, at, key);
+    }
+}
+
 /// One event-handling context: the UE the event belongs to, the carrier it
 /// signals into, the queue future events go to, and the clock.
-pub(crate) struct Exec<'a> {
+pub(crate) struct Exec<'a, Q: EvSink> {
     /// Current simulated time (the time of the event being handled).
     pub now: SimTime,
     /// The UE's configuration (per-lane in a fleet).
@@ -43,10 +59,10 @@ pub(crate) struct Exec<'a> {
     /// The shared carrier core.
     pub carrier: &'a mut CarrierCore,
     /// The shared event queue; scheduled events carry the UE's id.
-    pub queue: &'a mut EventQueue<(UeId, Ev)>,
+    pub queue: &'a mut Q,
 }
 
-impl Exec<'_> {
+impl<Q: EvSink> Exec<'_, Q> {
     fn schedule_in(&mut self, delay_ms: u64, ev: Ev) {
         self.queue.schedule(self.now + delay_ms, (self.ue.id, ev));
     }
@@ -479,7 +495,7 @@ impl Exec<'_> {
         });
         let dir = if uplink { "uplink" } else { "downlink" };
         let voice = if with_call { " (CS voice active)" } else { "" };
-        self.ue.trace.record_event(
+        self.ue.trace.record_event_with(
             self.now,
             TraceType::Measurement,
             self.ue.stack.serving,
@@ -487,12 +503,12 @@ impl Exec<'_> {
                 RatSystem::Utran3g => Protocol::Rrc3g,
                 RatSystem::Lte4g => Protocol::Rrc4g,
             },
-            format!("{dir} throughput sample: {} kbps{voice}", kbps.round() as u64),
             TraceEvent::Throughput {
                 uplink,
                 with_call,
                 kbps: kbps.round() as u64,
             },
+            || format!("{dir} throughput sample: {} kbps{voice}", kbps.round() as u64),
         );
     }
 
@@ -520,7 +536,7 @@ impl Exec<'_> {
     // ------------------------------------------------------------------
 
     fn on_arrive_at_core(&mut self, system: RatSystem, domain: Domain, msg: NasMessage) {
-        self.ue.trace.record_event(
+        self.ue.trace.record_event_with(
             self.now,
             TraceType::Signaling,
             system,
@@ -529,11 +545,11 @@ impl Exec<'_> {
                 (RatSystem::Utran3g, Domain::Cs) => Protocol::Mm,
                 (RatSystem::Utran3g, Domain::Ps) => Protocol::Gmm,
             },
-            format!("core received: {}", msg.wire_name()),
             TraceEvent::Nas {
                 uplink: true,
                 msg: msg.clone(),
             },
+            || format!("core received: {}", msg.wire_name()),
         );
         match (system, domain) {
             (RatSystem::Lte4g, _) => {
@@ -876,7 +892,7 @@ impl Exec<'_> {
             }
             _ => {}
         }
-        self.ue.trace.record_event(
+        self.ue.trace.record_event_with(
             self.now,
             TraceType::Signaling,
             system,
@@ -885,11 +901,11 @@ impl Exec<'_> {
                 (RatSystem::Utran3g, Domain::Cs) => Protocol::Mm,
                 (RatSystem::Utran3g, Domain::Ps) => Protocol::Gmm,
             },
-            format!("device received: {}", msg.wire_name()),
             TraceEvent::Nas {
                 uplink: false,
                 msg: msg.clone(),
             },
+            || format!("device received: {}", msg.wire_name()),
         );
         // Implicit-detach accounting (the Figure 12-left y-axis): a
         // network-caused detach delivered to an in-service device.

@@ -8,28 +8,54 @@
 //! cycles) and materializes them as [`Ev`] events; the shared executive in
 //! [`crate::sim::exec`] then plays out all the signaling.
 //!
+//! # The million-UE kernel
+//!
+//! The hot path is built so memory and per-event cost are independent of
+//! fleet size:
+//!
+//! * **Timing wheel.** Each worker steps a hierarchical
+//!   [`TimingWheel`] — O(1) schedule/cancel, amortized-O(1) pop — instead
+//!   of a binary heap (see [`crate::sim::wheel`]).
+//! * **Block-striped lanes.** A shard processes its UEs in fixed-size
+//!   blocks backed by a structure-of-arrays [`LaneArena`]
+//!   ([`crate::sim::arena`]); only one block of phones is live per worker
+//!   at any moment, so resident bytes scale with `threads × block`, not
+//!   with the fleet.
+//! * **Lazy plans.** The scheduler plans one day at a time and
+//!   materializes one activity at a time (a control event leads each
+//!   activity's earliest sub-event), so plans are never held whole.
+//! * **Streaming report.** Finished lanes fold into a bounded
+//!   [`FleetAgg`] and a labeled [`MetricsRegistry`]; the
+//!   [`FleetReport`] never holds per-UE vectors. Callers that do need
+//!   per-UE outcomes stream them through [`FleetSim::run_fold`].
+//!
 //! # Determinism under parallelism
 //!
 //! UEs interact with the core only through their own per-IMSI session, the
 //! HSS admission check is read-only, and every random draw comes from a
 //! per-UE stream seeded by `mix_seed(fleet_seed, ue_index)`. Per-UE
 //! trajectories are therefore independent of how UEs are grouped into
-//! worker shards, so the merged [`FleetReport`] is **byte-identical for
-//! any thread count** — the property the determinism tests pin down.
-
-use std::collections::HashMap;
+//! blocks and shards, and every aggregate in the report folds with
+//! commutative integer operations — so [`FleetReport::digest`] is
+//! **byte-identical for any thread count**, the property the determinism
+//! tests pin down. Kernel-health numbers that *do* depend on block
+//! composition (wheel peaks, cascade counts, arena bytes) are quarantined
+//! in [`KernelStats`], which the digest never includes.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use cellstack::{PdpDeactivationCause, RatSystem, UpdateKind};
 
-use crate::event::EventQueue;
+use crate::fleetmetrics::MetricsRegistry;
 use crate::metrics::Metrics;
 use crate::node::{CarrierCore, Ue, UeId};
 use crate::operator::OperatorProfile;
 use crate::rng::{rng_from_seed, sample_lognormal};
-use crate::sim::exec::Exec;
+use crate::sim::agg::{FleetAgg, PlanSummary};
+use crate::sim::arena::LaneArena;
+use crate::sim::exec::{EvSink, Exec};
+use crate::sim::wheel::TimingWheel;
 use crate::time::SimTime;
 use crate::trace::TraceCollector;
 use crate::world::{Ev, WorldConfig};
@@ -37,7 +63,7 @@ use crate::world::{Ev, WorldConfig};
 /// Per-phone behavior rates, in events per simulated day, plus the
 /// per-event probabilities the scheduler draws from. The user-study crate
 /// derives these from its §7 participant population.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BehaviorProfile {
     /// The phone camps on 3G only (no 4G plan).
     pub starts_on_3g: bool,
@@ -94,12 +120,23 @@ impl BehaviorProfile {
 }
 
 /// One fleet member: which carrier it subscribes to and how it behaves.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct UeSpec {
     /// Carrier profile.
     pub op: OperatorProfile,
     /// Behavior rates.
     pub behavior: BehaviorProfile,
+}
+
+/// Which behavior class each fleet member belongs to. A million UEs share
+/// a handful of classes, so membership is a compact index table (or just a
+/// count), never a million copied specs.
+#[derive(Clone, Debug)]
+pub enum Members {
+    /// `n` members, all of class 0.
+    Uniform(usize),
+    /// One class index per member (into [`FleetConfig::classes`]).
+    PerUe(Vec<u16>),
 }
 
 /// Fleet run configuration.
@@ -111,13 +148,46 @@ pub struct FleetConfig {
     pub days: u32,
     /// Worker threads (UEs are sharded round-robin). 0 or 1 = inline.
     pub threads: usize,
-    /// Per-UE trace bound (`None` = unbounded).
+    /// Per-UE trace bound (`None` = unbounded, `Some(0)` = count-only).
     pub trace_capacity: Option<usize>,
-    /// One spec per UE.
-    pub specs: Vec<UeSpec>,
+    /// Retain each UE's full activity plan in its outcome (the user-study
+    /// analysis wants it; the bounded-memory kernel default is off).
+    pub keep_plan: bool,
+    /// The distinct behavior classes in this fleet.
+    pub classes: Vec<UeSpec>,
+    /// Which class each member belongs to.
+    pub members: Members,
 }
 
 impl FleetConfig {
+    /// Build a fleet from one spec per UE, deduplicating equal specs into
+    /// shared classes. `trace_capacity` defaults to unbounded and
+    /// `keep_plan` to off; set the fields directly to change them.
+    pub fn new(seed: u64, days: u32, threads: usize, specs: Vec<UeSpec>) -> Self {
+        let mut classes: Vec<UeSpec> = Vec::new();
+        let mut members = Vec::with_capacity(specs.len());
+        for s in specs {
+            let idx = match classes.iter().position(|c| *c == s) {
+                Some(i) => i,
+                None => {
+                    classes.push(s);
+                    classes.len() - 1
+                }
+            };
+            assert!(idx <= u16::MAX as usize, "more than 65536 behavior classes");
+            members.push(idx as u16);
+        }
+        Self {
+            seed,
+            days,
+            threads,
+            trace_capacity: None,
+            keep_plan: false,
+            classes,
+            members: Members::PerUe(members),
+        }
+    }
+
     /// A uniform fleet of `n` copies of `spec`.
     pub fn uniform(seed: u64, days: u32, threads: usize, n: usize, spec: UeSpec) -> Self {
         Self {
@@ -125,7 +195,25 @@ impl FleetConfig {
             days,
             threads,
             trace_capacity: None,
-            specs: vec![spec; n],
+            keep_plan: false,
+            classes: vec![spec],
+            members: Members::Uniform(n),
+        }
+    }
+
+    /// Number of fleet members.
+    pub fn n_ues(&self) -> usize {
+        match &self.members {
+            Members::Uniform(n) => *n,
+            Members::PerUe(v) => v.len(),
+        }
+    }
+
+    /// The behavior class of member `i`.
+    pub fn class_of(&self, i: usize) -> u16 {
+        match &self.members {
+            Members::Uniform(_) => 0,
+            Members::PerUe(v) => v[i],
         }
     }
 }
@@ -186,7 +274,9 @@ pub struct Activity {
     pub kind: ActivityKind,
 }
 
-/// Everything one UE produced: its plan, its trace, its measurements.
+/// Everything one UE produced. In the streaming kernel this exists only
+/// transiently — a finished lane's outcome is folded (into the report's
+/// aggregate and any [`FleetSim::run_fold`] accumulator) and dropped.
 pub struct UeOutcome {
     /// The UE's fleet index.
     pub id: u32,
@@ -194,61 +284,123 @@ pub struct UeOutcome {
     pub op_name: &'static str,
     /// Whether the UE is 3G-only.
     pub on_3g: bool,
-    /// The scheduler's plan for this UE.
+    /// Streaming fold of the scheduler's plan (Table 5 denominators).
+    pub plan: PlanSummary,
+    /// The full plan — populated only under [`FleetConfig::keep_plan`].
     pub activities: Vec<Activity>,
-    /// The full per-UE trace stream (possibly capacity-bounded).
+    /// The per-UE trace stream (ring-bounded or count-only in big fleets).
     pub trace: TraceCollector,
     /// Per-UE measurements.
     pub metrics: Metrics,
-    /// Events the executive processed for this UE.
+    /// Simulation events the executive processed for this UE.
     pub events: u64,
 }
 
-/// The merged, deterministic result of a fleet run.
+impl UeOutcome {
+    /// The UE's deterministic digest line: event count, plan size, hazard
+    /// tallies, trace length/eviction counters and a hash of the full
+    /// trace content.
+    pub fn digest_line(&self) -> String {
+        format!(
+            "ue {:>4} {:<5} events={:<6} plan={:<3} calls={:<3} s1={} s6={} \
+             detach={} blocked={} stuck={} trace_len={} evicted={} trace_fnv={:016x}",
+            self.id,
+            self.op_name,
+            self.events,
+            self.plan.total,
+            self.metrics.call_setups.len(),
+            self.metrics.s1_events,
+            self.metrics.s6_events,
+            self.metrics.detach_count,
+            self.metrics.blocked_requests,
+            self.metrics.stuck_in_3g_ms.len(),
+            self.trace.len(),
+            self.trace.evicted(),
+            fnv1a(self.trace.to_jsonl().as_bytes()),
+        )
+    }
+
+    /// FNV-1a hash of [`Self::digest_line`] — the per-UE contribution to
+    /// the report's order-independent digest mix.
+    pub fn line_hash(&self) -> u64 {
+        fnv1a(self.digest_line().as_bytes())
+    }
+}
+
+/// Kernel-health statistics for one fleet run. These numbers depend on
+/// block composition (and therefore on the thread count), so they are
+/// deliberately **not** part of [`FleetReport::digest`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Entries ever scheduled on the timing wheels.
+    pub wheel_scheduled: u64,
+    /// Entries moved down a wheel level by cascades.
+    pub wheel_cascades: u64,
+    /// Sum of per-shard wheel high-water marks.
+    pub wheel_peak_len: usize,
+    /// Lane blocks processed.
+    pub blocks: u64,
+    /// Distinct behavior classes.
+    pub classes: usize,
+    /// Peak concurrently-resident kernel bytes (arena + wheel, summed
+    /// over shards).
+    pub arena_bytes_peak: usize,
+    /// `arena_bytes_peak` per concurrently-resident UE.
+    pub bytes_per_ue: usize,
+    /// Trace entries evicted by per-UE ring bounds.
+    pub trace_evicted: u64,
+}
+
+impl KernelStats {
+    /// One-line rendering for `repro --exp fleet`.
+    pub fn summary(&self) -> String {
+        format!(
+            "kernel blocks={} classes={} wheel_scheduled={} wheel_cascades={} \
+             wheel_peak={} arena_bytes_peak={} bytes_per_ue={} trace_evicted={}",
+            self.blocks,
+            self.classes,
+            self.wheel_scheduled,
+            self.wheel_cascades,
+            self.wheel_peak_len,
+            self.arena_bytes_peak,
+            self.bytes_per_ue,
+            self.trace_evicted,
+        )
+    }
+}
+
+/// The merged, deterministic result of a fleet run: bounded aggregates
+/// only, O(1) in the fleet size.
 pub struct FleetReport {
     /// Fleet seed.
     pub seed: u64,
     /// Simulated days.
     pub days: u32,
-    /// Total events processed across all UEs.
+    /// Total simulation events processed across all UEs.
     pub total_events: u64,
-    /// Per-UE outcomes, ordered by UE id.
-    pub ues: Vec<UeOutcome>,
+    /// The streaming fold of every per-UE outcome.
+    pub agg: FleetAgg,
+    /// Kernel health (thread-count-dependent; excluded from the digest).
+    pub kernel: KernelStats,
+    /// The structured fleet-metrics registry (lane-derived, so
+    /// thread-count-independent).
+    pub metrics: MetricsRegistry,
 }
 
 impl FleetReport {
-    /// A deterministic, byte-comparable digest of the whole run: one line
-    /// per UE with its event count, plan size, hazard tallies, trace
-    /// length/eviction counters and a hash of the full trace content.
-    /// Equal digests ⇒ the runs are observationally identical.
+    /// A deterministic, byte-comparable digest of the whole run: the
+    /// run header, the streaming aggregate (whose `mix` field is the
+    /// wrapping sum of every UE's [`UeOutcome::line_hash`] — an
+    /// order-independent pin on each UE's full observable record) and the
+    /// metrics registry. Equal digests ⇒ the runs are observationally
+    /// identical.
     pub fn digest(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
+        let mut out = format!(
             "fleet seed={} days={} ues={} events={}\n",
-            self.seed,
-            self.days,
-            self.ues.len(),
-            self.total_events
-        ));
-        for u in &self.ues {
-            out.push_str(&format!(
-                "ue {:>4} {:<5} events={:<6} plan={:<3} calls={:<3} s1={} s6={} \
-                 detach={} blocked={} stuck={} trace_len={} evicted={} trace_fnv={:016x}\n",
-                u.id,
-                u.op_name,
-                u.events,
-                u.activities.len(),
-                u.metrics.call_setups.len(),
-                u.metrics.s1_events,
-                u.metrics.s6_events,
-                u.metrics.detach_count,
-                u.metrics.blocked_requests,
-                u.metrics.stuck_in_3g_ms.len(),
-                u.trace.len(),
-                u.trace.evicted(),
-                fnv1a(u.trace.to_jsonl().as_bytes()),
-            ));
-        }
+            self.seed, self.days, self.agg.ues, self.total_events
+        );
+        out.push_str(&self.agg.summary());
+        out.push_str(&self.metrics.render());
         out
     }
 }
@@ -281,144 +433,373 @@ const SLOTS_PER_DAY: usize = 24;
 /// overlap (max activity span ≈ 15 min).
 const JITTER_MS: u64 = 900_000;
 
+/// Lanes per block: small enough that a block's arena and wheel stay
+/// cache-resident, large enough to amortize per-block setup.
+const BLOCK: usize = 64;
+
+/// How far ahead of its anchor an activity is materialized — the largest
+/// pre-anchor event offset any activity kind schedules.
+const LEAD_MS: u64 = 3_000;
+
+/// Block-level event: either a simulation event for the executive, or the
+/// control event that materializes a lane's next planned activity.
+#[derive(Clone, Debug)]
+pub(crate) enum BlockEv {
+    /// An executive event.
+    Sim(Ev),
+    /// Materialize the lane's next pending activity.
+    NextActivity,
+}
+
+impl EvSink for TimingWheel<(UeId, BlockEv)> {
+    fn schedule(&mut self, at: SimTime, key: (UeId, Ev)) {
+        TimingWheel::schedule(self, at, (key.0, BlockEv::Sim(key.1)));
+    }
+}
+
 impl FleetSim {
     /// Build a fleet from its configuration.
     pub fn new(cfg: FleetConfig) -> Self {
         Self { cfg }
     }
 
-    /// Run the whole fleet and merge the per-UE outcomes (ordered by UE
-    /// id). Same seed ⇒ byte-identical [`FleetReport::digest`] at any
-    /// `threads` value.
+    /// Run the whole fleet and return the streaming report. Same seed ⇒
+    /// byte-identical [`FleetReport::digest`] at any `threads` value.
     pub fn run(&self) -> FleetReport {
-        let n = self.cfg.specs.len();
-        let threads = self.cfg.threads.max(1).min(n.max(1));
-        let horizon =
-            SimTime::from_millis(u64::from(self.cfg.days) * 86_400_000 + 900_000);
+        self.run_fold(|| (), |(), _| ()).0
+    }
 
-        // Round-robin sharding: shard t owns UE indices i with i % threads == t.
-        let mut outcomes: Vec<UeOutcome> = if threads <= 1 {
-            let lane_ids: Vec<u32> = (0..n as u32).collect();
-            run_shard(&self.cfg, &lane_ids, horizon)
+    /// Run the fleet, folding every finished UE into a per-shard
+    /// accumulator as its lane completes — per-UE data is dropped right
+    /// after the fold, so memory stays bounded no matter what the caller
+    /// derives. Returns the report and the shard accumulators (in shard
+    /// order; contents per UE are thread-count-independent, but which
+    /// accumulator a UE lands in depends on sharding — order-sensitive
+    /// callers should key by `UeOutcome::id`).
+    pub fn run_fold<A, M, F>(&self, make: M, fold: F) -> (FleetReport, Vec<A>)
+    where
+        A: Send,
+        M: Fn() -> A + Sync,
+        F: Fn(&mut A, UeOutcome) + Sync,
+    {
+        let n = self.cfg.n_ues();
+        let threads = self.cfg.threads.max(1).min(n.max(1));
+        let horizon = SimTime::from_millis(u64::from(self.cfg.days) * 86_400_000 + 900_000);
+
+        // One shared WorldConfig per behavior class: fleet lanes hang up
+        // explicitly (scheduled), answer MT calls, and run the
+        // fleet-calibrated OP-I LAU race so S6 lands at the §6.2 rate
+        // instead of firing on every fast return.
+        let cfgs: Vec<WorldConfig> = self
+            .cfg
+            .classes
+            .iter()
+            .map(|spec| {
+                let mut cfg = WorldConfig::new(spec.op, self.cfg.seed);
+                cfg.auto_hangup_after_ms = None;
+                cfg.redirect_defers_to_lau = true;
+                cfg.s6_disrupt_prob = 0.035;
+                cfg.s6_conflict_prob = 0.015;
+                cfg.trace_capacity = self.cfg.trace_capacity;
+                cfg
+            })
+            .collect();
+
+        let shards: Vec<ShardOut<A>> = if threads <= 1 {
+            vec![run_shard(&self.cfg, &cfgs, 0, 1, horizon, &make, &fold)]
         } else {
-            let shards: Vec<Vec<u32>> = (0..threads)
-                .map(|t| {
-                    (0..n as u32)
-                        .filter(|i| (*i as usize) % threads == t)
-                        .collect()
-                })
-                .collect();
-            let cfg = &self.cfg;
+            let fleet = &self.cfg;
+            let cfgs = &cfgs;
+            let make = &make;
+            let fold = &fold;
             std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|ids| scope.spawn(move || run_shard(cfg, ids, horizon)))
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            run_shard(fleet, cfgs, t as u32, threads, horizon, make, fold)
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("fleet shard panicked"))
+                    .map(|h| h.join().expect("fleet shard panicked"))
                     .collect()
             })
         };
-        outcomes.sort_by_key(|u| u.id);
-        let total_events = outcomes.iter().map(|u| u.events).sum();
-        FleetReport {
-            seed: self.cfg.seed,
-            days: self.cfg.days,
-            total_events,
-            ues: outcomes,
+
+        let mut agg = FleetAgg::default();
+        let mut registry = MetricsRegistry::new();
+        let mut kernel = KernelStats {
+            classes: self.cfg.classes.len(),
+            ..KernelStats::default()
+        };
+        let mut total_events = 0u64;
+        let mut accs = Vec::with_capacity(shards.len());
+        for s in shards {
+            agg.merge(&s.agg);
+            registry.merge(&s.registry);
+            kernel.wheel_scheduled += s.wheel_scheduled;
+            kernel.wheel_cascades += s.wheel_cascades;
+            kernel.wheel_peak_len += s.wheel_peak_len;
+            kernel.blocks += s.blocks;
+            kernel.arena_bytes_peak += s.arena_bytes_peak;
+            total_events += s.events;
+            accs.push(s.acc);
         }
+        kernel.trace_evicted = agg.trace_evicted;
+        let resident = n.min(threads * BLOCK).max(1);
+        kernel.bytes_per_ue = kernel.arena_bytes_peak / resident;
+
+        (
+            FleetReport {
+                seed: self.cfg.seed,
+                days: self.cfg.days,
+                total_events,
+                agg,
+                kernel,
+                metrics: registry,
+            },
+            accs,
+        )
+    }
+
+    /// Run the fleet and collect every per-UE outcome, ordered by UE id.
+    /// O(n) memory — for tests and small studies, not million-UE runs.
+    pub fn run_collect(&self) -> (FleetReport, Vec<UeOutcome>) {
+        let (report, accs) = self.run_fold(Vec::new, |v: &mut Vec<UeOutcome>, u| v.push(u));
+        let mut ues: Vec<UeOutcome> = accs.into_iter().flatten().collect();
+        ues.sort_by_key(|u| u.id);
+        (report, ues)
     }
 }
 
-struct Lane {
-    id: u32,
-    cfg: WorldConfig,
-    ue: Ue,
-    on_3g: bool,
-    activities: Vec<Activity>,
+/// What one shard hands back to the merge.
+struct ShardOut<A> {
+    agg: FleetAgg,
+    registry: MetricsRegistry,
+    wheel_scheduled: u64,
+    wheel_cascades: u64,
+    wheel_peak_len: usize,
+    blocks: u64,
+    arena_bytes_peak: usize,
     events: u64,
+    acc: A,
 }
 
-/// Run the UEs in `lane_ids` against one carrier-core shard.
-fn run_shard(fleet: &FleetConfig, lane_ids: &[u32], horizon: SimTime) -> Vec<UeOutcome> {
-    let mut queue: EventQueue<(UeId, Ev)> = EventQueue::new();
-    let mut carrier = CarrierCore::new(false);
-    let mut lanes: Vec<Lane> = Vec::with_capacity(lane_ids.len());
-    let mut index: HashMap<u32, usize> = HashMap::new();
+/// Run shard `shard` of `threads` (round-robin membership: UE `i` belongs
+/// to shard `i % threads`), block by block.
+fn run_shard<A, M, F>(
+    fleet: &FleetConfig,
+    cfgs: &[WorldConfig],
+    shard: u32,
+    threads: usize,
+    horizon: SimTime,
+    make: &M,
+    fold: &F,
+) -> ShardOut<A>
+where
+    M: Fn() -> A,
+    F: Fn(&mut A, UeOutcome),
+{
+    let n = fleet.n_ues() as u32;
+    let ids: Vec<u32> = (shard..n).step_by(threads).collect();
 
-    for &i in lane_ids {
-        let spec = &fleet.specs[i as usize];
-        let mut cfg = WorldConfig::new(spec.op, mix_seed(fleet.seed, i));
-        // Fleet lanes hang up explicitly (scheduled), answer MT calls, and
-        // run the fleet-calibrated OP-I LAU race so S6 lands at the §6.2
-        // rate instead of firing on every fast return.
-        cfg.auto_hangup_after_ms = None;
-        cfg.redirect_defers_to_lau = true;
-        cfg.s6_disrupt_prob = 0.035;
-        cfg.s6_conflict_prob = 0.015;
-        cfg.trace_capacity = fleet.trace_capacity;
-        let imsi = 310_410_000_001 + u64::from(i);
-        carrier.hss.provision(crate::hss::SubscriberRecord {
-            imsi,
-            subscription: crate::hss::Subscription::Active,
-            lte_enabled: !spec.behavior.starts_on_3g,
-        });
-        let ue = Ue::from_config(UeId(i), imsi, &cfg);
-        // The scheduler RNG is a separate stream: planning draws never
-        // perturb the signaling latency trajectories.
-        let mut sched = rng_from_seed(mix_seed(fleet.seed, i) ^ 0x5EED_5CED_0DD5_EED5);
-        let activities = plan_activities(spec, fleet.days, &mut sched);
-        let start_system = if spec.behavior.starts_on_3g {
-            RatSystem::Utran3g
-        } else {
-            RatSystem::Lte4g
-        };
-        queue.schedule(SimTime::from_millis(1_000), (UeId(i), Ev::PowerOn(start_system)));
-        for a in &activities {
-            materialize(&mut queue, UeId(i), a, start_system);
+    let mut acc = make();
+    let mut agg = FleetAgg::default();
+    let mut registry = MetricsRegistry::new();
+    let mut kind_counts = [0u64; Ev::KIND_NAMES.len()];
+    let mut wheel: TimingWheel<(UeId, BlockEv)> = TimingWheel::new();
+    let mut arena = LaneArena::new();
+    let mut scratch: Vec<Activity> = Vec::new();
+    let mut events_total = 0u64;
+    let mut blocks = 0u64;
+    let mut bytes_peak = 0usize;
+
+    for block_ids in ids.chunks(BLOCK) {
+        blocks += 1;
+        wheel.reset();
+        arena.clear();
+        // A fresh core per block: every carrier machine is keyed per IMSI
+        // and blocks are disjoint, so this is observably identical to one
+        // shared core — but its session table stays O(block).
+        let mut carrier = CarrierCore::new(false);
+
+        for &i in block_ids {
+            let class = fleet.class_of(i as usize);
+            let spec = &fleet.classes[class as usize];
+            let imsi = 310_410_000_001 + u64::from(i);
+            carrier.hss.provision(crate::hss::SubscriberRecord {
+                imsi,
+                subscription: crate::hss::Subscription::Active,
+                lte_enabled: !spec.behavior.starts_on_3g,
+            });
+            let ue = Ue::with_seed(UeId(i), imsi, &cfgs[class as usize], mix_seed(fleet.seed, i));
+            // The scheduler RNG is a separate stream: planning draws never
+            // perturb the signaling latency trajectories.
+            let sched = rng_from_seed(mix_seed(fleet.seed, i) ^ 0x5EED_5CED_0DD5_EED5);
+            let slot = arena.push_lane(i, class, ue, sched, spec.behavior.starts_on_3g);
+            let start_system = if spec.behavior.starts_on_3g {
+                RatSystem::Utran3g
+            } else {
+                RatSystem::Lte4g
+            };
+            TimingWheel::schedule(
+                &mut wheel,
+                SimTime::from_millis(1_000),
+                (UeId(i), BlockEv::Sim(Ev::PowerOn(start_system))),
+            );
+            refill_and_arm(fleet, &mut arena, slot, UeId(i), &mut wheel, &mut scratch);
         }
-        index.insert(i, lanes.len());
-        lanes.push(Lane {
-            id: i,
-            cfg,
-            ue,
-            on_3g: spec.behavior.starts_on_3g,
-            activities,
-            events: 0,
-        });
+
+        // Round-robin ids are `shard + row * threads`; a block is a run of
+        // consecutive rows, so the block-local slot is pure arithmetic.
+        let first_row = (block_ids[0] - shard) as usize / threads;
+        let slot_of = |id: UeId| (id.0 - shard) as usize / threads - first_row;
+
+        while let Some((at, (id, bev))) = wheel.pop() {
+            if at > horizon {
+                break;
+            }
+            let slot = slot_of(id);
+            match bev {
+                BlockEv::NextActivity => {
+                    let a = arena.pending[slot]
+                        .pop()
+                        .expect("armed control event without a pending activity");
+                    let home = if arena.on_3g[slot] {
+                        RatSystem::Utran3g
+                    } else {
+                        RatSystem::Lte4g
+                    };
+                    materialize(&a, home, |at_ms, ev| {
+                        TimingWheel::schedule(
+                            &mut wheel,
+                            SimTime::from_millis(at_ms),
+                            (id, BlockEv::Sim(ev)),
+                        );
+                    });
+                    refill_and_arm(fleet, &mut arena, slot, id, &mut wheel, &mut scratch);
+                }
+                BlockEv::Sim(ev) => {
+                    arena.events[slot] += 1;
+                    kind_counts[ev.kind_index()] += 1;
+                    let class = arena.class_of[slot] as usize;
+                    let mut ex = Exec {
+                        now: at,
+                        cfg: &cfgs[class],
+                        ue: &mut arena.ues[slot],
+                        carrier: &mut carrier,
+                        queue: &mut wheel,
+                    };
+                    ex.handle(ev);
+                }
+            }
+        }
+
+        bytes_peak = bytes_peak.max(arena.resident_bytes() + wheel.resident_bytes());
+
+        // Fold the finished lanes and drop them.
+        let mut ues = std::mem::take(&mut arena.ues);
+        let mut kept = std::mem::take(&mut arena.kept);
+        for (slot, (ue, kept_plan)) in ues.drain(..).zip(kept.drain(..)).enumerate() {
+            let outcome = UeOutcome {
+                id: arena.ids[slot],
+                op_name: cfgs[arena.class_of[slot] as usize].op.name,
+                on_3g: arena.on_3g[slot],
+                plan: arena.plan_sum[slot],
+                activities: kept_plan,
+                trace: ue.trace,
+                metrics: ue.metrics,
+                events: arena.events[slot],
+            };
+            events_total += outcome.events;
+            let op = || vec![("op", outcome.op_name.to_string())];
+            registry.count("fleet_ue_total", op(), 1);
+            registry.count("fleet_lane_events_total", op(), outcome.events);
+            registry.count("fleet_calls_total", op(), outcome.metrics.call_setups.len() as u64);
+            registry.count("fleet_s1_total", op(), u64::from(outcome.metrics.s1_events));
+            registry.count("fleet_s6_total", op(), u64::from(outcome.metrics.s6_events));
+            registry.count(
+                "fleet_blocked_total",
+                op(),
+                u64::from(outcome.metrics.blocked_requests),
+            );
+            registry.count(
+                "fleet_trace_evicted_total",
+                Vec::new(),
+                outcome.trace.evicted(),
+            );
+            registry.observe("fleet_lane_events", Vec::new(), outcome.events);
+            agg.observe_ue(&outcome);
+            fold(&mut acc, outcome);
+        }
+        // Hand the emptied (but allocated) arrays back for the next block.
+        arena.ues = ues;
+        arena.kept = kept;
     }
 
-    while let Some(at) = queue.peek_time() {
-        if at > horizon {
-            break;
+    for (i, &c) in kind_counts.iter().enumerate() {
+        if c > 0 {
+            registry.count(
+                "fleet_events_total",
+                vec![("kind", Ev::KIND_NAMES[i].to_string())],
+                c,
+            );
         }
-        let (at, (id, ev)) = queue.pop().expect("peeked");
-        let li = index[&id.0];
-        let lane = &mut lanes[li];
-        lane.events += 1;
-        let mut ex = Exec {
-            now: at,
-            cfg: &lane.cfg,
-            ue: &mut lane.ue,
-            carrier: &mut carrier,
-            queue: &mut queue,
-        };
-        ex.handle(ev);
     }
 
-    lanes
-        .into_iter()
-        .map(|l| UeOutcome {
-            id: l.id,
-            op_name: l.cfg.op.name,
-            on_3g: l.on_3g,
-            activities: l.activities,
-            trace: l.ue.trace,
-            metrics: l.ue.metrics,
-            events: l.events,
-        })
-        .collect()
+    ShardOut {
+        agg,
+        registry,
+        wheel_scheduled: wheel.scheduled(),
+        wheel_cascades: wheel.cascades(),
+        wheel_peak_len: wheel.peak_len(),
+        blocks,
+        arena_bytes_peak: bytes_peak,
+        events: events_total,
+        acc,
+    }
+}
+
+/// Top up a lane's pending-activity list (planning whole days lazily, in
+/// the scheduler stream's original draw order) and arm the control event
+/// for the soonest one.
+fn refill_and_arm(
+    fleet: &FleetConfig,
+    arena: &mut LaneArena,
+    slot: usize,
+    id: UeId,
+    wheel: &mut TimingWheel<(UeId, BlockEv)>,
+    scratch: &mut Vec<Activity>,
+) {
+    while arena.pending[slot].is_empty() && arena.next_day[slot] < fleet.days {
+        let day = arena.next_day[slot];
+        arena.next_day[slot] += 1;
+        let spec = &fleet.classes[arena.class_of[slot] as usize];
+        scratch.clear();
+        plan_day(spec, day, &mut arena.sched[slot], scratch);
+        for a in scratch.iter() {
+            arena.plan_sum[slot].observe(&a.kind);
+        }
+        if fleet.keep_plan {
+            // Kept in original plan order (per-day draw order), matching
+            // the pre-kernel `plan_activities` output.
+            arena.kept[slot].extend_from_slice(scratch);
+        }
+        // Distinct half-hour slots ⇒ distinct anchors, so this sort is a
+        // total order; reversed so `pop()` yields the soonest.
+        scratch.sort_by_key(|a| a.at);
+        let pending = &mut arena.pending[slot];
+        pending.clear();
+        pending.extend(scratch.iter().rev().copied());
+    }
+    if let Some(at) = arena.next_activity_at(slot) {
+        TimingWheel::schedule(
+            wheel,
+            SimTime::from_millis(at.as_millis() - LEAD_MS),
+            (id, BlockEv::NextActivity),
+        );
+    }
 }
 
 /// Bernoulli-thinned daily count: 8 slots, each firing with `rate / 8` —
@@ -429,89 +810,86 @@ fn draw_count(rng: &mut StdRng, rate: f64) -> u32 {
     (0..8).filter(|_| rng.gen::<f64>() < p).count() as u32
 }
 
-/// Plan all of one UE's days. Every random parameter an activity needs is
-/// drawn here, from the scheduler stream, in a fixed order.
-fn plan_activities(spec: &UeSpec, days: u32, rng: &mut StdRng) -> Vec<Activity> {
+/// Plan one of a UE's days into `out`. Every random parameter an activity
+/// needs is drawn here, from the scheduler stream, in a fixed order (the
+/// same order the pre-kernel all-days planner used).
+fn plan_day(spec: &UeSpec, day: u32, rng: &mut StdRng, out: &mut Vec<Activity>) {
     let b = &spec.behavior;
-    let mut plan = Vec::new();
-    for day in 0..u64::from(days) {
-        let base = day * 86_400_000 + WINDOW_START_MS;
-        let n_csfb = draw_count(rng, b.csfb_calls_per_day);
-        let n_cs = draw_count(rng, b.cs_calls_per_day);
-        let n_cov = draw_count(rng, b.coverage_switches_per_day);
-        let n_pwr = draw_count(rng, b.power_cycles_per_day);
-        let mut slots: Vec<u64> = (0..SLOTS_PER_DAY as u64).collect();
-        let mut take_slot = |rng: &mut StdRng| -> Option<u64> {
-            if slots.is_empty() {
-                return None;
-            }
-            let j = rng.gen_range(0..slots.len());
-            Some(slots.swap_remove(j))
-        };
-        for _ in 0..n_csfb {
-            let Some(slot) = take_slot(rng) else { break };
-            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
-            let data_on = rng.gen::<f64>() < b.data_on_prob;
-            let outgoing = rng.gen::<f64>() < b.outgoing_call_prob;
-            let pdp_deact = data_on && rng.gen::<f64>() < b.pdp_deactivation_prob;
-            let call_ms = call_duration(rng);
-            let demand_kbps = demand(rng);
-            let data_tail_ms = spec.op.data_session_lifetime.sample_ms(rng);
-            plan.push(Activity {
-                at,
-                kind: ActivityKind::CsfbCall {
-                    data_on,
-                    outgoing,
-                    pdp_deact,
-                    call_ms,
-                    demand_kbps,
-                    data_tail_ms,
-                },
-            });
+    let base = u64::from(day) * 86_400_000 + WINDOW_START_MS;
+    let n_csfb = draw_count(rng, b.csfb_calls_per_day);
+    let n_cs = draw_count(rng, b.cs_calls_per_day);
+    let n_cov = draw_count(rng, b.coverage_switches_per_day);
+    let n_pwr = draw_count(rng, b.power_cycles_per_day);
+    let mut slots: Vec<u64> = (0..SLOTS_PER_DAY as u64).collect();
+    let mut take_slot = |rng: &mut StdRng| -> Option<u64> {
+        if slots.is_empty() {
+            return None;
         }
-        for _ in 0..n_cs {
-            let Some(slot) = take_slot(rng) else { break };
-            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
-            let data_on = rng.gen::<f64>() < b.data_on_prob;
-            let outgoing = rng.gen::<f64>() < b.outgoing_call_prob;
-            let lau_collision = if outgoing && rng.gen::<f64>() < b.lau_collision_prob {
-                Some(rng.gen_range(1..1_200))
-            } else {
-                None
-            };
-            let call_ms = call_duration(rng);
-            let demand_kbps = demand(rng);
-            plan.push(Activity {
-                at,
-                kind: ActivityKind::CsCall {
-                    data_on,
-                    outgoing,
-                    lau_collision,
-                    call_ms,
-                    demand_kbps,
-                },
-            });
-        }
-        for _ in 0..n_cov {
-            let Some(slot) = take_slot(rng) else { break };
-            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
-            let data_on = rng.gen::<f64>() < b.data_on_prob;
-            let pdp_deact = data_on && rng.gen::<f64>() < b.pdp_deactivation_prob;
-            plan.push(Activity {
-                at,
-                kind: ActivityKind::CoverageSwitch { data_on, pdp_deact },
-            });
-        }
-        for _ in 0..n_pwr {
-            let Some(slot) = take_slot(rng) else { break };
-            let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
-            plan.push(Activity {
-                at,
-                kind: ActivityKind::PowerCycle,
-            });
-        }
+        let j = rng.gen_range(0..slots.len());
+        Some(slots.swap_remove(j))
+    };
+    for _ in 0..n_csfb {
+        let Some(slot) = take_slot(rng) else { break };
+        let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+        let data_on = rng.gen::<f64>() < b.data_on_prob;
+        let outgoing = rng.gen::<f64>() < b.outgoing_call_prob;
+        let pdp_deact = data_on && rng.gen::<f64>() < b.pdp_deactivation_prob;
+        let call_ms = call_duration(rng);
+        let demand_kbps = demand(rng);
+        let data_tail_ms = spec.op.data_session_lifetime.sample_ms(rng);
+        out.push(Activity {
+            at,
+            kind: ActivityKind::CsfbCall {
+                data_on,
+                outgoing,
+                pdp_deact,
+                call_ms,
+                demand_kbps,
+                data_tail_ms,
+            },
+        });
     }
-    plan
+    for _ in 0..n_cs {
+        let Some(slot) = take_slot(rng) else { break };
+        let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+        let data_on = rng.gen::<f64>() < b.data_on_prob;
+        let outgoing = rng.gen::<f64>() < b.outgoing_call_prob;
+        let lau_collision = if outgoing && rng.gen::<f64>() < b.lau_collision_prob {
+            Some(rng.gen_range(1..1_200))
+        } else {
+            None
+        };
+        let call_ms = call_duration(rng);
+        let demand_kbps = demand(rng);
+        out.push(Activity {
+            at,
+            kind: ActivityKind::CsCall {
+                data_on,
+                outgoing,
+                lau_collision,
+                call_ms,
+                demand_kbps,
+            },
+        });
+    }
+    for _ in 0..n_cov {
+        let Some(slot) = take_slot(rng) else { break };
+        let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+        let data_on = rng.gen::<f64>() < b.data_on_prob;
+        let pdp_deact = data_on && rng.gen::<f64>() < b.pdp_deactivation_prob;
+        out.push(Activity {
+            at,
+            kind: ActivityKind::CoverageSwitch { data_on, pdp_deact },
+        });
+    }
+    for _ in 0..n_pwr {
+        let Some(slot) = take_slot(rng) else { break };
+        let at = SimTime::from_millis(base + slot * SLOT_MS + rng.gen_range(0..JITTER_MS));
+        out.push(Activity {
+            at,
+            kind: ActivityKind::PowerCycle,
+        });
+    }
 }
 
 /// Talk time after connect: log-normal around ≈49 s, clamped to 10–480 s.
@@ -527,11 +905,8 @@ fn demand(rng: &mut StdRng) -> u64 {
 }
 
 /// Turn one planned activity into scheduled events for its UE.
-fn materialize(queue: &mut EventQueue<(UeId, Ev)>, id: UeId, a: &Activity, home: RatSystem) {
+fn materialize<F: FnMut(u64, Ev)>(a: &Activity, home: RatSystem, mut sched: F) {
     let t = a.at.as_millis();
-    let mut sched = |at_ms: u64, ev: Ev| {
-        queue.schedule(SimTime::from_millis(at_ms), (id, ev));
-    };
     match a.kind {
         ActivityKind::CsfbCall {
             data_on,
@@ -616,8 +991,8 @@ mod tests {
     use super::*;
     use crate::operator::{op_i, op_ii};
 
-    fn small_fleet(threads: usize) -> FleetReport {
-        let specs = vec![
+    fn small_specs() -> Vec<UeSpec> {
+        vec![
             UeSpec {
                 op: op_i(),
                 behavior: BehaviorProfile::typical_4g(),
@@ -630,44 +1005,105 @@ mod tests {
                 op: op_i(),
                 behavior: BehaviorProfile::typical_3g(),
             },
-        ];
-        FleetSim::new(FleetConfig {
-            seed: 2014,
-            days: 2,
-            threads,
-            trace_capacity: None,
-            specs,
-        })
-        .run()
+        ]
+    }
+
+    fn small_fleet(threads: usize) -> (FleetReport, Vec<UeOutcome>) {
+        FleetSim::new(FleetConfig::new(2014, 2, threads, small_specs())).run_collect()
     }
 
     #[test]
     fn fleet_runs_and_produces_calls() {
-        let r = small_fleet(1);
-        assert_eq!(r.ues.len(), 3);
+        let (r, ues) = small_fleet(1);
+        assert_eq!(r.agg.ues, 3);
+        assert_eq!(ues.len(), 3);
         assert!(r.total_events > 0);
-        let calls: usize = r.ues.iter().map(|u| u.metrics.call_setups.len()).sum();
-        assert!(calls >= 1, "two days of three phones must produce calls");
+        assert!(r.agg.calls >= 1, "two days of three phones must produce calls");
         // Each UE has its own trace stream.
-        assert!(r.ues.iter().all(|u| !u.trace.is_empty()));
+        assert!(ues.iter().all(|u| !u.trace.is_empty()));
+        // The registry counted every processed event by kind.
+        let by_kind: u64 = Ev::KIND_NAMES
+            .iter()
+            .filter_map(|k| r.metrics.counter("fleet_events_total", vec![("kind", k.to_string())]))
+            .sum();
+        assert_eq!(by_kind, r.total_events);
     }
 
     #[test]
     fn sharding_does_not_change_outcomes() {
-        let a = small_fleet(1).digest();
-        let b = small_fleet(2).digest();
-        let c = small_fleet(3).digest();
+        let a = small_fleet(1).0.digest();
+        let b = small_fleet(2).0.digest();
+        let c = small_fleet(3).0.digest();
         assert_eq!(a, b, "1 vs 2 threads");
         assert_eq!(a, c, "1 vs 3 threads");
     }
 
     #[test]
     fn per_ue_streams_differ() {
-        let r = small_fleet(1);
+        let (_, ues) = small_fleet(1);
         assert_ne!(
-            r.ues[0].trace.to_jsonl(),
-            r.ues[1].trace.to_jsonl(),
+            ues[0].trace.to_jsonl(),
+            ues[1].trace.to_jsonl(),
             "different UEs see different trajectories"
         );
+    }
+
+    #[test]
+    fn config_dedupes_equal_specs_into_classes() {
+        let mut specs = small_specs();
+        specs.extend(small_specs());
+        let cfg = FleetConfig::new(1, 1, 1, specs);
+        assert_eq!(cfg.classes.len(), 3, "six specs, three distinct classes");
+        assert_eq!(cfg.n_ues(), 6);
+        assert_eq!(cfg.class_of(0), cfg.class_of(3));
+        assert_eq!(cfg.class_of(2), cfg.class_of(5));
+    }
+
+    #[test]
+    fn keep_plan_retains_activities_and_matches_the_summary() {
+        let mut cfg = FleetConfig::new(2014, 2, 1, small_specs());
+        cfg.keep_plan = true;
+        let (_, ues) = FleetSim::new(cfg).run_collect();
+        for u in &ues {
+            assert_eq!(u.activities.len() as u64, u.plan.total);
+        }
+        // Default: plans are folded, not kept.
+        let (_, lean) = small_fleet(1);
+        assert!(lean.iter().all(|u| u.activities.is_empty()));
+        assert_eq!(
+            lean.iter().map(|u| u.plan.total).sum::<u64>(),
+            ues.iter().map(|u| u.plan.total).sum::<u64>(),
+        );
+    }
+
+    #[test]
+    fn count_only_traces_keep_the_digest_thread_stable() {
+        let run = |threads| {
+            let mut cfg = FleetConfig::new(777, 2, threads, small_specs());
+            cfg.trace_capacity = Some(0);
+            FleetSim::new(cfg).run_collect()
+        };
+        let (r1, ues) = run(1);
+        let (r3, _) = run(3);
+        assert_eq!(r1.digest(), r3.digest());
+        assert!(ues.iter().all(|u| u.trace.is_empty()));
+        assert!(r1.agg.trace_evicted > 0, "count-only mode still counts");
+    }
+
+    #[test]
+    fn blocks_cover_fleets_larger_than_one_block() {
+        let spec = UeSpec {
+            op: op_ii(),
+            behavior: BehaviorProfile::typical_4g(),
+        };
+        let mut cfg = FleetConfig::uniform(42, 1, 2, BLOCK + 7, spec);
+        cfg.trace_capacity = Some(8);
+        let (r, ues) = FleetSim::new(cfg).run_collect();
+        assert_eq!(r.agg.ues as usize, BLOCK + 7);
+        assert_eq!(ues.len(), BLOCK + 7);
+        assert!(r.kernel.blocks >= 2, "must have split into blocks");
+        assert!(r.kernel.bytes_per_ue > 0);
+        let ids: Vec<u32> = ues.iter().map(|u| u.id).collect();
+        assert_eq!(ids, (0..(BLOCK + 7) as u32).collect::<Vec<_>>());
     }
 }

@@ -3,8 +3,14 @@
 //! simulation itself ([`fleet`]).
 
 pub(crate) mod exec;
+pub mod agg;
+pub mod arena;
 pub mod fleet;
+pub mod wheel;
 
+pub use agg::{FleetAgg, PlanSummary, SeriesAgg};
 pub use fleet::{
-    Activity, ActivityKind, BehaviorProfile, FleetConfig, FleetReport, FleetSim, UeOutcome, UeSpec,
+    Activity, ActivityKind, BehaviorProfile, FleetConfig, FleetReport, FleetSim, KernelStats,
+    Members, UeOutcome, UeSpec,
 };
+pub use wheel::{TimingWheel, WheelHandle};

@@ -235,7 +235,10 @@ impl std::fmt::Display for TraceEntry {
 /// older entries are evicted and only counted ([`Self::evicted`]), which
 /// bounds per-UE memory in fleet runs. Eviction is amortized O(1) — the
 /// backing vector compacts only once the dead prefix reaches half the
-/// buffer.
+/// buffer. A capacity of `Some(0)` is *count-only* mode: nothing is ever
+/// retained (every entry is evicted on arrival), and producers can skip
+/// building entries at all by checking [`Self::is_recording`] — the
+/// million-UE configuration, where per-UE rings would still be too big.
 #[derive(Clone, Debug, Default)]
 pub struct TraceCollector {
     entries: Vec<TraceEntry>,
@@ -252,10 +255,10 @@ impl TraceCollector {
     }
 
     /// An empty collector retaining at most `cap` entries (`None` =
-    /// unbounded).
+    /// unbounded, `Some(0)` = count-only).
     pub fn with_capacity(cap: Option<usize>) -> Self {
         Self {
-            capacity: cap.map(|c| c.max(1)),
+            capacity: cap,
             ..Self::default()
         }
     }
@@ -264,8 +267,15 @@ impl TraceCollector {
     /// immediately; `None` removes the bound (already-evicted entries stay
     /// evicted).
     pub fn set_capacity(&mut self, cap: Option<usize>) {
-        self.capacity = cap.map(|c| c.max(1));
+        self.capacity = cap;
         self.enforce_capacity();
+    }
+
+    /// Whether recorded entries are retained at all. In count-only mode
+    /// (`capacity == Some(0)`) producers may skip rendering descriptions —
+    /// the collector would only bump [`Self::evicted`] anyway.
+    pub fn is_recording(&self) -> bool {
+        self.capacity != Some(0)
     }
 
     /// The configured retention bound, if any.
@@ -326,6 +336,11 @@ impl TraceCollector {
         desc: impl Into<String>,
         event: TraceEvent,
     ) {
+        if self.capacity == Some(0) {
+            // Count-only mode: the entry would be evicted immediately.
+            self.evicted += 1;
+            return;
+        }
         self.entries.push(TraceEntry {
             ts,
             trace_type,
@@ -335,6 +350,26 @@ impl TraceCollector {
             event,
         });
         self.enforce_capacity();
+    }
+
+    /// Append an entry whose description is built lazily: in count-only
+    /// mode the closure is never called, so per-message hot paths skip
+    /// the string formatting entirely while the eviction count stays
+    /// exact.
+    pub fn record_event_with<F: FnOnce() -> String>(
+        &mut self,
+        ts: SimTime,
+        trace_type: TraceType,
+        system: RatSystem,
+        module: Protocol,
+        event: TraceEvent,
+        desc: F,
+    ) {
+        if self.capacity == Some(0) {
+            self.evicted += 1;
+            return;
+        }
+        self.record_event(ts, trace_type, system, module, desc(), event);
     }
 
     /// All retained entries in order (the most recent `capacity()` when
@@ -417,6 +452,15 @@ impl TraceCollector {
             .map(|e| serde_json::to_string(e).expect("trace entries serialize"))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    /// Resident bytes of the collector's backing storage (entry headers
+    /// plus retained description strings) — read by the fleet kernel's
+    /// bytes/UE accounting.
+    pub fn resident_bytes_estimate(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.capacity() * std::mem::size_of::<TraceEntry>()
+            + self.live().iter().map(|e| e.desc.capacity()).sum::<usize>()
     }
 
     /// Number of retained entries.
@@ -660,6 +704,21 @@ mod tests {
         push_note(&mut t, 50);
         assert_eq!(t.len(), 11, "unbounded again, evictions stay counted");
         assert_eq!(t.evicted(), 40);
+    }
+
+    #[test]
+    fn count_only_mode_retains_nothing_but_counts_everything() {
+        let mut t = TraceCollector::with_capacity(Some(0));
+        assert!(!t.is_recording());
+        for i in 0..1_000 {
+            push_note(&mut t, i);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.evicted(), 1_000);
+        assert_eq!(t.entries.capacity(), 0, "count-only mode never allocates");
+        // A real ring still reports itself as recording.
+        assert!(TraceCollector::with_capacity(Some(8)).is_recording());
+        assert!(TraceCollector::new().is_recording());
     }
 
     #[test]

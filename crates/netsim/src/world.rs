@@ -111,6 +111,77 @@ pub enum Ev {
     DrivePosition,
 }
 
+impl Ev {
+    /// Stable names for the per-kind fleet metrics, indexed by
+    /// [`Self::kind_index`].
+    pub const KIND_NAMES: [&'static str; 26] = [
+        "power_on",
+        "dial",
+        "incoming_call",
+        "answer",
+        "wifi_available",
+        "coverage_enter_3g",
+        "coverage_return_4g",
+        "detach",
+        "hangup",
+        "data_start",
+        "data_stop",
+        "network_deactivate_pdp",
+        "data_session_end",
+        "arrive_at_core",
+        "arrive_at_device",
+        "csfb_fallback_complete",
+        "check_reselection",
+        "return_to_4g_complete",
+        "mm_wait_net_cmd_done",
+        "emm_retry_timer",
+        "nas_timer",
+        "fault_phase_end",
+        "rrc_3g_inactivity",
+        "trigger_update",
+        "speedtest_sample",
+        "drive_position",
+    ];
+
+    /// Dense per-variant index, for fixed-array event-kind counters in the
+    /// fleet step loop (cheaper than label hashing per event).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Ev::PowerOn(_) => 0,
+            Ev::Dial => 1,
+            Ev::IncomingCall => 2,
+            Ev::Answer => 3,
+            Ev::WifiAvailable => 4,
+            Ev::CoverageEnter3g => 5,
+            Ev::CoverageReturn4g => 6,
+            Ev::Detach => 7,
+            Ev::Hangup => 8,
+            Ev::DataStart { .. } => 9,
+            Ev::DataStop(_) => 10,
+            Ev::NetworkDeactivatePdp(_) => 11,
+            Ev::DataSessionEnd => 12,
+            Ev::ArriveAtCore { .. } => 13,
+            Ev::ArriveAtDevice { .. } => 14,
+            Ev::CsfbFallbackComplete => 15,
+            Ev::CheckReselection => 16,
+            Ev::ReturnTo4gComplete => 17,
+            Ev::MmWaitNetCmdDone => 18,
+            Ev::EmmRetryTimer => 19,
+            Ev::NasTimer(_) => 20,
+            Ev::FaultPhaseEnd(_) => 21,
+            Ev::Rrc3gInactivity => 22,
+            Ev::TriggerUpdate(_) => 23,
+            Ev::SpeedtestSample { .. } => 24,
+            Ev::DrivePosition => 25,
+        }
+    }
+
+    /// The kind name ([`Self::KIND_NAMES`] at [`Self::kind_index`]).
+    pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+}
+
 /// World configuration.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {

@@ -69,6 +69,88 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Timing wheel ≡ binary-heap queue
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// For any schedule + cancellation pattern, the hierarchical timing
+    /// wheel pops the exact (time, payload) sequence the binary-heap
+    /// [`EventQueue`] does — the fleet kernel's replacement is
+    /// observationally identical on the executive's contract (no
+    /// scheduling into the past).
+    #[test]
+    fn wheel_pops_exactly_like_the_heap_queue(
+        times in proptest::collection::vec(0u64..700_000, 0..200),
+        cancel in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        use netsim::TimingWheel;
+        let mut q = EventQueue::new();
+        let mut w: TimingWheel<usize> = TimingWheel::new();
+        let mut qh = Vec::new();
+        let mut wh = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let at = SimTime::from_millis(t);
+            qh.push(q.schedule(at, i));
+            wh.push(w.schedule(at, i));
+            if *cancel.get(i).unwrap_or(&false) && i > 0 {
+                let j = t as usize % i; // deterministic earlier victim
+                prop_assert_eq!(q.cancel(qh[j]), w.cancel(wh[j]), "cancel {j}");
+                // Double-cancel must agree too (both report failure).
+                prop_assert_eq!(q.cancel(qh[j]), w.cancel(wh[j]));
+            }
+        }
+        prop_assert_eq!(q.len(), w.len());
+        loop {
+            let a = q.pop();
+            let b = w.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Interleaved schedule/pop batches (always scheduling at or after
+    /// the current cursor, as the executive does) stay identical.
+    #[test]
+    fn wheel_matches_heap_across_interleaved_batches(
+        batch1 in proptest::collection::vec(0u64..100_000, 1..80),
+        batch2 in proptest::collection::vec(0u64..100_000, 0..80),
+    ) {
+        use netsim::TimingWheel;
+        let mut q = EventQueue::new();
+        let mut w: TimingWheel<u64> = TimingWheel::new();
+        for (i, &t) in batch1.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i as u64);
+            w.schedule(SimTime::from_millis(t), i as u64);
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..batch1.len() / 2 {
+            let a = q.pop();
+            let b = w.pop();
+            prop_assert_eq!(a, b);
+            if let Some((t, _)) = a {
+                now = t;
+            }
+        }
+        // Second wave lands relative to the current cursor.
+        for (i, &dt) in batch2.iter().enumerate() {
+            let at = SimTime::from_millis(now.as_millis() + dt);
+            q.schedule(at, 1_000 + i as u64);
+            w.schedule(at, 1_000 + i as u64);
+        }
+        loop {
+            let a = q.pop();
+            let b = w.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Distributions
 // ---------------------------------------------------------------------
 

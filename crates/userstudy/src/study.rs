@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use monitor::{compile, count_signature};
 use netsim::rng::rng_from_seed;
-use netsim::{ActivityKind, FleetConfig, FleetReport, FleetSim, SimTime};
+use netsim::{ActivityKind, FleetConfig, FleetSim, SimTime, UeOutcome};
 
 use crate::detect;
 use crate::population::{build_population, spec_for, Carrier, Participant, STUDY_DAYS};
@@ -96,6 +96,13 @@ pub struct StudyResult {
 const S3_STUCK_THRESHOLD_MS: u64 = 10_000;
 
 /// Run the full two-week study on a fleet simulation.
+///
+/// The study streams through [`FleetSim::run_fold`]: each participant's
+/// traces and plan are analyzed into a per-UE partial [`StudyResult`] the
+/// moment their lane finishes, and the partials (keyed by UE id, so the
+/// merge order — and therefore every float sum — is independent of the
+/// thread count) are merged afterwards. No per-UE trace outlives its
+/// analysis.
 pub fn run_study(seed: u64) -> StudyResult {
     let mut rng = rng_from_seed(seed);
     let population = build_population(&mut rng);
@@ -103,31 +110,71 @@ pub fn run_study(seed: u64) -> StudyResult {
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let report = FleetSim::new(FleetConfig {
-        seed,
-        days: STUDY_DAYS,
-        threads,
-        trace_capacity: None,
-        specs,
-    })
-    .run();
-    analyze(&population, &report)
-}
-
-/// Post-process a fleet run with the §7 detectors.
-pub fn analyze(population: &[Participant], report: &FleetReport) -> StudyResult {
-    assert_eq!(
-        population.len(),
-        report.ues.len(),
-        "one trace stream per participant"
-    );
-    let end = SimTime::from_millis(u64::from(report.days) * 86_400_000 + 900_000);
+    let mut cfg = FleetConfig::new(seed, STUDY_DAYS, threads, specs);
+    cfg.keep_plan = true; // denominators and S3/S5 attribution read the plan
+    let end = SimTime::from_millis(u64::from(cfg.days) * 86_400_000 + 900_000);
+    let population = &population;
+    let (report, partials) = FleetSim::new(cfg).run_fold(Vec::new, |acc, u| {
+        let part = analyze_ue(&population[u.id as usize], &u, end);
+        acc.push((u.id, part));
+    });
+    let mut partials: Vec<(u32, StudyResult)> = partials.into_iter().flatten().collect();
+    partials.sort_by_key(|(id, _)| *id);
     let mut r = StudyResult {
         fleet_events: report.total_events,
         ..StudyResult::default()
     };
+    for (_, part) in partials {
+        merge_into(&mut r, part);
+    }
+    r.s2.denominator = r.attaches;
+    r
+}
 
-    for (p, u) in population.iter().zip(&report.ues) {
+/// Post-process collected fleet outcomes with the §7 detectors.
+/// `outcomes[i]` must be participant `population[i]`'s (id-ordered, as
+/// [`FleetSim::run_collect`] returns them, with plans kept).
+pub fn analyze(population: &[Participant], outcomes: &[UeOutcome], days: u32) -> StudyResult {
+    assert_eq!(
+        population.len(),
+        outcomes.len(),
+        "one trace stream per participant"
+    );
+    let end = SimTime::from_millis(u64::from(days) * 86_400_000 + 900_000);
+    let mut r = StudyResult::default();
+    for (p, u) in population.iter().zip(outcomes) {
+        r.fleet_events += u.events;
+        merge_into(&mut r, analyze_ue(p, u, end));
+    }
+    r.s2.denominator = r.attaches;
+    r
+}
+
+/// Fold one participant's partial result into the study total.
+fn merge_into(r: &mut StudyResult, p: StudyResult) {
+    let add = |a: &mut Occurrence, b: Occurrence| {
+        a.events += b.events;
+        a.denominator += b.denominator;
+    };
+    add(&mut r.s1, p.s1);
+    add(&mut r.s2, p.s2);
+    add(&mut r.s3, p.s3);
+    add(&mut r.s4, p.s4);
+    add(&mut r.s5, p.s5);
+    add(&mut r.s6, p.s6);
+    r.csfb_calls += p.csfb_calls;
+    r.cs_calls_3g += p.cs_calls_3g;
+    r.switches += p.switches;
+    r.attaches += p.attaches;
+    r.stuck_op1_ms.extend(p.stuck_op1_ms);
+    r.stuck_op2_ms.extend(p.stuck_op2_ms);
+    r.s5_affected_kb.extend(p.s5_affected_kb);
+}
+
+/// Run the §7 detectors over one participant's outcome.
+fn analyze_ue(p: &Participant, u: &UeOutcome, end: SimTime) -> StudyResult {
+    let mut r = StudyResult::default();
+    {
         // Denominators come from the deterministic activity plan (what
         // the phone *did*); occurrences come from the trace (what the
         // network *made of it*).
@@ -213,7 +260,6 @@ pub fn analyze(population: &[Participant], report: &FleetReport) -> StudyResult 
             }
         }
     }
-    r.s2.denominator = r.attaches;
     r
 }
 

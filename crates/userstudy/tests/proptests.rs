@@ -85,15 +85,10 @@ proptest! {
         let mut rng = netsim::rng::rng_from_seed(seed);
         let population = build_population(&mut rng);
         let specs = population.iter().map(spec_for).collect();
-        let report = netsim::FleetSim::new(netsim::FleetConfig {
-            seed,
-            days: 3, // short horizon keeps the property cheap
-            threads: 2,
-            trace_capacity: None,
-            specs,
-        })
-        .run();
-        let r = analyze(&population, &report);
+        let mut cfg = netsim::FleetConfig::new(seed, 3, 2, specs); // short horizon keeps the property cheap
+        cfg.keep_plan = true;
+        let (_, ues) = netsim::FleetSim::new(cfg).run_collect();
+        let r = analyze(&population, &ues, 3);
         for o in [r.s1, r.s2, r.s3, r.s4, r.s5, r.s6] {
             prop_assert!(o.events <= o.denominator, "{:?}", o);
         }

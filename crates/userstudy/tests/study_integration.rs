@@ -61,15 +61,10 @@ fn analysis_is_thread_count_independent() {
         let mut rng = rng_from_seed(2014);
         let population = build_population(&mut rng);
         let specs = population.iter().map(spec_for).collect();
-        let report = FleetSim::new(FleetConfig {
-            seed: 2014,
-            days: STUDY_DAYS,
-            threads,
-            trace_capacity: None,
-            specs,
-        })
-        .run();
-        (report.digest(), analyze(&population, &report))
+        let mut cfg = FleetConfig::new(2014, STUDY_DAYS, threads, specs);
+        cfg.keep_plan = true;
+        let (report, ues) = FleetSim::new(cfg).run_collect();
+        (report.digest(), analyze(&population, &ues, STUDY_DAYS))
     };
     let (da, a) = fleet(1);
     let (db, b) = fleet(8);
