@@ -16,6 +16,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut exp = "all".to_string();
     let mut seed = 2014u64;
+    // Trace retention for `--exp live`: the experiment's output must be
+    // identical whichever mode is chosen (CI runs it twice to prove it).
+    let mut trace: Option<usize> = Some(0);
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,8 +33,22 @@ fn main() {
                     .unwrap_or(2014);
                 i += 2;
             }
+            "--trace" => {
+                trace = match args.get(i + 1).map(String::as_str) {
+                    Some("unbounded") => None,
+                    Some("count-only") | None => Some(0),
+                    Some(n) => match n.parse() {
+                        Ok(cap) => Some(cap),
+                        Err(_) => {
+                            eprintln!("--trace takes unbounded, count-only, or a ring size");
+                            std::process::exit(2);
+                        }
+                    },
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--exp NAME] [--seed N]\n");
+                println!("usage: repro [--exp NAME] [--seed N] [--trace unbounded|count-only|CAP]\n");
                 print_experiments();
                 return;
             }
@@ -137,6 +154,10 @@ fn main() {
         fleet_digest(seed);
         ran_any = true;
     }
+    if exp == "live" {
+        live(seed, trace);
+        ran_any = true;
+    }
     if run("f12l") {
         figure12_left(seed);
         ran_any = true;
@@ -187,6 +208,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("study", "deterministic study matrix: tables 5+6 over the fleet (golden-diffed)"),
     ("fleet", "multi-UE fleet scaling sweep with kernel stats"),
     ("fleetdigest", "deterministic fleet report digest (golden-diffed)"),
+    ("live", "in-line fleet verdicts under a fault campaign (golden-diffed; --trace sets retention)"),
     ("t1", "Table 1 — finding summary"),
     ("t2", "Table 2 — studied protocols"),
     ("t3", "Table 3 — PDP context deactivation causes"),
@@ -679,6 +701,190 @@ fn fleet_digest(seed: u64) {
     cfg.trace_capacity = Some(64);
     let report = netsim::FleetSim::new(cfg).run();
     print!("{}", report.digest());
+}
+
+/// Per-fleet-run roll-up of the in-line verdict tallies: sums over every
+/// lane's [`netsim::LiveCounts`], plus the sampled settle events for the
+/// tail. Everything here is a pure per-lane function of the event stream,
+/// so it is identical whichever trace-retention mode and thread count the
+/// fleet ran with.
+#[derive(Default)]
+struct LiveAgg {
+    confirmed: Vec<u64>,
+    refuted: Vec<u64>,
+    dropped: u64,
+    poisoned: u64,
+    /// `(ue id, sampled settle events)` — collected per lane, globally
+    /// ordered later.
+    sampled: Vec<(u32, Vec<netsim::VerdictEvent>)>,
+}
+
+fn live_run(
+    seed: u64,
+    trace: Option<usize>,
+    sigs: &[netsim::Signature],
+    campaign: Option<netsim::Campaign>,
+    nas_retx: bool,
+) -> LiveAgg {
+    let mut specs = Vec::with_capacity(20_000);
+    for i in 0..20_000 {
+        specs.push(netsim::UeSpec {
+            op: if i % 2 == 0 {
+                netsim::op_i()
+            } else {
+                netsim::op_ii()
+            },
+            behavior: if i % 5 == 0 {
+                netsim::BehaviorProfile::typical_3g()
+            } else {
+                netsim::BehaviorProfile::typical_4g()
+            },
+        });
+    }
+    let mut cfg = netsim::FleetConfig::new(seed, 1, 4, specs);
+    cfg.trace_capacity = trace;
+    cfg.campaign = campaign;
+    cfg.nas_retx = nas_retx;
+    let mut live = netsim::LiveConfig::new(sigs.to_vec());
+    live.verdict_cap = 4; // exercise the backpressure cap; tallies stay exact
+    cfg.live = Some(live);
+    let n = sigs.len();
+    let (_, shards) = netsim::FleetSim::new(cfg).run_fold(LiveAgg::default, |acc, u| {
+        if acc.confirmed.is_empty() {
+            acc.confirmed = vec![0; n];
+            acc.refuted = vec![0; n];
+        }
+        if let Some(l) = &u.live {
+            for k in 0..n {
+                acc.confirmed[k] += u64::from(l.confirmed[k]);
+                acc.refuted[k] += u64::from(l.refuted[k]);
+            }
+            acc.dropped += l.stream.dropped;
+            acc.poisoned += u64::from(l.poisoned);
+            if !l.stream.events.is_empty() {
+                acc.sampled.push((u.id, l.stream.events.clone()));
+            }
+        }
+    });
+    let mut total = LiveAgg {
+        confirmed: vec![0; n],
+        refuted: vec![0; n],
+        ..LiveAgg::default()
+    };
+    for s in shards {
+        if s.confirmed.is_empty() {
+            continue;
+        }
+        for k in 0..n {
+            total.confirmed[k] += s.confirmed[k];
+            total.refuted[k] += s.refuted[k];
+        }
+        total.dropped += s.dropped;
+        total.poisoned += s.poisoned;
+        total.sampled.extend(s.sampled);
+    }
+    // Shard-independent global order: by UE id, then (stably) by time.
+    total.sampled.sort_by_key(|(id, _)| *id);
+    total
+}
+
+/// `--exp live` — tail the fleet's in-line verdict stream: a 20 000-UE
+/// day with the study signatures evaluated inside the step loop, under a
+/// fault campaign (lossy mobility signaling, then an MSC outage), with
+/// and without the TS 24.301 NAS retransmission timers. Every number
+/// printed is a pure function of `--seed` and *independent of the trace
+/// retention mode* — CI runs this in `--trace count-only` and
+/// `--trace unbounded` and diffs both against the same golden file.
+fn live(seed: u64, trace: Option<usize>) {
+    use cellstack::MsgClass;
+    use netsim::{Campaign, FaultPhase, FaultPolicy, NodeId, PolicyRule};
+
+    section("Live fleet verdicts — in-line monitoring under a fault campaign");
+    let mode = match trace {
+        None => "unbounded".to_string(),
+        Some(0) => "count-only".to_string(),
+        Some(n) => format!("ring-{n}"),
+    };
+    // The retention mode goes to stderr: stdout must be byte-identical
+    // across modes so CI can diff every mode against the same golden.
+    eprintln!("trace retention: {mode}");
+    println!("20000 UEs x 1 day (output is retention-invariant)\n");
+
+    let campaign = Campaign::new("live-smoke", seed)
+        .with_phase(FaultPhase::new(
+            "lossy-mobility",
+            7_200_000, // 02:00
+            21_600_000, // 06:00
+            vec![
+                PolicyRule::on_class(MsgClass::Mobility, FaultPolicy::dropping(0.25)),
+                PolicyRule::any(FaultPolicy::dropping(0.05)),
+            ],
+        ))
+        .with_phase(FaultPhase::outage(
+            "msc-outage",
+            36_000_000, // 10:00
+            43_200_000, // 12:00
+            vec![NodeId::Msc],
+        ));
+    for p in &campaign.phases {
+        println!(
+            "phase {:<16} {} .. {}  rules={} down={:?}",
+            p.name,
+            netsim::SimTime::from_millis(p.start_ms).hhmmss(),
+            netsim::SimTime::from_millis(p.end_ms).hhmmss(),
+            p.rules.len(),
+            p.down,
+        );
+    }
+
+    let sigs = userstudy::study_signatures();
+    let baseline = live_run(seed, trace, &sigs, None, false);
+    let faulted = live_run(seed, trace, &sigs, Some(campaign.clone()), false);
+    let retried = live_run(seed, trace, &sigs, Some(campaign), true);
+
+    println!("\nconfirmed occurrences per signature (confirmed/refuted):");
+    print!("{:<24}", "run");
+    for s in &sigs {
+        print!(" {:>16}", s.name);
+    }
+    println!();
+    for (label, agg) in [
+        ("baseline", &baseline),
+        ("campaign", &faulted),
+        ("campaign+nas-retx", &retried),
+    ] {
+        print!("{label:<24}");
+        for k in 0..sigs.len() {
+            print!(" {:>16}", format!("{}/{}", agg.confirmed[k], agg.refuted[k]));
+        }
+        println!();
+    }
+
+    println!(
+        "\ncampaign run: settle samples kept={} dropped-past-cap={} quarantined-lanes={}",
+        faulted.sampled.iter().map(|(_, e)| e.len() as u64).sum::<u64>(),
+        faulted.dropped,
+        faulted.poisoned,
+    );
+
+    // The verdict tail: the last sampled settle events of the campaign
+    // run in global (time, ue, signature) order.
+    let mut tail: Vec<(netsim::SimTime, u32, usize, netsim::Verdict)> = faulted
+        .sampled
+        .iter()
+        .flat_map(|(id, evs)| evs.iter().map(|e| (e.ts, *id, e.sig, e.verdict)))
+        .collect();
+    tail.sort_by_key(|&(ts, id, sig, _)| (ts, id, sig));
+    println!("\nverdict tail (last 12 sampled settles):");
+    for (ts, id, sig, verdict) in tail.iter().rev().take(12).rev() {
+        println!(
+            "{}  ue={:<6} {:<10} {}",
+            ts.hhmmss(),
+            id,
+            sigs[*sig].name,
+            verdict
+        );
+    }
 }
 
 fn figure12_left(seed: u64) {

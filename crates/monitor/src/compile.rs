@@ -19,6 +19,17 @@ use netsim::trace::{CallPhase, HazardKind};
 use crate::automaton::{Signature, Step};
 use crate::pattern::{FaultClass, Pattern};
 
+/// Deadline bound, in ms, on the location-update chain that follows a
+/// cross-system disruption: 600 s = ten minutes. The paper's Figure 4
+/// recovery pacing and the §7 S6 counting rule both bound the LAU/TAU
+/// chain by this window — a periodic-update timer tick at worst lands
+/// once inside it, so a genuine chain completes (or visibly fails)
+/// within the bound, while an unrelated later episode cannot be
+/// swallowed into a stale pending prefix. Shared by the S1/S2 recovery
+/// deadlines here and the study S6 failure-propagation deadline
+/// (`userstudy::detect::s6_detach`).
+pub const LAU_CHAIN_DEADLINE_MS: u64 = 600_000;
+
 /// S1 — "unprotected shared context": the 3G network deactivates the PDP
 /// context, the return switch completes without one, and the device is
 /// detached in 4G until recovery (Figure 4 pacing, hence the generous
@@ -31,7 +42,7 @@ pub fn s1() -> Signature {
         )
         .step("returned-to-4g", Pattern::camped_on(RatSystem::Lte4g))
         .step("s1-context-loss", Pattern::hazard(HazardKind::S1ContextLoss))
-        .timed_step("recovered", Pattern::registration(true), 600_000)
+        .timed_step("recovered", Pattern::registration(true), LAU_CHAIN_DEADLINE_MS)
 }
 
 /// S2 — "out-of-sequence signaling": a lossy uplink drops attach-family
@@ -52,7 +63,7 @@ pub fn s2() -> Signature {
             Pattern::hazard(HazardKind::ImplicitDetach),
         )
         .step("deregistered", Pattern::registration(false))
-        .timed_step("re-registered", Pattern::registration(true), 600_000)
+        .timed_step("re-registered", Pattern::registration(true), LAU_CHAIN_DEADLINE_MS)
 }
 
 /// S3 — "stuck in 3G": the CSFB call ends but the device keeps camping on

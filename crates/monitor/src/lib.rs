@@ -22,12 +22,22 @@
 //!
 //! The crate deliberately depends only on `cellstack` and `netsim` so the
 //! diagnosis driver in `core::validation` can sit on top of it.
+//!
+//! Since the fleet gained *in-line* monitoring, the engine itself
+//! (patterns, automata, verdict lattice, runners) lives in
+//! [`netsim::verify`] — one layer below the traces it consumes, where
+//! the fleet step loop can feed entries at emission time. This crate
+//! re-exports those modules unchanged and keeps the compilers
+//! ([`compile`]): hand-declared S1–S6 signatures and the mck
+//! counterexample lowering, which sit naturally above both `mck` trace
+//! shapes and the engine.
 
-pub mod automaton;
 pub mod compile;
-pub mod pattern;
-pub mod runner;
-pub mod verdict;
+
+pub use netsim::verify::automaton;
+pub use netsim::verify::pattern;
+pub use netsim::verify::runner;
+pub use netsim::verify::verdict;
 
 pub use automaton::{MatchedEvent, Monitor, MonitorReport, Signature, Step};
 pub use compile::{compile_witness, hand_signature, observable_for, CompiledWitness};

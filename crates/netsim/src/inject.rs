@@ -532,7 +532,17 @@ impl Adversary {
     /// Build an adversary from a campaign; the RNG derives from
     /// `campaign.seed` only.
     pub fn new(campaign: Campaign) -> Self {
-        let rng = StdRng::seed_from_u64(campaign.seed);
+        let seed = campaign.seed;
+        Self::with_seed(campaign, seed)
+    }
+
+    /// Build an adversary whose RNG derives from an explicit `seed`
+    /// instead of `campaign.seed` — the fleet shape, where every UE gets
+    /// its own fault stream (mixed from the campaign seed and the UE
+    /// index) so one shared campaign does not replay identical draw
+    /// sequences on a million phones.
+    pub fn with_seed(campaign: Campaign, seed: u64) -> Self {
+        let rng = StdRng::seed_from_u64(seed);
         let stats = vec![PhaseStats::default(); campaign.phases.len()];
         Self {
             campaign,

@@ -61,6 +61,7 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 pub mod trace;
+pub mod verify;
 pub mod world;
 
 pub use event::{EventHandle, EventQueue};
@@ -85,5 +86,10 @@ pub use time::SimTime;
 pub use trace::{
     CallPhase, FaultEvent, FaultKind, HazardKind, TraceCollector, TraceEntry, TraceEvent,
     TraceType,
+};
+pub use verify::{
+    count_signature, run_signature, Bank, FaultClass, LaneBank, LiveConfig, LiveCounts,
+    MatchedEvent, Monitor, MonitorReport, Pattern, Signature, Step, Verdict, VerdictEvent,
+    VerdictStream,
 };
 pub use world::{Ev, World, WorldConfig};

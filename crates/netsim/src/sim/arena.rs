@@ -19,6 +19,7 @@ use crate::node::Ue;
 use crate::sim::agg::PlanSummary;
 use crate::sim::fleet::Activity;
 use crate::time::SimTime;
+use crate::verify::live::LaneBank;
 
 /// One block of fleet lanes, stored as parallel arrays. Cleared and
 /// refilled for every block, so allocations are reused across the whole
@@ -46,6 +47,10 @@ pub struct LaneArena {
     pub(crate) events: Vec<u64>,
     /// 3G-only lane.
     pub(crate) on_3g: Vec<bool>,
+    /// In-line monitoring bank per lane (empty default banks when live
+    /// monitoring is off). A separate array from `ues` so the step loop
+    /// can hold the lane's trace tap and its bank mutably at once.
+    pub(crate) banks: Vec<LaneBank>,
 }
 
 impl LaneArena {
@@ -76,6 +81,7 @@ impl LaneArena {
         self.kept.clear();
         self.events.clear();
         self.on_3g.clear();
+        self.banks.clear();
     }
 
     /// Add one lane; returns its block-local slot.
@@ -87,6 +93,7 @@ impl LaneArena {
         ue: Ue,
         sched: StdRng,
         on_3g: bool,
+        bank: LaneBank,
     ) -> usize {
         let slot = self.ids.len();
         self.ids.push(id);
@@ -100,6 +107,7 @@ impl LaneArena {
         self.events.push(0);
         self.on_3g.push(false);
         self.on_3g[slot] = on_3g;
+        self.banks.push(bank);
         slot
     }
 
@@ -119,7 +127,8 @@ impl LaneArena {
             + self.plan_sum.capacity() * size_of::<PlanSummary>()
             + self.kept.capacity() * size_of::<Vec<Activity>>()
             + self.events.capacity() * size_of::<u64>()
-            + self.on_3g.capacity() * size_of::<bool>();
+            + self.on_3g.capacity() * size_of::<bool>()
+            + self.banks.capacity() * size_of::<LaneBank>();
         let plans: usize = self
             .pending
             .iter()

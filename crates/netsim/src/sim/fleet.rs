@@ -48,6 +48,7 @@ use rand::Rng;
 use cellstack::{PdpDeactivationCause, RatSystem, UpdateKind};
 
 use crate::fleetmetrics::MetricsRegistry;
+use crate::inject::{Adversary, Campaign};
 use crate::metrics::Metrics;
 use crate::node::{CarrierCore, Ue, UeId};
 use crate::operator::OperatorProfile;
@@ -58,6 +59,7 @@ use crate::sim::exec::{EvSink, Exec};
 use crate::sim::wheel::TimingWheel;
 use crate::time::SimTime;
 use crate::trace::TraceCollector;
+use crate::verify::live::{LaneBank, LiveConfig, LiveCounts};
 use crate::world::{Ev, WorldConfig};
 
 /// Per-phone behavior rates, in events per simulated day, plus the
@@ -153,6 +155,17 @@ pub struct FleetConfig {
     /// Retain each UE's full activity plan in its outcome (the user-study
     /// analysis wants it; the bounded-memory kernel default is off).
     pub keep_plan: bool,
+    /// In-line monitoring: signatures evaluated per lane inside the step
+    /// loop, verdict tallies independent of `trace_capacity`.
+    pub live: Option<LiveConfig>,
+    /// Fault-injection campaign applied fleet-wide. Each UE runs its own
+    /// [`Adversary`] over the shared phase plan, seeded per UE, so the
+    /// same outage/loss windows hit every phone with independent draws.
+    pub campaign: Option<Campaign>,
+    /// Model the TS 24.301 NAS retransmission timers (T3410 family) on
+    /// every lane — the knob the campaign experiments flip to show
+    /// retries masking injected signaling loss.
+    pub nas_retx: bool,
     /// The distinct behavior classes in this fleet.
     pub classes: Vec<UeSpec>,
     /// Which class each member belongs to.
@@ -183,6 +196,9 @@ impl FleetConfig {
             threads,
             trace_capacity: None,
             keep_plan: false,
+            live: None,
+            campaign: None,
+            nas_retx: false,
             classes,
             members: Members::PerUe(members),
         }
@@ -196,6 +212,9 @@ impl FleetConfig {
             threads,
             trace_capacity: None,
             keep_plan: false,
+            live: None,
+            campaign: None,
+            nas_retx: false,
             classes: vec![spec],
             members: Members::Uniform(n),
         }
@@ -292,6 +311,9 @@ pub struct UeOutcome {
     pub trace: TraceCollector,
     /// Per-UE measurements.
     pub metrics: Metrics,
+    /// In-line monitoring verdict tallies (`None` when live monitoring
+    /// was off for the run).
+    pub live: Option<LiveCounts>,
     /// Simulation events the executive processed for this UE.
     pub events: u64,
 }
@@ -349,6 +371,10 @@ pub struct KernelStats {
     pub bytes_per_ue: usize,
     /// Trace entries evicted by per-UE ring bounds.
     pub trace_evicted: u64,
+    /// Lanes quarantined by monitor-panic containment: their automata
+    /// panicked mid-feed, the lane kept simulating, and the UE's outcome
+    /// is reported monitor-poisoned instead of aborting the shard.
+    pub monitor_quarantined: u64,
 }
 
 impl KernelStats {
@@ -356,7 +382,8 @@ impl KernelStats {
     pub fn summary(&self) -> String {
         format!(
             "kernel blocks={} classes={} wheel_scheduled={} wheel_cascades={} \
-             wheel_peak={} arena_bytes_peak={} bytes_per_ue={} trace_evicted={}",
+             wheel_peak={} arena_bytes_peak={} bytes_per_ue={} trace_evicted={} \
+             monitor_quarantined={}",
             self.blocks,
             self.classes,
             self.wheel_scheduled,
@@ -365,6 +392,7 @@ impl KernelStats {
             self.arena_bytes_peak,
             self.bytes_per_ue,
             self.trace_evicted,
+            self.monitor_quarantined,
         )
     }
 }
@@ -501,6 +529,7 @@ impl FleetSim {
                 cfg.s6_disrupt_prob = 0.035;
                 cfg.s6_conflict_prob = 0.015;
                 cfg.trace_capacity = self.cfg.trace_capacity;
+                cfg.nas_retx = self.cfg.nas_retx;
                 cfg
             })
             .collect();
@@ -543,6 +572,7 @@ impl FleetSim {
             kernel.wheel_peak_len += s.wheel_peak_len;
             kernel.blocks += s.blocks;
             kernel.arena_bytes_peak += s.arena_bytes_peak;
+            kernel.monitor_quarantined += s.quarantined;
             total_events += s.events;
             accs.push(s.acc);
         }
@@ -583,6 +613,7 @@ struct ShardOut<A> {
     blocks: u64,
     arena_bytes_peak: usize,
     events: u64,
+    quarantined: u64,
     acc: A,
 }
 
@@ -607,13 +638,18 @@ where
     let mut acc = make();
     let mut agg = FleetAgg::default();
     let mut registry = MetricsRegistry::new();
-    let mut kind_counts = [0u64; Ev::KIND_NAMES.len()];
+    // Event-kind counters, attributed per behavior class so they flush
+    // with the class's carrier label (classes are few; the array per
+    // class is small and flat).
+    let mut kind_counts = vec![[0u64; Ev::KIND_NAMES.len()]; cfgs.len()];
     let mut wheel: TimingWheel<(UeId, BlockEv)> = TimingWheel::new();
     let mut arena = LaneArena::new();
     let mut scratch: Vec<Activity> = Vec::new();
     let mut events_total = 0u64;
     let mut blocks = 0u64;
     let mut bytes_peak = 0usize;
+    let mut quarantined = 0u64;
+    let live = fleet.live.as_ref();
 
     for block_ids in ids.chunks(BLOCK) {
         blocks += 1;
@@ -633,11 +669,38 @@ where
                 subscription: crate::hss::Subscription::Active,
                 lte_enabled: !spec.behavior.starts_on_3g,
             });
-            let ue = Ue::with_seed(UeId(i), imsi, &cfgs[class as usize], mix_seed(fleet.seed, i));
+            let mut ue = Ue::with_seed(UeId(i), imsi, &cfgs[class as usize], mix_seed(fleet.seed, i));
+            if let Some(campaign) = &fleet.campaign {
+                // A per-UE fault stream over the shared phase plan, mixed
+                // the same way the signaling seed is, so the adversary's
+                // draws are independent of sharding.
+                ue.adversary = Some(Adversary::with_seed(
+                    campaign.clone(),
+                    mix_seed(campaign.seed, i),
+                ));
+                // Phase-end restarts are part of the plan, scheduled up
+                // front per lane (mirrors `World::new`).
+                for (pi, p) in campaign.phases.iter().enumerate() {
+                    if p.restart_at_end && !p.down.is_empty() {
+                        TimingWheel::schedule(
+                            &mut wheel,
+                            SimTime::from_millis(p.end_ms),
+                            (UeId(i), BlockEv::Sim(Ev::FaultPhaseEnd(pi))),
+                        );
+                    }
+                }
+            }
+            let bank = match live {
+                Some(cfg) => {
+                    ue.trace.arm_tap();
+                    LaneBank::new(cfg, i)
+                }
+                None => LaneBank::default(),
+            };
             // The scheduler RNG is a separate stream: planning draws never
             // perturb the signaling latency trajectories.
             let sched = rng_from_seed(mix_seed(fleet.seed, i) ^ 0x5EED_5CED_0DD5_EED5);
-            let slot = arena.push_lane(i, class, ue, sched, spec.behavior.starts_on_3g);
+            let slot = arena.push_lane(i, class, ue, sched, spec.behavior.starts_on_3g, bank);
             let start_system = if spec.behavior.starts_on_3g {
                 RatSystem::Utran3g
             } else {
@@ -682,8 +745,8 @@ where
                 }
                 BlockEv::Sim(ev) => {
                     arena.events[slot] += 1;
-                    kind_counts[ev.kind_index()] += 1;
                     let class = arena.class_of[slot] as usize;
+                    kind_counts[class][ev.kind_index()] += 1;
                     let mut ex = Exec {
                         now: at,
                         cfg: &cfgs[class],
@@ -692,6 +755,16 @@ where
                         queue: &mut wheel,
                     };
                     ex.handle(ev);
+                    if let Some(cfg) = live {
+                        // Drain the entries this event just traced into
+                        // the lane's automata — O(1) amortized per entry,
+                        // with panic containment quarantining the lane.
+                        if let Some(tap) = arena.ues[slot].trace.tap_mut() {
+                            if !tap.is_empty() && arena.banks[slot].feed_all(cfg, tap) {
+                                quarantined += 1;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -701,7 +774,20 @@ where
         // Fold the finished lanes and drop them.
         let mut ues = std::mem::take(&mut arena.ues);
         let mut kept = std::mem::take(&mut arena.kept);
-        for (slot, (ue, kept_plan)) in ues.drain(..).zip(kept.drain(..)).enumerate() {
+        let mut banks = std::mem::take(&mut arena.banks);
+        for (slot, ((ue, kept_plan), mut bank)) in ues
+            .drain(..)
+            .zip(kept.drain(..))
+            .zip(banks.drain(..))
+            .enumerate()
+        {
+            let live_counts = live.map(|cfg| {
+                // Close the lane's stream at the fleet horizon, settling
+                // a final pending occurrence the way the post-hoc
+                // scanner's trailing `finish` does.
+                bank.finish(cfg, horizon);
+                bank.into_counts()
+            });
             let outcome = UeOutcome {
                 id: arena.ids[slot],
                 op_name: cfgs[arena.class_of[slot] as usize].op.name,
@@ -710,6 +796,7 @@ where
                 activities: kept_plan,
                 trace: ue.trace,
                 metrics: ue.metrics,
+                live: live_counts,
                 events: arena.events[slot],
             };
             events_total += outcome.events;
@@ -730,21 +817,66 @@ where
                 outcome.trace.evicted(),
             );
             registry.observe("fleet_lane_events", Vec::new(), outcome.events);
+            if let (Some(cfg), Some(counts)) = (live, outcome.live.as_ref()) {
+                // Per-lane verdict tallies are a pure function of the
+                // lane's event stream, so these series are thread- and
+                // trace-capacity-invariant and safe in the digest.
+                for (k, sig) in cfg.signatures.iter().enumerate() {
+                    let sig_labels = |verdict: &str| {
+                        vec![
+                            ("sig", sig.name.clone()),
+                            ("op", outcome.op_name.to_string()),
+                            ("verdict", verdict.to_string()),
+                        ]
+                    };
+                    if counts.confirmed[k] > 0 {
+                        registry.count(
+                            "fleet_verdicts_total",
+                            sig_labels("confirmed"),
+                            u64::from(counts.confirmed[k]),
+                        );
+                    }
+                    if counts.refuted[k] > 0 {
+                        registry.count(
+                            "fleet_verdicts_total",
+                            sig_labels("refuted"),
+                            u64::from(counts.refuted[k]),
+                        );
+                    }
+                }
+                if counts.stream.dropped > 0 {
+                    registry.count(
+                        "fleet_verdicts_dropped_total",
+                        Vec::new(),
+                        counts.stream.dropped,
+                    );
+                }
+                if counts.poisoned {
+                    registry.count("fleet_monitor_poisoned_total", op(), 1);
+                }
+            }
             agg.observe_ue(&outcome);
             fold(&mut acc, outcome);
         }
         // Hand the emptied (but allocated) arrays back for the next block.
         arena.ues = ues;
         arena.kept = kept;
+        arena.banks = banks;
     }
 
-    for (i, &c) in kind_counts.iter().enumerate() {
-        if c > 0 {
-            registry.count(
-                "fleet_events_total",
-                vec![("kind", Ev::KIND_NAMES[i].to_string())],
-                c,
-            );
+    for (class, counts) in kind_counts.iter().enumerate() {
+        let op = cfgs[class].op.name;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                registry.count(
+                    "fleet_events_total",
+                    vec![
+                        ("kind", Ev::KIND_NAMES[i].to_string()),
+                        ("op", op.to_string()),
+                    ],
+                    c,
+                );
+            }
         }
     }
 
@@ -757,6 +889,7 @@ where
         blocks,
         arena_bytes_peak: bytes_peak,
         events: events_total,
+        quarantined,
         acc,
     }
 }
@@ -1021,12 +1154,25 @@ mod tests {
         assert!(r.agg.calls >= 1, "two days of three phones must produce calls");
         // Each UE has its own trace stream.
         assert!(ues.iter().all(|u| !u.trace.is_empty()));
-        // The registry counted every processed event by kind.
-        let by_kind: u64 = Ev::KIND_NAMES
+        // The registry counted every processed event by (kind, carrier).
+        let by_kind: u64 = r
+            .metrics
+            .snapshot()
+            .samples
             .iter()
-            .filter_map(|k| r.metrics.counter("fleet_events_total", vec![("kind", k.to_string())]))
+            .filter(|s| s.name == "fleet_events_total")
+            .map(|s| s.value)
             .sum();
         assert_eq!(by_kind, r.total_events);
+        assert!(
+            r.metrics
+                .counter(
+                    "fleet_events_total",
+                    vec![("kind", "dial".to_string()), ("op", "OP-I".to_string())]
+                )
+                .is_some(),
+            "kind counters carry the carrier label"
+        );
     }
 
     #[test]
@@ -1088,6 +1234,109 @@ mod tests {
         assert_eq!(r1.digest(), r3.digest());
         assert!(ues.iter().all(|u| u.trace.is_empty()));
         assert!(r1.agg.trace_evicted > 0, "count-only mode still counts");
+    }
+
+    #[test]
+    fn live_counts_survive_eviction_and_match_the_posthoc_scan() {
+        use crate::trace::CallPhase;
+        use crate::verify::live::LiveConfig;
+        use crate::verify::pattern::Pattern;
+        use crate::verify::runner::count_signature;
+        use crate::verify::Signature;
+
+        let sig = Signature::new("call-episode")
+            .step("connected", Pattern::call(CallPhase::Connected))
+            .step("released", Pattern::call(CallPhase::Released));
+        let horizon = SimTime::from_millis(2 * 86_400_000 + 900_000);
+
+        let run = |capacity: Option<usize>| {
+            let mut cfg = FleetConfig::new(2014, 2, 2, small_specs());
+            cfg.trace_capacity = capacity;
+            cfg.live = Some(LiveConfig::new(vec![sig.clone()]));
+            FleetSim::new(cfg).run_collect()
+        };
+
+        // Unbounded traces: the post-hoc scan is the oracle.
+        let (_, full) = run(None);
+        let mut total = 0u32;
+        for u in &full {
+            let live = u.live.as_ref().expect("live monitoring on");
+            assert_eq!(
+                live.confirmed[0] as usize,
+                count_signature(&sig, u.trace.entries(), horizon),
+                "ue {}: in-line vs post-hoc",
+                u.id
+            );
+            total += live.confirmed[0];
+        }
+        assert!(total > 0, "two days of calls must confirm episodes");
+
+        // Ring-bounded and count-only traces: the scan has nothing left
+        // to see, the in-line tallies are unchanged.
+        for capacity in [Some(4), Some(0)] {
+            let (_, bounded) = run(capacity);
+            for (u, f) in bounded.iter().zip(full.iter()) {
+                assert_eq!(
+                    u.live.as_ref().unwrap().confirmed,
+                    f.live.as_ref().unwrap().confirmed,
+                    "ue {} at capacity {capacity:?}",
+                    u.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_lane_is_quarantined_not_fatal() {
+        use crate::verify::live::LiveConfig;
+
+        let mut live = LiveConfig::new(vec![]);
+        live.poison_ues = vec![1];
+        let mut cfg = FleetConfig::new(2014, 1, 2, small_specs());
+        cfg.live = Some(live);
+        let (r, ues) = FleetSim::new(cfg).run_collect();
+        assert_eq!(r.kernel.monitor_quarantined, 1);
+        assert!(ues[1].live.as_ref().unwrap().poisoned);
+        assert!(!ues[0].live.as_ref().unwrap().poisoned);
+        assert!(!ues[2].live.as_ref().unwrap().poisoned);
+        assert_eq!(
+            r.metrics.counter(
+                "fleet_monitor_poisoned_total",
+                vec![("op", ues[1].op_name.to_string())]
+            ),
+            Some(1),
+            "poisoning is a reported outcome, not a shard abort"
+        );
+        // The poisoned lane still simulated to completion.
+        assert!(ues[1].events > 0);
+    }
+
+    #[test]
+    fn campaign_gives_each_ue_its_own_fault_stream() {
+        use crate::inject::{Campaign, FaultPhase, FaultPolicy, PolicyRule};
+
+        let campaign = Campaign::new("lossy", 99)
+            .with_phase(FaultPhase::new(
+                "lossy-all",
+                1_000,
+                86_400_000,
+                vec![PolicyRule::any(FaultPolicy::dropping(0.3))],
+            ));
+        let mut cfg = FleetConfig::new(2014, 1, 1, small_specs());
+        cfg.campaign = Some(campaign.clone());
+        let (_, ues) = FleetSim::new(cfg).run_collect();
+        assert!(
+            ues.iter().any(|u| u.trace.faults().count() > 0),
+            "a 30% drop campaign must injure someone"
+        );
+
+        // Same campaign, different thread counts: byte-identical.
+        let run = |threads| {
+            let mut cfg = FleetConfig::new(2014, 1, threads, small_specs());
+            cfg.campaign = Some(campaign.clone());
+            FleetSim::new(cfg).run().digest()
+        };
+        assert_eq!(run(1), run(3), "campaign fleets stay thread-invariant");
     }
 
     #[test]

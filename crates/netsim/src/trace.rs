@@ -246,6 +246,10 @@ pub struct TraceCollector {
     start: usize,
     capacity: Option<usize>,
     evicted: u64,
+    /// In-line monitoring tap (armed by the fleet when live verification
+    /// is on): recorded entries are mirrored here, desc-less, *before*
+    /// the retention bound applies.
+    tap: Option<Vec<TraceEntry>>,
 }
 
 impl TraceCollector {
@@ -287,6 +291,45 @@ impl TraceCollector {
     /// run. `len() + evicted()` is the total ever recorded.
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Arm the in-line monitoring tap. From now on every recorded entry
+    /// is also appended — without its description, which no [`TraceEvent`]
+    /// pattern inspects — to a side buffer that the fleet step loop
+    /// drains into the per-lane signature automata. The tap sees entries
+    /// *before* the retention bound applies, so monitors observe the
+    /// identical event stream whether the collector is unbounded, a ring,
+    /// or count-only.
+    pub fn arm_tap(&mut self) {
+        if self.tap.is_none() {
+            self.tap = Some(Vec::new());
+        }
+    }
+
+    /// The armed tap's pending entries, for draining (`None` when the tap
+    /// is not armed).
+    pub fn tap_mut(&mut self) -> Option<&mut Vec<TraceEntry>> {
+        self.tap.as_mut()
+    }
+
+    fn tap_push(
+        &mut self,
+        ts: SimTime,
+        trace_type: TraceType,
+        system: RatSystem,
+        module: Protocol,
+        event: &TraceEvent,
+    ) {
+        if let Some(tap) = &mut self.tap {
+            tap.push(TraceEntry {
+                ts,
+                trace_type,
+                system,
+                module,
+                desc: String::new(),
+                event: event.clone(),
+            });
+        }
     }
 
     fn enforce_capacity(&mut self) {
@@ -336,6 +379,7 @@ impl TraceCollector {
         desc: impl Into<String>,
         event: TraceEvent,
     ) {
+        self.tap_push(ts, trace_type, system, module, &event);
         if self.capacity == Some(0) {
             // Count-only mode: the entry would be evicted immediately.
             self.evicted += 1;
@@ -365,11 +409,20 @@ impl TraceCollector {
         event: TraceEvent,
         desc: F,
     ) {
+        self.tap_push(ts, trace_type, system, module, &event);
         if self.capacity == Some(0) {
             self.evicted += 1;
             return;
         }
-        self.record_event(ts, trace_type, system, module, desc(), event);
+        self.entries.push(TraceEntry {
+            ts,
+            trace_type,
+            system,
+            module,
+            desc: desc(),
+            event,
+        });
+        self.enforce_capacity();
     }
 
     /// All retained entries in order (the most recent `capacity()` when

@@ -11,11 +11,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use netsim::trace::{TraceEntry, TraceEvent};
-use netsim::SimTime;
+use crate::trace::{TraceEntry, TraceEvent};
+use crate::SimTime;
 
-use crate::pattern::Pattern;
-use crate::verdict::Verdict;
+use crate::verify::pattern::Pattern;
+use crate::verify::verdict::Verdict;
 
 /// One step of a signature automaton.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use cellstack::{MsgClass, RatSystem};
-use netsim::trace::{CallPhase, FaultKind, HazardKind, TraceEntry, TraceEvent};
+use crate::trace::{CallPhase, FaultKind, HazardKind, TraceEntry, TraceEvent};
 
 /// Coarse fault category, used to match [`FaultKind`] regardless of
 /// payload details like reorder hold times.
@@ -272,8 +272,8 @@ impl Pattern {
 mod tests {
     use super::*;
     use cellstack::{NasMessage, Protocol, UpdateKind};
-    use netsim::trace::{TraceCollector, TraceType};
-    use netsim::SimTime;
+    use crate::trace::{TraceCollector, TraceType};
+    use crate::SimTime;
 
     fn entry(event: TraceEvent) -> TraceEntry {
         let mut t = TraceCollector::new();
@@ -332,8 +332,8 @@ mod tests {
 
     #[test]
     fn fault_class_ignores_payload_details() {
-        use netsim::inject::Leg;
-        use netsim::trace::FaultEvent;
+        use crate::inject::Leg;
+        use crate::trace::FaultEvent;
         let e = entry(TraceEvent::Fault(FaultEvent::on_leg(
             FaultKind::Reorder { hold_ms: 250 },
             Leg::Ul4g,

@@ -1,10 +1,10 @@
 //! Driving monitors over trace feeds.
 
-use netsim::trace::TraceEntry;
-use netsim::SimTime;
+use crate::trace::TraceEntry;
+use crate::SimTime;
 
-use crate::automaton::{Monitor, MonitorReport, Signature};
-use crate::verdict::Verdict;
+use crate::verify::automaton::{Monitor, MonitorReport, Signature};
+use crate::verify::verdict::Verdict;
 
 /// Run one signature over a complete trace, closing it at `end`.
 pub fn run_signature(sig: Signature, entries: &[TraceEntry], end: SimTime) -> MonitorReport {
@@ -103,9 +103,9 @@ impl Bank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pattern::Pattern;
+    use crate::verify::pattern::Pattern;
     use cellstack::{Protocol, RatSystem};
-    use netsim::trace::{CallPhase, TraceCollector, TraceEvent, TraceType};
+    use crate::trace::{CallPhase, TraceCollector, TraceEvent, TraceType};
 
     fn record(t: &mut TraceCollector, at_ms: u64, event: TraceEvent) {
         t.record_event(

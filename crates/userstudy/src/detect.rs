@@ -68,7 +68,7 @@ pub fn s6_detach() -> Signature {
         .timed_step(
             "failure-propagated",
             Pattern::hazard(HazardKind::S6FailurePropagated),
-            600_000,
+            monitor::compile::LAU_CHAIN_DEADLINE_MS,
         )
         .step(
             "network-detach-on-4g",
@@ -119,8 +119,16 @@ impl StuckEpisode {
 /// Recover all S3 episodes (CSFB call → eventual 4G return) from one UE's
 /// trace via the hand S3 signature's evidence spans.
 pub fn s3_episodes(entries: &[TraceEntry]) -> Vec<StuckEpisode> {
-    collect_spans(&monitor::compile::s3(), entries)
-        .into_iter()
+    episodes_from_spans(&collect_spans(&monitor::compile::s3(), entries))
+}
+
+/// Turn confirmed S3 evidence spans into [`StuckEpisode`]s. The spans may
+/// come from the post-hoc scan ([`collect_spans`]) or from the fleet's
+/// in-line banks (`netsim::LiveCounts::spans`) — both carry the same
+/// matched-step names, so the study reads either source identically.
+pub fn episodes_from_spans(spans: &[Vec<MatchedEvent>]) -> Vec<StuckEpisode> {
+    spans
+        .iter()
         .filter_map(|span| {
             let released = span
                 .iter()

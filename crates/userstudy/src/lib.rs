@@ -32,7 +32,9 @@ pub mod population;
 pub mod stats;
 pub mod study;
 
-pub use detect::{collect_spans, s3_episodes, s5_overlap, s6_detach, StuckEpisode};
+pub use detect::{
+    collect_spans, episodes_from_spans, s3_episodes, s5_overlap, s6_detach, StuckEpisode,
+};
 pub use population::{build_population, spec_for, Carrier, Participant, Persona, STUDY_DAYS};
 pub use stats::{table5, table6};
-pub use study::{analyze, run_study, Occurrence, StudyResult};
+pub use study::{analyze, run_study, study_signatures, Occurrence, StudyResult};

@@ -28,12 +28,36 @@
 
 use serde::{Deserialize, Serialize};
 
-use monitor::{compile, count_signature};
+use monitor::{compile, count_signature, Signature};
 use netsim::rng::rng_from_seed;
-use netsim::{ActivityKind, FleetConfig, FleetSim, SimTime, UeOutcome};
+use netsim::{ActivityKind, FleetConfig, FleetSim, LiveConfig, SimTime, UeOutcome};
 
 use crate::detect;
 use crate::population::{build_population, spec_for, Carrier, Participant, STUDY_DAYS};
+
+/// Index of each study signature in [`study_signatures`]'s fixed order —
+/// the per-UE [`netsim::LiveCounts`] tallies are addressed by these.
+const SIG_S1: usize = 0;
+const SIG_S2: usize = 1;
+const SIG_S3: usize = 2;
+const SIG_S4: usize = 3;
+const SIG_S5: usize = 4;
+const SIG_S6: usize = 5;
+
+/// The six study detectors in the fixed order the fleet's in-line banks
+/// evaluate them (`SIG_S1` … `SIG_S6` index the resulting tallies). Every
+/// lane runs all six; the per-phone 4G/3G gating happens at read time in
+/// the analyzer, exactly as it did over post-hoc scans.
+pub fn study_signatures() -> Vec<Signature> {
+    vec![
+        compile::s1(),
+        compile::s2(),
+        compile::s3(),
+        compile::s4(),
+        detect::s5_overlap(),
+        detect::s6_detach(),
+    ]
+}
 
 /// Counters for one instance: occurrences / denominator (the Table 5 cells).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,8 +121,12 @@ const S3_STUCK_THRESHOLD_MS: u64 = 10_000;
 
 /// Run the full two-week study on a fleet simulation.
 ///
-/// The study streams through [`FleetSim::run_fold`]: each participant's
-/// traces and plan are analyzed into a per-UE partial [`StudyResult`] the
+/// The study streams through [`FleetSim::run_fold`] with *in-line*
+/// monitoring: the fleet evaluates [`study_signatures`] inside the step
+/// loop, so every occurrence count arrives as a per-UE verdict tally
+/// ([`netsim::LiveCounts`]) rather than a post-hoc trace scan — the
+/// analyzer is a thin consumer of the verdict stream. Each participant's
+/// tallies and plan are folded into a per-UE partial [`StudyResult`] the
 /// moment their lane finishes, and the partials (keyed by UE id, so the
 /// merge order — and therefore every float sum — is independent of the
 /// thread count) are merged afterwards. No per-UE trace outlives its
@@ -112,6 +140,9 @@ pub fn run_study(seed: u64) -> StudyResult {
         .unwrap_or(1);
     let mut cfg = FleetConfig::new(seed, STUDY_DAYS, threads, specs);
     cfg.keep_plan = true; // denominators and S3/S5 attribution read the plan
+    let mut live = LiveConfig::new(study_signatures());
+    live.keep_spans = true; // S3 episodes are read off the confirmed spans
+    cfg.live = Some(live);
     let end = SimTime::from_millis(u64::from(cfg.days) * 86_400_000 + 900_000);
     let population = &population;
     let (report, partials) = FleetSim::new(cfg).run_fold(Vec::new, |acc, u| {
@@ -133,7 +164,9 @@ pub fn run_study(seed: u64) -> StudyResult {
 
 /// Post-process collected fleet outcomes with the §7 detectors.
 /// `outcomes[i]` must be participant `population[i]`'s (id-ordered, as
-/// [`FleetSim::run_collect`] returns them, with plans kept).
+/// [`FleetSim::run_collect`] returns them, with plans kept). Outcomes
+/// from a live-monitored fleet are read off their verdict tallies;
+/// outcomes without them fall back to the post-hoc trace scan.
 pub fn analyze(population: &[Participant], outcomes: &[UeOutcome], days: u32) -> StudyResult {
     assert_eq!(
         population.len(),
@@ -169,6 +202,20 @@ fn merge_into(r: &mut StudyResult, p: StudyResult) {
     r.stuck_op1_ms.extend(p.stuck_op1_ms);
     r.stuck_op2_ms.extend(p.stuck_op2_ms);
     r.s5_affected_kb.extend(p.s5_affected_kb);
+}
+
+/// One signature's occurrence count for a UE: the in-line bank's tally
+/// when the fleet ran with live monitoring ([`study_signatures`] order),
+/// otherwise the post-hoc scan over the retained trace. The two are
+/// equivalent by construction (`LaneBank` replicates `count_signature`'s
+/// restart semantics); the post-hoc arm survives as the analyzer's
+/// fallback for plain `run_collect` outcomes and as the equivalence
+/// oracle in tests.
+fn occurrences(u: &UeOutcome, idx: usize, sig: fn() -> Signature, end: SimTime) -> u32 {
+    match &u.live {
+        Some(l) => l.confirmed[idx],
+        None => count_signature(&sig(), u.trace.entries(), end) as u32,
+    }
 }
 
 /// Run the §7 detectors over one participant's outcome.
@@ -211,11 +258,15 @@ fn analyze_ue(p: &Participant, u: &UeOutcome, end: SimTime) -> StudyResult {
         }
 
         let entries = u.trace.entries();
-        r.s2.events += count_signature(&compile::s2(), entries, end) as u32;
+        r.s2.events += occurrences(u, SIG_S2, compile::s2, end);
         if p.has_4g {
-            r.s1.events += count_signature(&compile::s1(), entries, end) as u32;
-            r.s6.events += count_signature(&detect::s6_detach(), entries, end) as u32;
-            for ep in detect::s3_episodes(entries) {
+            r.s1.events += occurrences(u, SIG_S1, compile::s1, end);
+            r.s6.events += occurrences(u, SIG_S6, detect::s6_detach, end);
+            let episodes = match &u.live {
+                Some(l) => detect::episodes_from_spans(&l.spans[SIG_S3]),
+                None => detect::s3_episodes(entries),
+            };
+            for ep in episodes {
                 // Attribute the episode to the activity that dialed it:
                 // the latest planned CSFB call at or before the release.
                 let data_on = u
@@ -241,8 +292,8 @@ fn analyze_ue(p: &Participant, u: &UeOutcome, end: SimTime) -> StudyResult {
                 }
             }
         } else {
-            r.s4.events += count_signature(&compile::s4(), entries, end) as u32;
-            r.s5.events += count_signature(&detect::s5_overlap(), entries, end) as u32;
+            r.s4.events += occurrences(u, SIG_S4, compile::s4, end);
+            r.s5.events += occurrences(u, SIG_S5, detect::s5_overlap, end);
             for a in &u.activities {
                 if let ActivityKind::CsCall {
                     data_on: true,

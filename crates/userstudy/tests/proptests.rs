@@ -104,3 +104,53 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The in-line verdict tallies equal the post-hoc `count_signature`
+    /// scan for every study signature on every UE — at every trace
+    /// retention mode (unbounded, ring-64, count-only) and thread count
+    /// (1/2/8). The oracle runs once with full traces retained; the nine
+    /// live configurations must all reproduce its per-UE counts exactly.
+    /// (Few cases — each one simulates ten 20-phone fleets.)
+    #[test]
+    fn inline_counts_match_posthoc_at_every_retention_and_thread_count(seed in 0u64..1024) {
+        use userstudy::study_signatures;
+        let sigs = study_signatures();
+        let mut rng = netsim::rng::rng_from_seed(seed);
+        let population = userstudy::build_population(&mut rng);
+        let specs: Vec<netsim::UeSpec> = population.iter().map(userstudy::spec_for).collect();
+        let days = 2u32;
+        let end = SimTime::from_millis(u64::from(days) * 86_400_000 + 900_000);
+
+        // Oracle: full traces, scanned after the fact.
+        let cfg = netsim::FleetConfig::new(seed, days, 2, specs.clone());
+        let (_, ues) = netsim::FleetSim::new(cfg).run_collect();
+        let expected: Vec<Vec<u32>> = ues
+            .iter()
+            .map(|u| {
+                sigs.iter()
+                    .map(|s| count_signature(s, u.trace.entries(), end) as u32)
+                    .collect()
+            })
+            .collect();
+
+        for capacity in [None, Some(64), Some(0)] {
+            for threads in [1usize, 2, 8] {
+                let mut cfg = netsim::FleetConfig::new(seed, days, threads, specs.clone());
+                cfg.trace_capacity = capacity;
+                cfg.live = Some(netsim::LiveConfig::new(sigs.clone()));
+                let (_, ues) = netsim::FleetSim::new(cfg).run_collect();
+                for (u, exp) in ues.iter().zip(&expected) {
+                    let got = &u.live.as_ref().expect("live configured").confirmed;
+                    prop_assert_eq!(
+                        got, exp,
+                        "ue {} capacity {:?} threads {}",
+                        u.id, capacity, threads
+                    );
+                }
+            }
+        }
+    }
+}

@@ -5,8 +5,10 @@
 use std::sync::OnceLock;
 
 use netsim::rng::rng_from_seed;
-use netsim::{FleetConfig, FleetSim};
-use userstudy::{analyze, build_population, run_study, spec_for, StudyResult, STUDY_DAYS};
+use netsim::{FleetConfig, FleetSim, LiveConfig};
+use userstudy::{
+    analyze, build_population, run_study, spec_for, study_signatures, StudyResult, STUDY_DAYS,
+};
 
 fn study() -> &'static StudyResult {
     static STUDY: OnceLock<StudyResult> = OnceLock::new();
@@ -53,6 +55,39 @@ fn table6_carrier_asymmetry() {
     // Paper Table 6: OP-I median 2.3 s, OP-II median 24.3 s.
     assert!(med(&r.stuck_op1_ms) < 10_000);
     assert!(med(&r.stuck_op2_ms) > 14_000);
+}
+
+/// The post-hoc trace scan is the equivalence oracle for the in-line
+/// path: one live-monitored fleet run, analyzed twice — once off the
+/// per-UE verdict tallies, once (tallies stripped) off the retained
+/// traces — must produce the identical study result.
+#[test]
+fn inline_verdicts_match_the_posthoc_oracle() {
+    let mut rng = rng_from_seed(2014);
+    let population = build_population(&mut rng);
+    let specs = population.iter().map(spec_for).collect();
+    let mut cfg = FleetConfig::new(2014, STUDY_DAYS, 4, specs);
+    cfg.keep_plan = true;
+    let mut live = LiveConfig::new(study_signatures());
+    live.keep_spans = true;
+    cfg.live = Some(live);
+    let (_, mut ues) = FleetSim::new(cfg).run_collect();
+    assert!(ues.iter().all(|u| u.live.is_some()));
+    let inline = analyze(&population, &ues, STUDY_DAYS);
+    for u in &mut ues {
+        u.live = None; // force the post-hoc scan over the same traces
+    }
+    let posthoc = analyze(&population, &ues, STUDY_DAYS);
+    assert_eq!(inline.s1, posthoc.s1);
+    assert_eq!(inline.s2, posthoc.s2);
+    assert_eq!(inline.s3, posthoc.s3);
+    assert_eq!(inline.s4, posthoc.s4);
+    assert_eq!(inline.s5, posthoc.s5);
+    assert_eq!(inline.s6, posthoc.s6);
+    assert_eq!(inline.stuck_op1_ms, posthoc.stuck_op1_ms);
+    assert_eq!(inline.stuck_op2_ms, posthoc.stuck_op2_ms);
+    assert_eq!(inline.s5_affected_kb, posthoc.s5_affected_kb);
+    assert_eq!(inline.fleet_events, posthoc.fleet_events);
 }
 
 #[test]
