@@ -109,7 +109,7 @@ fn write_baseline() {
             let mut total_secs = 0.0f64;
             let mut reps = 0u32;
             let mut best_ms = f64::INFINITY;
-            let (events, bytes_per_ue) = loop {
+            let (events, bytes_per_ue, cascades, wheel_peak) = loop {
                 let t0 = Instant::now();
                 let r = run_fleet(ues);
                 let secs = t0.elapsed().as_secs_f64();
@@ -121,14 +121,20 @@ fn write_baseline() {
                     || reps >= 1_500
                     || (reps >= 3 && total_events >= 8_000_000)
                 {
-                    break (r.total_events, r.kernel.bytes_per_ue as u64);
+                    break (
+                        r.total_events,
+                        r.kernel.bytes_per_ue as u64,
+                        r.kernel.wheel_cascades,
+                        r.kernel.wheel_peak_len as u64,
+                    );
                 }
             };
             let rate = total_events as f64 / total_secs;
             let rss = peak_rss_bytes();
             println!(
                 "baseline: {ues} UE(s) -> {events} events, {rate:.0} events/s \
-                 ({reps} reps), {bytes_per_ue} kernel bytes/UE, peak RSS {} MB",
+                 ({reps} reps), {bytes_per_ue} kernel bytes/UE, \
+                 {cascades} wheel cascades (peak len {wheel_peak}), peak RSS {} MB",
                 rss.map_or(0, |b| b / (1024 * 1024))
             );
             let mut arm = vec![
@@ -138,6 +144,8 @@ fn write_baseline() {
                 ("wall_ms".into(), Value::F64((best_ms * 10.0).round() / 10.0)),
                 ("events_per_sec".into(), Value::F64(rate.round())),
                 ("kernel_bytes_per_ue".into(), Value::U64(bytes_per_ue)),
+                ("wheel_cascades".into(), Value::U64(cascades)),
+                ("wheel_peak_len".into(), Value::U64(wheel_peak)),
             ];
             if let Some(b) = rss {
                 arm.push(("peak_rss_bytes".into(), Value::U64(b)));

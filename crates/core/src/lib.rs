@@ -48,6 +48,7 @@ pub mod findings;
 pub mod insights;
 pub mod models;
 pub mod props;
+pub mod remedydiff;
 pub mod report;
 pub mod scenario;
 pub mod screening;
@@ -56,6 +57,10 @@ pub mod validation;
 pub use findings::{Category, Finding, Instance, Phase};
 pub use insights::{insight_for, lesson_for, Insight, Lesson, INSIGHTS, LESSONS};
 pub use monitor::{MatchedEvent, Verdict};
+pub use remedydiff::{
+    diff_matrix, overlay_agreement, partial_reliable_shim, render_matrix,
+    render_overlay_agreement, DiffRow, FaultCampaign, OverlayCheck, PropDiff,
+};
 pub use screening::{
     load_specs, run_screening, run_screening_budgeted, run_screening_deterministic,
     run_screening_remedied, run_screening_with_retries, run_spec_screening, spec_agreement,

@@ -89,6 +89,11 @@ pub struct CsfbRrcState {
     pub data_alive: bool,
     /// Toggled by each data burst — makes endless data a genuine cycle.
     pub burst_parity: bool,
+    /// A return switch tore down an RRC connection while the data session
+    /// was live (the §8 trade-off: redirect and the CSFB tag restore
+    /// mobility *at the cost of disrupting the data session*). Monitored
+    /// by [`props::DATA_SERVICE_OK`] in the remedy differential.
+    pub data_disrupted: bool,
 }
 
 /// Transition labels.
@@ -113,6 +118,9 @@ impl CsfbRrcModel {
     fn try_return(&self, s: &mut CsfbRrcState) {
         let allowed = self.csfb_tag_remedy || s.rrc.switch_allowed(self.mechanism);
         if allowed {
+            if s.data_alive && s.rrc.state.is_connected() {
+                s.data_disrupted = true;
+            }
             let mut out = Vec::new();
             s.rrc.on_event(Rrc3gEvent::ConnectionRelease, &mut out);
             s.phase = Phase::Back4g;
@@ -139,6 +147,7 @@ impl Model for CsfbRrcModel {
             phase: Phase::InCall,
             data_alive: true,
             burst_parity: false,
+            data_disrupted: false,
         }]
     }
 
@@ -202,10 +211,18 @@ impl Model for CsfbRrcModel {
     }
 
     fn properties(&self) -> Vec<Property<Self>> {
-        vec![Property::eventually(
-            props::MM_OK,
-            |_: &CsfbRrcModel, s: &CsfbRrcState| s.phase == Phase::Back4g,
-        )]
+        vec![
+            Property::eventually(props::MM_OK, |_: &CsfbRrcModel, s: &CsfbRrcState| {
+                s.phase == Phase::Back4g
+            }),
+            // Side-effect monitor for the remedy differential: the base
+            // OP-II configuration never trips it (reselection only fires
+            // from IDLE), so screening results are unchanged; forced
+            // releases (redirect, CSFB tag) do — the remedy's cost.
+            Property::never(props::DATA_SERVICE_OK, |_: &CsfbRrcModel, s: &CsfbRrcState| {
+                s.data_disrupted
+            }),
+        ]
     }
 
     fn format_state(&self, s: &CsfbRrcState) -> String {
@@ -256,10 +273,13 @@ mod tests {
             .strategy(SearchStrategy::Dfs)
             .run();
         assert!(
-            result.holds(),
+            result.complete && result.violation(props::MM_OK).is_none(),
             "release-with-redirect always returns: {:?}",
             result.violations
         );
+        // ... at the cost of the data session (§5.3.1): the forced release
+        // while data is live trips the side-effect monitor.
+        assert!(result.violation(props::DATA_SERVICE_OK).is_some());
     }
 
     #[test]
@@ -281,7 +301,22 @@ mod tests {
         let result = Checker::new(CsfbRrcModel::op2_remedied())
             .strategy(SearchStrategy::Dfs)
             .run();
-        assert!(result.holds(), "{:?}", result.violations);
+        assert!(
+            result.complete && result.violation(props::MM_OK).is_none(),
+            "{:?}",
+            result.violations
+        );
+    }
+
+    #[test]
+    fn base_op2_never_disrupts_data() {
+        // The side-effect monitor must not perturb the screening model:
+        // reselection only fires from IDLE, so `data_disrupted` is
+        // unreachable in the base configuration.
+        let result = Checker::new(CsfbRrcModel::op2_high_rate())
+            .strategy(SearchStrategy::Dfs)
+            .run();
+        assert!(result.violation(props::DATA_SERVICE_OK).is_none());
     }
 
     #[test]

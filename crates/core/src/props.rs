@@ -24,6 +24,12 @@ pub const CALL_SERVICE_OK: &str = "CallService_OK";
 /// Name of the inter-system mobility property.
 pub const MM_OK: &str = "MM_OK";
 
+/// Name of the data-session continuity property used by the remedy
+/// differential: a remedy must not disrupt a live data session to restore
+/// mobility (the §8 CSFB-tag trade-off). Not one of the paper's three
+/// desired properties, so deliberately kept out of [`ALL`].
+pub const DATA_SERVICE_OK: &str = "DataService_OK";
+
 /// All three property names.
 pub const ALL: [&str; 3] = [PACKET_SERVICE_OK, CALL_SERVICE_OK, MM_OK];
 

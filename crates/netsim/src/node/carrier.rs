@@ -73,6 +73,16 @@ impl CarrierCore {
         self.sessions.session_with(imsi, || CoreSession::new(remedy))
     }
 
+    /// Eagerly create the session for `imsi` with an explicit per-subscriber
+    /// MME-remedy flag, overriding the core-wide default. The fleet uses
+    /// this to roll a remedy out per carrier profile while blocks of UEs on
+    /// different profiles share one core. Idempotent: an existing session is
+    /// left untouched.
+    pub fn provision_session(&mut self, imsi: u64, mme_remedy: bool) {
+        self.sessions
+            .session_with(imsi, || CoreSession::new(mme_remedy));
+    }
+
     /// The session bundle serving `imsi`, if that subscriber ever signaled.
     pub fn session_if_known(&self, imsi: u64) -> Option<&CoreSession> {
         self.sessions.get(imsi)
@@ -87,12 +97,16 @@ impl CarrierCore {
     /// for *every* session (a restarted MME forgets all its UEs at once),
     /// in deterministic IMSI order.
     pub fn restart(&mut self, node: NodeId) {
-        let remedy = self.mme_remedy;
+        let core_remedy = self.mme_remedy;
         for (_, s) in self.sessions.iter_mut() {
             match node {
                 NodeId::Mme => {
+                    // Preserve the per-session remedy flag across the
+                    // restart: it is carrier configuration, not volatile
+                    // subscriber state.
+                    let remedied = core_remedy || !s.mme.forward_lu_failure;
                     let mut mme = MmeEmm::new();
-                    if remedy {
+                    if remedied {
                         mme.forward_lu_failure = false;
                     }
                     s.mme = mme;

@@ -58,6 +58,14 @@ pub struct OperatorProfile {
     /// Lifetime of user data sessions (drives how long OP-II users stay
     /// stuck in 3G — Table 6's right column).
     pub data_session_lifetime: DurationDist,
+    /// §8 device-side remedy bundle rolled out to this carrier's handsets
+    /// (bearer reactivation after a context-less 3G→4G switch + the
+    /// parallel MM threads). Fleet lanes build their stacks with
+    /// `with_remedies()` when set.
+    pub device_remedies: bool,
+    /// §8 MME-side cross-system remedy: absorb 3G location-update failures
+    /// and recover in-core instead of detaching the device (S6).
+    pub mme_lu_recovery: bool,
 }
 
 impl OperatorProfile {
@@ -69,6 +77,23 @@ impl OperatorProfile {
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
             .collect()
+    }
+
+    /// The §8 remedy rollout of this profile: same policies and latencies,
+    /// but handsets carry the device-side remedy bundle and the MME
+    /// absorbs LU failures. The display name gains a `+R` suffix so fleet
+    /// reports and metric labels keep remedied populations separate.
+    pub fn remedied(self) -> OperatorProfile {
+        OperatorProfile {
+            name: match self.name {
+                "OP-I" => "OP-I+R",
+                "OP-II" => "OP-II+R",
+                other => other,
+            },
+            device_remedies: true,
+            mme_lu_recovery: true,
+            ..self
+        }
     }
 }
 
@@ -151,6 +176,8 @@ pub fn op_i() -> OperatorProfile {
             min_ms: 5_000,
             max_ms: 300_000,
         },
+        device_remedies: false,
+        mme_lu_recovery: false,
     }
 }
 
@@ -235,6 +262,8 @@ pub fn op_ii() -> OperatorProfile {
             min_ms: 8_000,
             max_ms: 360_000,
         },
+        device_remedies: false,
+        mme_lu_recovery: false,
     }
 }
 
@@ -334,5 +363,25 @@ mod tests {
     fn both_defer_csfb_first_update() {
         assert!(op_i().defer_csfb_first_update);
         assert!(op_ii().defer_csfb_first_update);
+    }
+
+    #[test]
+    fn base_profiles_carry_no_remedies() {
+        for op in both() {
+            assert!(!op.device_remedies, "{}", op.name);
+            assert!(!op.mme_lu_recovery, "{}", op.name);
+        }
+    }
+
+    #[test]
+    fn remedied_profile_keeps_policies_changes_only_name_and_remedies() {
+        let base = op_i();
+        let r = base.remedied();
+        assert_eq!(r.name, "OP-I+R");
+        assert!(r.device_remedies && r.mme_lu_recovery);
+        assert_eq!(r.switch_mechanism, base.switch_mechanism);
+        assert_eq!(r.lau_duration, base.lau_duration);
+        assert_eq!(r.aggressive_ul_coupling, base.aggressive_ul_coupling);
+        assert_eq!(op_ii().remedied().name, "OP-II+R");
     }
 }

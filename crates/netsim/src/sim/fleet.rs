@@ -669,6 +669,12 @@ where
                 subscription: crate::hss::Subscription::Active,
                 lte_enabled: !spec.behavior.starts_on_3g,
             });
+            // Seed the core session with the class's MME-side remedy
+            // flag: blocks mix behavior classes on different carrier
+            // profiles, so the remedy is rolled out per subscriber, not
+            // per core. (Session creation order is irrelevant — the
+            // table iterates in IMSI order.)
+            carrier.provision_session(imsi, cfgs[class as usize].mme_remedy);
             let mut ue = Ue::with_seed(UeId(i), imsi, &cfgs[class as usize], mix_seed(fleet.seed, i));
             if let Some(campaign) = &fleet.campaign {
                 // A per-UE fault stream over the shared phase plan, mixed

@@ -252,14 +252,18 @@ pub struct WorldConfig {
 }
 
 impl WorldConfig {
-    /// Default configuration for a carrier.
+    /// Default configuration for a carrier. A remedied profile (see
+    /// [`OperatorProfile::remedied`]) seeds the corresponding world-level
+    /// remedy switches; the base profiles leave them off.
     pub fn new(op: OperatorProfile, seed: u64) -> Self {
+        let device_remedies = op.device_remedies;
+        let mme_remedy = op.mme_lu_recovery;
         Self {
             op,
             seed,
             phone_quirk: true,
-            device_remedies: false,
-            mme_remedy: false,
+            device_remedies,
+            mme_remedy,
             decoupled_channels: false,
             inject_ul_4g: Injection::none(),
             inject_dl_4g: Injection::none(),

@@ -44,11 +44,15 @@
 
 pub mod crosssys;
 pub mod decouple;
+pub mod overlay;
 pub mod parallel_mm;
 pub mod scheduler;
 pub mod shim;
 
 pub use crosssys::{section93_switch_experiment, verify_bearer_reactivation, verify_mme_lu_recovery};
+pub use overlay::{
+    registry, remedy, ChannelSpec, Overlayable, OverlayEdit, RemedyClass, RemedyOverlay,
+};
 pub use decouple::{csfb_switch_never_blocked, decoupling_gain, figure13, Fig13Row};
 pub use parallel_mm::{figure12_right, measure_call_delay, CallDelayPoint};
 pub use scheduler::{schedule, sharing_comparison, DeviceLoad, SchedulerOutcome, SharingScheme};

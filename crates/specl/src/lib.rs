@@ -53,11 +53,13 @@ pub mod compile;
 pub mod diag;
 pub mod intern;
 pub mod lexer;
+pub mod overlay;
 pub mod parser;
 pub mod sema;
 
 pub use compile::{compile, lower, Program, SpecAction, SpecModel, SpecState};
 pub use diag::{Diagnostic, Span};
+pub use overlay::apply_overlay;
 pub use parser::parse;
 pub use sema::check;
 

@@ -29,6 +29,7 @@
 
 pub mod detect;
 pub mod population;
+pub mod rollout;
 pub mod stats;
 pub mod study;
 
@@ -36,5 +37,6 @@ pub use detect::{
     collect_spans, episodes_from_spans, s3_episodes, s5_overlap, s6_detach, StuckEpisode,
 };
 pub use population::{build_population, spec_for, Carrier, Participant, Persona, STUDY_DAYS};
+pub use rollout::{render_rollout, run_rollout, RolloutArm, RolloutReport};
 pub use stats::{table5, table6};
 pub use study::{analyze, run_study, study_signatures, Occurrence, StudyResult};

@@ -81,7 +81,11 @@ fn s3_mechanism_split_agrees_across_phases() {
     let op2_model = Checker::new(CsfbRrcModel::op2_high_rate())
         .strategy(SearchStrategy::Dfs)
         .run();
-    assert!(op1_model.holds());
+    // OP-I's redirect mechanism returns to 4G (MM_OK holds); its forced
+    // release does disrupt live data, which the DataService_OK side-effect
+    // monitor flags — so check the S3 property by name, not `holds()`.
+    assert!(op1_model.complete);
+    assert!(op1_model.violation(cnetverifier::props::MM_OK).is_none());
     assert!(op2_model.violation(cnetverifier::props::MM_OK).is_some());
 
     // Simulator verdicts on the same scenario.
