@@ -48,14 +48,11 @@ fn run_fleet(ues: usize) -> FleetReport {
     r
 }
 
-/// Process high-water RSS in bytes (`VmHWM`), if the platform exposes it.
-/// Monotone over the process lifetime — arms run smallest-first, so each
-/// reading upper-bounds that arm's own peak.
+/// Process high-water RSS in bytes (`VmHWM`). Monotone over the process
+/// lifetime — arms run smallest-first, so each reading upper-bounds that
+/// arm's own peak.
 fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    cnv_bench::peak_rss_bytes()
 }
 
 /// Optional arm selection: `FLEET_ARMS=20,1000000` re-measures just
@@ -181,6 +178,23 @@ fn write_baseline() {
     // at the workspace root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     std::fs::write(path, text + "\n").expect("write BENCH_fleet.json");
+
+    // Longitudinal trend entry: the 20k arm's kernel stats are the
+    // headline (big enough to be steady, small enough to re-run anywhere).
+    let r = run_fleet(20_000);
+    let mut fields = vec![
+        ("ues".to_string(), Value::U64(20_000)),
+        ("kernel_bytes_per_ue".to_string(), Value::U64(r.kernel.bytes_per_ue as u64)),
+        ("wheel_cascades".to_string(), Value::U64(r.kernel.wheel_cascades)),
+        ("wheel_peak_len".to_string(), Value::U64(r.kernel.wheel_peak_len as u64)),
+        ("arena_bytes_peak".to_string(), Value::U64(r.kernel.arena_bytes_peak as u64)),
+        ("blocks".to_string(), Value::U64(r.kernel.blocks)),
+        ("trace_evicted".to_string(), Value::U64(r.kernel.trace_evicted)),
+    ];
+    if let Some(b) = peak_rss_bytes() {
+        fields.push(("peak_rss_bytes".to_string(), Value::U64(b)));
+    }
+    cnv_bench::append_trend("fleet_scaling", fields).expect("append BENCH_trend.json");
 }
 
 fn main() {

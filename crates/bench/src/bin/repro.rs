@@ -66,6 +66,10 @@ fn main() {
         screening();
         ran_any = true;
     }
+    if run("statespace") {
+        statespace();
+        ran_any = true;
+    }
     if run("spec") {
         spec_check();
         ran_any = true;
@@ -206,6 +210,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("all", "every experiment below (study and fleet excepted), in order"),
     ("screen", "screening phase: the S1-S4 models, findings, and remedies"),
     ("spec", "specl front-end: compiled .specl models vs the hand-written Rust models"),
+    ("statespace", "hyper-scale engine: store modes × POR on the N-UE model (golden-diffed; STATESPACE_FULL=1 for the 10^8 arm)"),
     ("faults", "fault-injection campaign + 3GPP retransmission timers (golden-diffed)"),
     ("valid", "validation phase: simulated-carrier traces for S1-S6"),
     ("diagnose", "runtime-verification diagnosis matrix (golden-diffed)"),
@@ -347,6 +352,192 @@ fn spec_check() {
     }
     if agreeing != rows.len() {
         eprintln!("\nspec/hand disagreement — see table above");
+        std::process::exit(1);
+    }
+}
+
+/// `--exp statespace` — the hyper-scale state-space engine walkthrough.
+///
+/// Sweeps the parameterized N-UE population model through every visited-set
+/// store mode (hash-compact fingerprints, exact serialized states, COLLAPSE
+/// component interning, bitstate/Bloom) plus an ample-set POR arm, all
+/// under the disk-spillable frontier with path tracking off — the exact
+/// configuration the 10⁸-state run uses. Everything on stdout is engine
+/// output that is a pure function of the model (state counts, transition
+/// counts, spill segments, omission probabilities from the fixed FNV-1a
+/// fingerprints), so CI diffs it against
+/// `crates/bench/golden/statespace_smoke.txt`. Wall-clock, bytes/state
+/// (allocator-capacity dependent) and peak RSS go to stderr.
+///
+/// Environment knobs:
+/// * `STATESPACE_FULL=1` — run the 22⁶ ≈ 1.13 × 10⁸-state arm (collapse +
+///   bitstate only) instead of the trimmed 10⁶ arm. Not golden-diffed.
+/// * `STATESPACE_RSS_BUDGET_MB=N` — exit nonzero if the process high-water
+///   RSS exceeds `N` MB at the end of the experiment (the CI memory gate).
+fn statespace() {
+    use cnetverifier::models::nue::NUeModel;
+    use mck::{Checker, Model, SearchStrategy, StoreMode};
+
+    section("Hyper-scale state-space engine — store modes × POR (N-UE population)");
+    let full_arm = std::env::var("STATESPACE_FULL").map(|v| v == "1").unwrap_or(false);
+    let model = if full_arm {
+        NUeModel::full()
+    } else {
+        NUeModel::trimmed()
+    };
+    // Segments sized so even the trimmed arm's widest BFS layer (~6 % of
+    // the space) overflows into disk segments — the golden must prove the
+    // spill path runs, not just that it compiles.
+    let segment = if full_arm { 1 << 20 } else { 1 << 14 };
+    println!(
+        "model {}: {} reachable states; `phase-overflow` must hold over every one\n",
+        model.describe(),
+        model.state_count()
+    );
+
+    let arms: Vec<(StoreMode, bool)> = if full_arm {
+        vec![
+            (StoreMode::Collapse, false),
+            (StoreMode::Bitstate { log2_bits: 30, hashes: 3 }, false),
+        ]
+    } else {
+        vec![
+            (StoreMode::HashCompact, false),
+            (StoreMode::Exact, false),
+            (StoreMode::Collapse, false),
+            (StoreMode::Collapse, true),
+            (StoreMode::Bitstate { log2_bits: 24, hashes: 3 }, false),
+        ]
+    };
+
+    println!(
+        "{:<52} {:>12} {:>12} {:>6} {:>10} {:>11}  complete",
+        "engine", "states", "transitions", "depth", "spill-segs", "omission-p"
+    );
+    let mut exact_bps = None;
+    let mut collapse_bps = None;
+    for (store, por) in arms {
+        let checker = Checker::new(model.clone())
+            .strategy(SearchStrategy::Bfs)
+            .store(store)
+            .por(por)
+            .spill(segment)
+            .track_paths(false)
+            // The 10^8 full arm must not trip the safety default (50M).
+            .max_states(model.state_count() + 1);
+        let engine = checker.describe_config();
+        let t0 = std::time::Instant::now();
+        let r = checker.run();
+        let wall = t0.elapsed();
+        println!(
+            "{:<52} {:>12} {:>12} {:>6} {:>10} {:>11}  {}",
+            engine,
+            r.stats.unique_states,
+            r.stats.transitions,
+            r.stats.max_depth,
+            r.stats.store.spill_segments,
+            format!("{:.1e}", r.stats.omission_probability()),
+            if r.complete { "yes" } else { "no" },
+        );
+        assert!(
+            r.violations.is_empty(),
+            "{engine}: phase-overflow is unreachable yet was reported"
+        );
+        let lossless = !matches!(
+            r.stats.store.kind,
+            mck::StoreKind::HashCompact | mck::StoreKind::Bitstate
+        );
+        if lossless && !por {
+            assert!(r.complete, "{engine}: exhaustive arm must complete");
+            assert_eq!(
+                r.stats.unique_states,
+                model.state_count(),
+                "{engine}: exact-store arm must cover the full cross product"
+            );
+        }
+        match (r.stats.store.kind, por) {
+            (mck::StoreKind::Exact, false) => exact_bps = Some(r.stats.bytes_per_state()),
+            (mck::StoreKind::Collapse, false) => collapse_bps = Some(r.stats.bytes_per_state()),
+            _ => {}
+        }
+        eprintln!(
+            "  {engine}: {:.1} B/state, {:.2}s wall, {:.0} states/s, {} spilled nodes ({} bytes)",
+            r.stats.bytes_per_state(),
+            wall.as_secs_f64(),
+            r.stats.unique_states as f64 / wall.as_secs_f64().max(1e-9),
+            r.stats.store.spilled_nodes,
+            r.stats.store.spilled_bytes,
+        );
+    }
+    if let (Some(e), Some(c)) = (exact_bps, collapse_bps) {
+        let ratio = e / c.max(1e-9);
+        // The ratio itself depends on allocator capacity growth, so only
+        // the acceptance bar (a wide margin) goes to the golden stdout.
+        println!(
+            "\ncollapse >=4x smaller than exact per state: {}",
+            if ratio >= 4.0 { "yes" } else { "NO" }
+        );
+        eprintln!("  compression: {ratio:.1}x (exact {e:.1} B/state, collapse {c:.1} B/state)");
+    }
+
+    section("Partial-order reduction — full vs reduced on every shipped spec");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let specs = match cnetverifier::load_specs(&dir) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("spec loading failed:\n{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<25} {:>11} {:>11} {:>11} {:>11}  verdicts-agree",
+        "file", "full-states", "por-states", "full-trans", "por-trans"
+    );
+    let mut all_agree = true;
+    for spec in &specs {
+        let full = Checker::new(spec.model.clone())
+            .strategy(SearchStrategy::Bfs)
+            .run();
+        let red = Checker::new(spec.model.clone())
+            .strategy(SearchStrategy::Bfs)
+            .por(true)
+            .run();
+        let verdicts = |r: &mck::CheckResult<specl::SpecModel>| {
+            let mut v: Vec<&'static str> = r.violations.iter().map(|v| v.property).collect();
+            v.sort_unstable();
+            v
+        };
+        let agree = full.complete == red.complete && verdicts(&full) == verdicts(&red);
+        all_agree &= agree;
+        println!(
+            "{:<25} {:>11} {:>11} {:>11} {:>11}  {}",
+            spec.file,
+            full.stats.unique_states,
+            red.stats.unique_states,
+            full.stats.transitions,
+            red.stats.transitions,
+            if agree { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "\nPOR soundness: reduced and full exploration agree on every shipped spec: {}",
+        if all_agree { "yes" } else { "NO" }
+    );
+
+    let rss_mb = bench::peak_rss_bytes().map(|b| b / (1024 * 1024));
+    if let Some(mb) = rss_mb {
+        eprintln!("peak RSS: {mb} MB");
+    }
+    if let Ok(budget) = std::env::var("STATESPACE_RSS_BUDGET_MB") {
+        let budget: u64 = budget.parse().expect("STATESPACE_RSS_BUDGET_MB is numeric");
+        let mb = rss_mb.expect("RSS budget set but VmHWM unavailable");
+        if mb > budget {
+            eprintln!("peak RSS {mb} MB exceeds the {budget} MB budget");
+            std::process::exit(1);
+        }
+        eprintln!("peak RSS within the {budget} MB budget");
+    }
+    if !all_agree {
         std::process::exit(1);
     }
 }

@@ -267,6 +267,71 @@ pub fn carriers() -> [OperatorProfile; 2] {
     [op_i(), op_ii()]
 }
 
+// ---------------------------------------------------------------------
+// Process memory + the longitudinal trend baseline.
+// ---------------------------------------------------------------------
+
+/// Process high-water RSS in bytes (`VmHWM` from `/proc/self/status`), if
+/// the platform exposes it. Monotone over the process lifetime, so a
+/// reading taken after a run upper-bounds that run's own peak.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Append one entry to the longitudinal `BENCH_trend.json` at the
+/// workspace root (creating the file on first use) and return the total
+/// entry count. Unlike the per-bench baselines, which each rewrite a
+/// snapshot of "this machine, now", the trend file only ever grows: one
+/// entry per baseline regeneration, so the perf trajectory across PRs
+/// stays machine-readable. `bench` names the producer; `fields` carries
+/// its headline numbers (throughput, bytes/state, kernel stats, ...).
+pub fn append_trend(
+    bench: &str,
+    fields: Vec<(String, serde_json::Value)>,
+) -> std::io::Result<usize> {
+    use serde_json::Value;
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trend.json");
+    let mut entries: Vec<Value> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Map(doc)) => doc
+                .into_iter()
+                .find(|(k, _)| k == "entries")
+                .and_then(|(_, v)| match v {
+                    Value::Seq(s) => Some(s),
+                    _ => None,
+                })
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let tag = std::env::var("BENCH_TREND_TAG").unwrap_or_else(|_| "untagged".into());
+    let mut entry = vec![
+        ("bench".to_string(), Value::Str(bench.to_string())),
+        ("tag".to_string(), Value::Str(tag)),
+        ("seq".to_string(), Value::U64(entries.len() as u64)),
+    ];
+    entry.extend(fields);
+    entries.push(Value::Map(entry));
+    let n = entries.len();
+    let doc = Value::Map(vec![
+        (
+            "about".into(),
+            Value::Str(
+                "longitudinal perf trend: one appended entry per baseline regeneration"
+                    .into(),
+            ),
+        ),
+        ("entries".into(), Value::Seq(entries)),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("trend serializes");
+    std::fs::write(path, text + "\n")?;
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,9 @@
 //! [`attach_retry::RetryAttachModel`] re-checks the S2 composition with the
 //! TS 24.301 retransmission timers (T3410/T3430) enabled over a
 //! lossy-but-fair channel — the standards' own remedy, under which
-//! `PacketService_OK` holds while S1/S6 remain defective.
+//! `PacketService_OK` holds while S1/S6 remain defective. Finally,
+//! [`nue::NUeModel`] scales a UE *population* to 10⁸+ states to exercise
+//! the compressed-store / spillable-frontier machinery (`--exp statespace`).
 
 pub mod attach;
 pub mod attach_retry;
@@ -31,4 +33,5 @@ pub mod crosssys_lu;
 pub mod csfb_rrc;
 pub mod env;
 pub mod holblock;
+pub mod nue;
 pub mod switchctx;

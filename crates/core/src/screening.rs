@@ -19,7 +19,11 @@
 //! 1. the requested engine (parallel BFS for S1/S2/S4, DFS for S3), then
 //! 2. sequential BFS (no layer-merge overhead, smaller footprint), then
 //! 3. seeded random-walk sampling ([`mck::RandomWalk`]) — §3.2's
-//!    "increase the sampling rate" fallback.
+//!    "increase the sampling rate" fallback — and, when even sampling
+//!    comes back empty-handed,
+//! 4. a bitstate BFS sweep ([`mck::StoreMode::Bitstate`]) with a 64×
+//!    state budget: Bloom-filter storage reaches far past where the exact
+//!    rungs drowned, at the price of a quantified omission probability.
 //!
 //! Whatever rung answered is recorded in [`ModelRun::engine`], and the
 //! honesty of the answer in [`ModelRun::verdict`]: an `Incomplete` verdict
@@ -33,7 +37,7 @@ use std::path::Path;
 use std::thread;
 use std::time::Duration;
 
-use mck::{CheckStats, Checker, Model, RandomWalk, SearchStrategy, Verdict, Violation};
+use mck::{CheckStats, Checker, Model, RandomWalk, SearchStrategy, StoreMode, Verdict, Violation};
 use specl::SpecModel;
 
 use crate::findings::{Finding, Instance};
@@ -55,7 +59,8 @@ pub struct ModelRun {
     /// Findings extracted from violations.
     pub findings: Vec<Finding>,
     /// Which engine rung produced the answer: `"parallel-bfs"`, `"bfs"`,
-    /// `"dfs"`, `"random-walk"`, or `"none"` (worker panicked).
+    /// `"dfs"`, `"random-walk"`, `"bitstate-bfs"`, or `"none"` (worker
+    /// panicked).
     pub engine: &'static str,
     /// Whether the answering rung exhausted the reachable space. Reports
     /// must surface `Incomplete` — a clean-but-truncated run proves
@@ -247,38 +252,75 @@ where
         };
     }
 
-    // Final rung: seeded random-walk sampling. Never complete, but a found
+    // Sampling rung: seeded random walks. Never complete, but a found
     // witness is still a real counterexample.
     let report = RandomWalk::seeded(WALK_SEED)
         .walks(budget.walks)
         .max_steps(budget.walk_steps)
         .run(&model);
-    let findings = report
-        .witness(property)
-        .map(|path| {
-            vec![Finding {
-                instance,
-                property: property.to_string(),
-                witness: path.actions().map(|a| model.format_action(a)).collect(),
-                steps: path.len(),
-                lasso: false,
-            }]
-        })
-        .unwrap_or_default();
     let explored = result.stats.unique_states;
     let stop_reason = result.stop_reason.unwrap_or("budget exhausted");
-    let mut stats = result.stats;
+    if let Some(path) = report.witness(property) {
+        let findings = vec![Finding {
+            instance,
+            property: property.to_string(),
+            witness: path.actions().map(|a| model.format_action(a)).collect(),
+            steps: path.len(),
+            lasso: false,
+        }];
+        let mut stats = result.stats;
+        stats.transitions += report.total_steps;
+        return ModelRun {
+            model_name,
+            stats,
+            findings,
+            engine: "random-walk",
+            verdict: Verdict::Incomplete {
+                explored,
+                reason: format!(
+                    "degraded to random-walk sampling ({} walks) after {}",
+                    report.walks, stop_reason
+                ),
+            },
+            panicked: None,
+        };
+    }
+
+    // Last rung: bitstate BFS — trade certainty for reach. One bit (times k
+    // hashes) per state instead of 8+ bytes buys a 64× larger state budget
+    // inside the same footprint; the price is a nonzero chance of silently
+    // merging distinct states, so the verdict stays `Incomplete` and quotes
+    // the run's own omission probability.
+    let mut bit = Checker::new(model.clone())
+        .strategy(SearchStrategy::Bfs)
+        .store(StoreMode::Bitstate {
+            log2_bits: 24,
+            hashes: 3,
+        })
+        .max_states(budget.max_states.saturating_mul(64));
+    if let Some(t) = budget.time_budget {
+        bit = bit.time_budget(t);
+    }
+    let bit_result = bit.run();
+    let findings = bit_result
+        .violation(property)
+        .map(|v| vec![finding_from(&model, instance, v)])
+        .unwrap_or_default();
+    let explored = bit_result.stats.unique_states;
+    let omission = bit_result.stats.omission_probability();
+    let mut stats = bit_result.stats;
     stats.transitions += report.total_steps;
     ModelRun {
         model_name,
         stats,
         findings,
-        engine: "random-walk",
+        engine: "bitstate-bfs",
         verdict: Verdict::Incomplete {
             explored,
             reason: format!(
-                "degraded to random-walk sampling ({} walks) after {}",
-                report.walks, stop_reason
+                "bitstate sweep of {explored} states (omission probability {omission:.1e}) \
+                 after {} fruitless walks and {stop_reason}",
+                report.walks
             ),
         },
         panicked: None,
@@ -861,10 +903,11 @@ mod tests {
     }
 
     #[test]
-    fn hopeless_budget_reaches_the_sampling_rung_with_an_honest_verdict() {
+    fn hopeless_budget_falls_through_to_the_bitstate_rung() {
         // The remedied attach model has no violation to stumble on, so a
-        // tiny state budget exhausts every exhaustive rung and the run must
-        // fall through to random-walk sampling and say so.
+        // tiny state budget exhausts every exhaustive rung, sampling finds
+        // no witness, and the run must end on the bitstate sweep with an
+        // honest, quantified verdict.
         let budget = ScreenBudget {
             max_states: 10,
             walks: 50,
@@ -879,17 +922,44 @@ mod tests {
             "attach (hopeless budget)",
             budget,
         );
-        assert_eq!(run.engine, "random-walk");
+        assert_eq!(run.engine, "bitstate-bfs");
         assert!(run.findings.is_empty());
         match &run.verdict {
-            Verdict::Incomplete { reason, .. } => {
+            Verdict::Incomplete { reason, explored } => {
                 assert!(
-                    reason.contains("random-walk"),
-                    "verdict must name the sampling rung: {reason}"
+                    reason.contains("bitstate") && reason.contains("omission probability"),
+                    "verdict must name the rung and its risk: {reason}"
+                );
+                assert!(
+                    *explored > 10,
+                    "the 64× bitstate budget must reach past the exact rungs"
                 );
             }
-            Verdict::Complete => panic!("sampling can never claim completeness"),
+            Verdict::Complete => panic!("a bitstate sweep can never claim completeness"),
         }
+    }
+
+    #[test]
+    fn sampling_rung_still_answers_when_it_finds_a_witness() {
+        // The faulty attach model violates shallowly: with exhaustive rungs
+        // starved, the random walks find the witness and the bitstate rung
+        // must not be consulted at all.
+        let budget = ScreenBudget {
+            max_states: 3,
+            walks: 500,
+            walk_steps: 60,
+            ..ScreenBudget::default()
+        };
+        let run = screen(
+            AttachModel::paper(),
+            SearchStrategy::Bfs,
+            props::PACKET_SERVICE_OK,
+            Instance::S2,
+            "attach (sampling answers)",
+            budget,
+        );
+        assert_eq!(run.engine, "random-walk");
+        assert_eq!(run.findings.len(), 1);
     }
 
     #[test]

@@ -53,4 +53,52 @@ proptest! {
             .run(&UsageModel::paper());
         prop_assert!(report.violations_of(props::PACKET_SERVICE_OK) > 0);
     }
+
+    /// Collapse-store soundness for the specl front-end: along a seeded walk
+    /// of every shipped spec, splitting a state into interner components and
+    /// reassembling them is the identity. If this holds on every reachable
+    /// state, the collapse store can never merge distinct states.
+    #[test]
+    fn spec_components_reassemble_along_walks(seed in any::<u64>()) {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+        for spec in cnetverifier::load_specs(&dir).unwrap() {
+            let model = &spec.model;
+            let mut comps: Vec<Vec<u8>> = Vec::new();
+            let mut actions = Vec::new();
+            let mut rng = seed;
+            for (i, init) in model.init_states().into_iter().enumerate() {
+                let mut state = init;
+                for _ in 0..12 {
+                    prop_assert!(
+                        model.components(&state, &mut comps),
+                        "{}: spec states must componentize", spec.file
+                    );
+                    let rebuilt = model.reassemble(&comps);
+                    prop_assert_eq!(
+                        rebuilt.as_ref(),
+                        Some(&state),
+                        "{}: intern->reconstruct must be the identity", spec.file
+                    );
+                    actions.clear();
+                    model.actions(&state, &mut actions);
+                    if actions.is_empty() {
+                        break;
+                    }
+                    // SplitMix64 step keeps the walk deterministic per seed.
+                    rng = rng
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64);
+                    let mut x = rng;
+                    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    x ^= x >> 31;
+                    let action = &actions[(x % actions.len() as u64) as usize];
+                    match model.next_state(&state, action) {
+                        Some(next) => state = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
 }

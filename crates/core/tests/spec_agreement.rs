@@ -103,6 +103,98 @@ fn spec_screening_report_mirrors_the_agreement_rows() {
 }
 
 #[test]
+fn every_engine_and_store_agrees_on_every_shipped_spec() {
+    use mck::{Checker, SearchStrategy, StoreMode};
+
+    // BFS/DFS/ParallelBfs × hash-compact/exact/collapse: all nine runs of a
+    // spec must report the same verdict set and reachable-state count, and
+    // within each strategy the same witness lengths (DFS counterexamples
+    // are legitimately longer than BFS's, so lengths are per-strategy).
+    // This is the soundness bar for the compressed stores: interning must
+    // never merge states, and fingerprinting must not collide on spaces
+    // this small.
+    let strategies = [
+        SearchStrategy::Bfs,
+        SearchStrategy::Dfs,
+        SearchStrategy::ParallelBfs { workers: 2 },
+    ];
+    let stores = [StoreMode::HashCompact, StoreMode::Exact, StoreMode::Collapse];
+    for spec in load_specs(&spec_dir()).unwrap() {
+        let mut reference: Option<(Vec<&'static str>, u64)> = None;
+        for strategy in strategies {
+            let mut ref_lens: Option<Vec<(&'static str, usize)>> = None;
+            for store in stores {
+                let r = Checker::new(spec.model.clone())
+                    .strategy(strategy)
+                    .store(store)
+                    .run();
+                assert!(r.complete, "{}: {strategy:?} × {store:?} incomplete", spec.file);
+                let mut verdicts: Vec<&'static str> =
+                    r.violations.iter().map(|v| v.property).collect();
+                verdicts.sort_unstable();
+                let mut lens: Vec<(&'static str, usize)> = r
+                    .violations
+                    .iter()
+                    .map(|v| (v.property, v.path.len()))
+                    .collect();
+                lens.sort_unstable();
+                let got = (verdicts, r.stats.unique_states);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(
+                        &got, want,
+                        "{}: {strategy:?} × {store:?} disagrees on verdicts/states",
+                        spec.file
+                    ),
+                }
+                match &ref_lens {
+                    None => ref_lens = Some(lens),
+                    Some(want) => assert_eq!(
+                        &lens, want,
+                        "{}: {strategy:?} × {store:?} witness lengths drifted",
+                        spec.file
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn por_agrees_with_full_exploration_on_every_shipped_spec() {
+    use mck::{Checker, SearchStrategy};
+
+    // The ISSUE's soundness pin for ample-set POR: reduced and full
+    // exploration must agree on the verdict of every shipped spec.
+    for spec in load_specs(&spec_dir()).unwrap() {
+        let full = Checker::new(spec.model.clone())
+            .strategy(SearchStrategy::Bfs)
+            .run();
+        let reduced = Checker::new(spec.model.clone())
+            .strategy(SearchStrategy::Bfs)
+            .por(true)
+            .run();
+        assert!(full.complete && reduced.complete, "{}", spec.file);
+        let verdicts = |r: &mck::CheckResult<specl::SpecModel>| {
+            let mut v: Vec<&'static str> = r.violations.iter().map(|v| v.property).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            verdicts(&full),
+            verdicts(&reduced),
+            "{}: POR changed the verdict set",
+            spec.file
+        );
+        assert!(
+            reduced.stats.transitions <= full.stats.transitions,
+            "{}: reduction may never expand more than full exploration",
+            spec.file
+        );
+    }
+}
+
+#[test]
 fn loaded_specs_carry_names_files_and_instances() {
     let specs = load_specs(&spec_dir()).unwrap();
     let summary: Vec<_> = specs

@@ -9,7 +9,7 @@
 //! detection, and is what exposes "request delayed forever" defects (paper
 //! instances S3/S4).
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// How many transitions between wall-clock checks against the time budget;
@@ -21,6 +21,7 @@ use crate::fingerprint::fingerprint_with_ebits;
 use crate::model::Model;
 use crate::path::Path;
 use crate::stats::CheckStats;
+use crate::store::SeqStore;
 
 /// Bookkeeping for one node on the DFS stack.
 struct Frame<M: Model> {
@@ -51,8 +52,14 @@ struct Dfs<'a, M: Model> {
     violated_names: Vec<&'static str>,
     complete: bool,
     stop_reason: Option<&'static str>,
-    /// fingerprint -> on_stack flag.
-    visited: HashMap<u64, bool>,
+    /// Visited nodes, in whichever [`StoreMode`](crate::StoreMode) the
+    /// checker selected.
+    visited: SeqStore,
+    /// Fingerprints of the nodes currently on the stack (the lasso
+    /// detector). Fingerprint-keyed even in exact store modes: the stack is
+    /// shallow, so a collision here is astronomically unlikely and only
+    /// affects lasso classification, never state-space coverage.
+    on_stack: HashSet<u64>,
     stack: Vec<Frame<M>>,
     path: Option<Path<M::State, M::Action>>,
 }
@@ -65,7 +72,9 @@ impl<'a, M: Model> Dfs<'a, M> {
         } else {
             (1u32 << props.eventually.len()) - 1
         };
+        let probe = checker.model.init_states().into_iter().next();
         Self {
+            visited: SeqStore::new(checker.store, &checker.model, probe.as_ref()),
             checker,
             safety: props.safety,
             eventually: props.eventually,
@@ -75,7 +84,7 @@ impl<'a, M: Model> Dfs<'a, M> {
             violated_names: Vec::new(),
             complete: true,
             stop_reason: None,
-            visited: HashMap::new(),
+            on_stack: HashSet::new(),
             stack: Vec::new(),
             path: None,
         }
@@ -174,7 +183,7 @@ impl<'a, M: Model> Dfs<'a, M> {
         'inits: for init in model.init_states() {
             let ebits = ebits_for(model, &self.eventually, &init, 0);
             let fp = fingerprint_with_ebits(&init, ebits);
-            if self.visited.contains_key(&fp) {
+            if !self.visited.insert(model, &init, ebits) {
                 continue;
             }
             if self.stats.unique_states >= self.checker.max_states {
@@ -184,7 +193,7 @@ impl<'a, M: Model> Dfs<'a, M> {
                 self.stop_reason = Some("state budget exhausted");
                 break;
             }
-            self.visited.insert(fp, true);
+            self.on_stack.insert(fp);
             self.path = Some(Path::new(init.clone()));
             self.stack.push(Frame {
                 state: init,
@@ -209,7 +218,7 @@ impl<'a, M: Model> Dfs<'a, M> {
                 let maybe_action = self.stack.last_mut().unwrap().pending.pop();
                 let Some(action) = maybe_action else {
                     let frame = self.stack.pop().unwrap();
-                    self.visited.insert(frame.fp, false);
+                    self.on_stack.remove(&frame.fp);
                     self.path.as_mut().unwrap().pop();
                     continue;
                 };
@@ -225,46 +234,48 @@ impl<'a, M: Model> Dfs<'a, M> {
                 };
                 let fp = fingerprint_with_ebits(&next, ebits);
 
-                match self.visited.get(&fp).copied() {
-                    Some(true) => {
-                        // Back edge into the stack: cycle with frozen ebits.
-                        let mut witness = self.path.as_ref().unwrap().clone();
-                        witness.push(action, next);
-                        if let Flow::StopAll =
-                            self.check_missing_eventually(ebits, true, &witness)
-                        {
-                            self.stack.clear();
-                            break 'tree;
-                        }
+                if self.on_stack.contains(&fp) {
+                    // Back edge into the stack: cycle with frozen ebits.
+                    let mut witness = self.path.as_ref().unwrap().clone();
+                    witness.push(action, next);
+                    if let Flow::StopAll = self.check_missing_eventually(ebits, true, &witness) {
+                        self.stack.clear();
+                        break 'tree;
                     }
-                    Some(false) => {} // fully explored elsewhere
-                    None => {
-                        if self.stats.unique_states >= self.checker.max_states {
-                            self.complete = false;
-                            self.stop_reason = Some("state budget exhausted");
-                            self.stack.clear();
-                            break 'tree;
-                        }
-                        self.visited.insert(fp, true);
-                        self.path.as_mut().unwrap().push(action, next.clone());
-                        self.stack.push(Frame {
-                            state: next,
-                            ebits,
-                            fp,
-                            pending: Vec::new(),
-                        });
-                        if let Flow::StopAll = self.inspect_top() {
-                            self.stack.clear();
-                            break 'tree;
-                        }
+                } else if self.visited.insert(model, &next, ebits) {
+                    if self.stats.unique_states >= self.checker.max_states {
+                        self.complete = false;
+                        self.stop_reason = Some("state budget exhausted");
+                        self.stack.clear();
+                        break 'tree;
+                    }
+                    self.on_stack.insert(fp);
+                    self.path.as_mut().unwrap().push(action, next.clone());
+                    self.stack.push(Frame {
+                        state: next,
+                        ebits,
+                        fp,
+                        pending: Vec::new(),
+                    });
+                    if let Flow::StopAll = self.inspect_top() {
+                        self.stack.clear();
+                        break 'tree;
                     }
                 }
+                // else: fully explored elsewhere
             }
             if !self.complete {
                 break;
             }
         }
 
+        if self.visited.is_bitstate() && self.complete {
+            // A Bloom store may have silently pruned new states; never claim
+            // the space was exhausted.
+            self.complete = false;
+            self.stop_reason = Some("bitstate store (possible omissions)");
+        }
+        self.stats.store = self.visited.stats();
         self.stats.duration = start.elapsed();
         CheckResult {
             stats: self.stats,
@@ -389,6 +400,34 @@ mod tests {
         .run();
         assert!(!result.complete);
         assert_eq!(result.stats.unique_states, 10);
+    }
+
+    #[test]
+    fn collapse_store_matches_hash_compact_in_dfs() {
+        use crate::checker::testmodels::Grid;
+        use crate::store::StoreMode;
+        let base = dfs(Grid { side: 10, forbid: Some((7, 3)), watch_y: None }).run();
+        let collapsed = dfs(Grid { side: 10, forbid: Some((7, 3)), watch_y: None })
+            .store(StoreMode::Collapse)
+            .run();
+        assert_eq!(base.stats.unique_states, collapsed.stats.unique_states);
+        assert_eq!(
+            base.violation("forbidden-cell").unwrap().path.len(),
+            collapsed.violation("forbidden-cell").unwrap().path.len()
+        );
+        assert_eq!(collapsed.stats.store.mode, "collapse");
+    }
+
+    #[test]
+    fn bitstate_dfs_never_complete_but_still_detects_lassos() {
+        use crate::store::StoreMode;
+        let result = dfs(CycleEscape)
+            .store(StoreMode::Bitstate { log2_bits: 16, hashes: 2 })
+            .run();
+        assert!(!result.complete);
+        assert_eq!(result.stop_reason, Some("bitstate store (possible omissions)"));
+        let v = result.violation("escapes").expect("cycle must violate");
+        assert!(v.lasso);
     }
 
     #[test]

@@ -26,12 +26,14 @@ mod dfs;
 mod parallel;
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::model::Model;
 use crate::path::Path;
 use crate::property::{Expectation, Property};
 use crate::stats::CheckStats;
+use crate::store::StoreMode;
 
 /// Worker count used when a caller asks for "as many workers as the host
 /// offers": `available_parallelism`, falling back to **4** when the host
@@ -60,6 +62,24 @@ pub enum SearchStrategy {
         /// Worker thread count; 0 picks `available_parallelism`.
         workers: usize,
     },
+}
+
+impl SearchStrategy {
+    /// Human-readable label, used by benches and reports so strategies
+    /// self-describe instead of being hard-coded strings at call sites.
+    pub fn label(&self) -> String {
+        match self {
+            SearchStrategy::Bfs => "bfs".into(),
+            SearchStrategy::Dfs => "dfs".into(),
+            SearchStrategy::ParallelBfs { workers } => {
+                if *workers == 0 {
+                    "parallel-bfs(workers=auto)".into()
+                } else {
+                    format!("parallel-bfs(workers={workers})")
+                }
+            }
+        }
+    }
 }
 
 /// A property violation with its counterexample.
@@ -184,6 +204,10 @@ pub struct Checker<M: Model> {
     pub(crate) max_states: u64,
     pub(crate) fail_fast: bool,
     pub(crate) time_budget: Option<Duration>,
+    pub(crate) store: StoreMode,
+    pub(crate) por: bool,
+    pub(crate) spill: Option<(usize, Option<PathBuf>)>,
+    pub(crate) track_paths: bool,
 }
 
 impl<M: Model> Checker<M> {
@@ -197,6 +221,10 @@ impl<M: Model> Checker<M> {
             max_states: 50_000_000,
             fail_fast: false,
             time_budget: None,
+            store: StoreMode::HashCompact,
+            por: false,
+            spill: None,
+            track_paths: true,
         }
     }
 
@@ -234,6 +262,68 @@ impl<M: Model> Checker<M> {
     pub fn time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
         self
+    }
+
+    /// Select the visited-state store ([`StoreMode::HashCompact`] by
+    /// default). Exact/collapse need the model to implement
+    /// [`Model::components`]; without it they downgrade to hash-compact and
+    /// record the downgrade in `CheckStats::store.mode`. A bitstate run
+    /// never reports `complete` — its Bloom store can silently prune states,
+    /// so the result carries an omission probability instead.
+    pub fn store(mut self, mode: StoreMode) -> Self {
+        self.store = mode;
+        self
+    }
+
+    /// Enable ample-set partial-order reduction (off by default). Requires
+    /// the model to implement [`Model::reduced_actions`] (no-op otherwise)
+    /// and applies to the BFS engines; DFS ignores it because its lasso
+    /// detection needs every interleaving. The engines enforce the cycle
+    /// proviso: an ample set all of whose successors are already visited is
+    /// re-expanded in full, so no action is ignored forever.
+    pub fn por(mut self, yes: bool) -> Self {
+        self.por = yes;
+        self
+    }
+
+    /// Spill the BFS frontier to disk in segments of `segment_nodes`,
+    /// keeping at most two segments resident (see the
+    /// [`frontier`](crate::frontier) module docs for the format). Requires a
+    /// componentized model; ignored otherwise, and by DFS/parallel engines.
+    pub fn spill(mut self, segment_nodes: usize) -> Self {
+        let dir = self.spill.and_then(|(_, d)| d);
+        self.spill = Some((segment_nodes, dir));
+        self
+    }
+
+    /// Directory for frontier spill segments (defaults to the system temp
+    /// directory).
+    pub fn spill_dir(mut self, dir: PathBuf) -> Self {
+        let segment = self.spill.map(|(s, _)| s).unwrap_or(1 << 20);
+        self.spill = Some((segment, Some(dir)));
+        self
+    }
+
+    /// Keep per-node provenance for counterexample paths (on by default).
+    /// Turning it off drops the parent arena — the right trade at 10⁸ states
+    /// when only reachability counts are wanted; violations then carry a
+    /// single-state path (the violating state) instead of a full trace.
+    pub fn track_paths(mut self, yes: bool) -> Self {
+        self.track_paths = yes;
+        self
+    }
+
+    /// Describe this run's engine configuration (strategy + store + search
+    /// reductions) for benches and reports.
+    pub fn describe_config(&self) -> String {
+        let mut s = format!("{} + {} store", self.strategy.label(), self.store.label());
+        if self.por {
+            s.push_str(" + por");
+        }
+        if let Some((segment, _)) = &self.spill {
+            s.push_str(&format!(" + spill({segment})"));
+        }
+        s
     }
 
     /// Borrow the model under check.
@@ -346,6 +436,88 @@ pub(crate) mod testmodels {
                 }));
             }
             props
+        }
+    }
+
+    /// Two independent monotone counters on a `side × side` grid — the
+    /// minimal componentized model. The axes are the two components
+    /// ([`Model::components`]), x-moves and y-moves commute, and property
+    /// visibility is configurable: a `forbid` cell watches both axes (so no
+    /// reduction is sound and [`Model::reduced_actions`] refuses), while a
+    /// `watch_y` limit watches only y, leaving x-moves invisible and ample.
+    pub struct Grid {
+        pub side: u8,
+        pub forbid: Option<(u8, u8)>,
+        pub watch_y: Option<u8>,
+    }
+
+    impl Model for Grid {
+        type State = (u8, u8);
+        type Action = u8; // 0 = x+1, 1 = y+1
+
+        fn init_states(&self) -> Vec<(u8, u8)> {
+            vec![(0, 0)]
+        }
+
+        fn actions(&self, state: &(u8, u8), out: &mut Vec<u8>) {
+            if state.0 + 1 < self.side {
+                out.push(0);
+            }
+            if state.1 + 1 < self.side {
+                out.push(1);
+            }
+        }
+
+        fn next_state(&self, state: &(u8, u8), action: &u8) -> Option<(u8, u8)> {
+            Some(match action {
+                0 => (state.0 + 1, state.1),
+                _ => (state.0, state.1 + 1),
+            })
+        }
+
+        fn properties(&self) -> Vec<Property<Self>> {
+            let mut props = Vec::new();
+            if self.forbid.is_some() {
+                props.push(Property::never("forbidden-cell", |m: &Grid, s| {
+                    Some(*s) == m.forbid
+                }));
+            }
+            if self.watch_y.is_some() {
+                props.push(Property::never("y-limit", |m: &Grid, s| {
+                    Some(s.1) == m.watch_y
+                }));
+            }
+            props
+        }
+
+        fn components(&self, state: &(u8, u8), out: &mut Vec<Vec<u8>>) -> bool {
+            out.clear();
+            out.push(vec![state.0]);
+            out.push(vec![state.1]);
+            true
+        }
+
+        fn reassemble(&self, comps: &[Vec<u8>]) -> Option<(u8, u8)> {
+            if comps.len() != 2 || comps[0].len() != 1 || comps[1].len() != 1 {
+                return None;
+            }
+            Some((comps[0][0], comps[1][0]))
+        }
+
+        fn reduced_actions(&self, state: &(u8, u8), out: &mut Vec<u8>) -> bool {
+            out.clear();
+            if self.forbid.is_some() {
+                // A full-cell property reads both axes: every move is
+                // visible, so no ample subset exists.
+                return false;
+            }
+            if state.0 + 1 < self.side {
+                // The x process is independent of y and invisible to a
+                // y-only property: its enabled moves form an ample set.
+                out.push(0);
+                return true;
+            }
+            false
         }
     }
 

@@ -2,15 +2,18 @@
 //!
 //! The engine is built around three shared-nothing/lock-free pieces:
 //!
-//! * **Visited set** — a fixed-slot open-addressed table of `AtomicU64`
-//!   fingerprints ([`FpTable`]): insertion is a linear probe ending in a
-//!   single CAS, the Spin/TLC hash-compaction structure. `fp == 0` marks an
-//!   empty slot, so a real zero fingerprint is remapped to a substitute
-//!   constant. The table starts small and doubles at layer barriers (when no
-//!   worker is running), sized for the worst case the coming layer can
-//!   insert (frontier width × widest fanout seen), up to the capacity
-//!   implied by [`Checker::max_states`]; if a probe ever exhausts its bound
-//!   the node is dropped and the run is reported incomplete, never wrong.
+//! * **Visited set** — pluggable by [`StoreMode`] ([`ParVisited`]). The
+//!   default hash-compact mode is a fixed-slot open-addressed table of
+//!   `AtomicU64` fingerprints ([`FpTable`]): insertion is a linear probe
+//!   ending in a single CAS, the Spin/TLC hash-compaction structure.
+//!   `fp == 0` marks an empty slot, so a real zero fingerprint is remapped
+//!   to a substitute constant. The table starts small and doubles at layer
+//!   barriers (when no worker is running), sized for the worst case the
+//!   coming layer can insert (frontier width × widest fanout seen), up to
+//!   the capacity implied by [`Checker::max_states`]; if a probe ever
+//!   exhausts its bound the node is dropped and the run is reported
+//!   incomplete, never wrong. Bitstate mode swaps in a lock-free atomic
+//!   Bloom array; exact/collapse wrap the sequential store in a mutex.
 //! * **Arenas** — each worker appends discovered nodes to its own arena and
 //!   names them with a packed `(worker, index)` reference, so there is no
 //!   global arena lock. Frontier items carry their state inline, which means
@@ -32,13 +35,15 @@
 //! reachable nodes — and therefore every count and verdict — is not.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::checker::{ebits_for, split_properties, CheckResult, Checker, PropertySets, Violation};
 use crate::fingerprint::fingerprint_with_ebits;
 use crate::model::Model;
 use crate::path::Path;
-use crate::stats::CheckStats;
+use crate::stats::{CheckStats, StoreKind, StoreStats};
+use crate::store::{AtomicBitSet, SeqStore, StoreMode};
 
 /// Longest linear probe before an insert gives up and the run is marked
 /// incomplete. Growth at layer barriers keeps the load factor low enough
@@ -144,6 +149,72 @@ impl FpTable {
     }
 }
 
+/// The parallel engine's visited set, by [`StoreMode`]:
+///
+/// * hash-compact keeps the historical lock-free CAS fingerprint table;
+/// * bitstate uses a lock-free atomic Bloom array (`fetch_or` bit claims);
+/// * exact/collapse wrap the sequential store in a mutex — correctness
+///   first: these modes exist for definitive runs, and on the 1-CPU hosts
+///   this workload targets the lock is not the bottleneck.
+enum ParVisited {
+    Fp(FpTable),
+    Bits(AtomicBitSet),
+    Locked(Mutex<SeqStore>),
+}
+
+impl ParVisited {
+    fn insert<M: Model>(&self, model: &M, state: &M::State, ebits: u32, fp: u64) -> Insert {
+        match self {
+            ParVisited::Fp(table) => table.insert(fp),
+            ParVisited::Bits(bits) => {
+                if bits.insert(fp) {
+                    Insert::New
+                } else {
+                    Insert::Known
+                }
+            }
+            ParVisited::Locked(inner) => {
+                if inner.lock().expect("store mutex poisoned").insert(model, state, ebits) {
+                    Insert::New
+                } else {
+                    Insert::Known
+                }
+            }
+        }
+    }
+
+    fn is_bitstate(&self) -> bool {
+        match self {
+            ParVisited::Bits(_) => true,
+            ParVisited::Locked(inner) => {
+                inner.lock().expect("store mutex poisoned").is_bitstate()
+            }
+            ParVisited::Fp(_) => false,
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        match self {
+            ParVisited::Fp(table) => StoreStats {
+                kind: StoreKind::HashCompact,
+                mode: "hash-compact",
+                store_bytes: table.slot_count() * 8,
+                ..StoreStats::default()
+            },
+            ParVisited::Bits(bits) => StoreStats {
+                kind: StoreKind::Bitstate,
+                mode: "bitstate",
+                store_bytes: bits.bit_slots() / 8,
+                bit_slots: bits.bit_slots(),
+                bit_hashes: u32::from(bits.hashes()),
+                bits_set: bits.count_set(),
+                ..StoreStats::default()
+            },
+            ParVisited::Locked(inner) => inner.lock().expect("store mutex poisoned").stats(),
+        }
+    }
+}
+
 struct Node<M: Model> {
     state: M::State,
     parent: Option<(u64, M::Action)>,
@@ -199,7 +270,7 @@ struct Shared<'a, M: Model> {
     checker: &'a Checker<M>,
     props: &'a PropertySets<M>,
     all_ebits: u32,
-    table: &'a FpTable,
+    visited: &'a ParVisited,
     budget: &'a AtomicI64,
     stop: &'a AtomicBool,
     truncated: &'a AtomicBool,
@@ -282,8 +353,18 @@ fn worker_loop<M: Model + Sync>(
             }
 
             actions.clear();
+            let mut reduced = false;
             if within {
-                model.actions(&item.state, &mut actions);
+                if shared.checker.por {
+                    reduced = model.reduced_actions(&item.state, &mut actions);
+                    if reduced && actions.is_empty() {
+                        reduced = false; // empty ample set: contract breach, recover
+                    }
+                }
+                if !reduced {
+                    actions.clear();
+                    model.actions(&item.state, &mut actions);
+                }
                 out.max_fanout = out.max_fanout.max(actions.len() as u64);
             }
             if actions.is_empty() {
@@ -303,46 +384,75 @@ fn worker_loop<M: Model + Sync>(
                 continue;
             }
 
-            for action in &actions {
-                out.transitions += 1;
-                let Some(next) = model.next_state(&item.state, action) else {
-                    continue;
-                };
-                let ebits = ebits_for(model, &shared.props.eventually, &next, item.ebits);
-                let fp = nonzero_fp(fingerprint_with_ebits(&next, ebits));
-                // Claim a unit of the unique-node budget before inserting;
-                // refund it when the node turns out to be known (or lost).
-                if shared.budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
-                    shared.budget.fetch_add(1, Ordering::Relaxed);
-                    shared.truncated.store(true, Ordering::Relaxed);
-                    continue;
-                }
-                match shared.table.insert(fp) {
-                    Insert::New => {
-                        let node = pack(wid, arena.len());
-                        arena.push(Node {
-                            state: next.clone(),
-                            parent: Some((item.node, action.clone())),
-                        });
-                        out.inserted += 1;
-                        out.next.push(WorkItem {
-                            state: next,
-                            ebits,
-                            node,
-                        });
-                    }
-                    Insert::Known => {
-                        shared.budget.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Insert::Full => {
-                        shared.budget.fetch_add(1, Ordering::Relaxed);
-                        shared.truncated.store(true, Ordering::Relaxed);
-                    }
-                }
+            let any_new = expand(shared, wid, arena, &mut out, item, &actions);
+            if reduced && !any_new {
+                // Cycle proviso, enforced post hoc (races with concurrent
+                // inserts only ever *add* full expansions, never lose them):
+                // an ample set none of whose successors was new could
+                // postpone the other processes forever around a cycle, so
+                // re-expand this node with the full action set.
+                actions.clear();
+                model.actions(&item.state, &mut actions);
+                out.max_fanout = out.max_fanout.max(actions.len() as u64);
+                expand(shared, wid, arena, &mut out, item, &actions);
             }
         }
     }
     out
+}
+
+/// Apply `actions` to one frontier item, inserting successors into the
+/// shared visited set and this worker's arena. Returns whether any
+/// successor was genuinely new (the POR proviso signal).
+fn expand<M: Model + Sync>(
+    shared: &Shared<'_, M>,
+    wid: usize,
+    arena: &mut Vec<Node<M>>,
+    out: &mut WorkerOut<M>,
+    item: &WorkItem<M>,
+    actions: &[M::Action],
+) -> bool {
+    let model = &shared.checker.model;
+    let mut any_new = false;
+    for action in actions {
+        out.transitions += 1;
+        let Some(next) = model.next_state(&item.state, action) else {
+            continue;
+        };
+        let ebits = ebits_for(model, &shared.props.eventually, &next, item.ebits);
+        let fp = nonzero_fp(fingerprint_with_ebits(&next, ebits));
+        // Claim a unit of the unique-node budget before inserting;
+        // refund it when the node turns out to be known (or lost).
+        if shared.budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+            shared.budget.fetch_add(1, Ordering::Relaxed);
+            shared.truncated.store(true, Ordering::Relaxed);
+            continue;
+        }
+        match shared.visited.insert(model, &next, ebits, fp) {
+            Insert::New => {
+                any_new = true;
+                let node = pack(wid, arena.len());
+                arena.push(Node {
+                    state: next.clone(),
+                    parent: Some((item.node, action.clone())),
+                });
+                out.inserted += 1;
+                out.next.push(WorkItem {
+                    state: next,
+                    ebits,
+                    node,
+                });
+            }
+            Insert::Known => {
+                shared.budget.fetch_add(1, Ordering::Relaxed);
+            }
+            Insert::Full => {
+                shared.budget.fetch_add(1, Ordering::Relaxed);
+                shared.truncated.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    any_new
 }
 
 pub(crate) fn run<M: Model + Sync>(checker: &Checker<M>, workers: usize) -> CheckResult<M>
@@ -375,7 +485,16 @@ where
         .max(1024)
         .checked_next_power_of_two()
         .unwrap_or(1 << 63);
-    let mut table = FpTable::with_slots(cap_slots.min(1 << 16));
+    let mut visited = match checker.store {
+        StoreMode::HashCompact => ParVisited::Fp(FpTable::with_slots(cap_slots.min(1 << 16))),
+        StoreMode::Bitstate { log2_bits, hashes } => {
+            ParVisited::Bits(AtomicBitSet::new(log2_bits, hashes))
+        }
+        StoreMode::Exact | StoreMode::Collapse => {
+            let probe = model.init_states().into_iter().next();
+            ParVisited::Locked(Mutex::new(SeqStore::new(checker.store, model, probe.as_ref())))
+        }
+    };
 
     let budget = AtomicI64::new(i64::try_from(checker.max_states).unwrap_or(i64::MAX));
     let stop = AtomicBool::new(false);
@@ -395,7 +514,7 @@ where
             truncated.store(true, Ordering::Relaxed);
             continue;
         }
-        match table.insert(fp) {
+        match visited.insert(model, &init, ebits, fp) {
             Insert::New => {
                 let node = pack(0, arenas[0].len());
                 arenas[0].push(Node {
@@ -437,11 +556,14 @@ where
     while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
         max_depth_seen = depth;
         peak_frontier = peak_frontier.max(frontier.len());
-        let upcoming = (frontier.len() as u64).saturating_mul(max_fanout);
-        let needed = discovered.saturating_add(upcoming);
-        while needed.saturating_mul(2) >= table.slot_count() && table.slot_count() < cap_slots
-        {
-            table.grow();
+        if let ParVisited::Fp(table) = &mut visited {
+            let upcoming = (frontier.len() as u64).saturating_mul(max_fanout);
+            let needed = discovered.saturating_add(upcoming);
+            while needed.saturating_mul(2) >= table.slot_count()
+                && table.slot_count() < cap_slots
+            {
+                table.grow();
+            }
         }
 
         let layer = std::mem::take(&mut frontier);
@@ -451,7 +573,7 @@ where
             checker,
             props: &props,
             all_ebits,
-            table: &table,
+            visited: &visited,
             budget: &budget,
             stop: &stop,
             truncated: &truncated,
@@ -528,9 +650,10 @@ where
         terminal_states: terminal,
         peak_frontier,
         duration: start.elapsed(),
+        store: visited.stats(),
     };
-    let complete = !truncated.load(Ordering::Relaxed) && !stop.load(Ordering::Relaxed);
-    let stop_reason = if complete {
+    let mut complete = !truncated.load(Ordering::Relaxed) && !stop.load(Ordering::Relaxed);
+    let mut stop_reason = if complete {
         None
     } else if timed_out.load(Ordering::Relaxed) {
         Some("time budget exhausted")
@@ -539,6 +662,12 @@ where
     } else {
         Some("stopped at first violation")
     };
+    if visited.is_bitstate() && complete {
+        // A Bloom filter can merge distinct states, silently pruning their
+        // successors: a clean bitstate sweep is evidence, not proof.
+        complete = false;
+        stop_reason = Some("bitstate store (possible omissions)");
+    }
     CheckResult {
         stats,
         violations,
@@ -738,5 +867,93 @@ mod tests {
         )
         .run();
         assert!(p.stats.peak_frontier >= 2);
+    }
+
+    #[test]
+    fn locked_stores_match_hash_compact_exploration() {
+        use crate::checker::testmodels::Grid;
+        use crate::store::StoreMode;
+        let grid = || Grid {
+            side: 12,
+            forbid: Some((9, 4)),
+            watch_y: None,
+        };
+        let base = par_grid(grid(), 4, StoreMode::HashCompact).run();
+        for mode in [StoreMode::Exact, StoreMode::Collapse] {
+            let r = par_grid(grid(), 4, mode).run();
+            assert_eq!(r.stats.unique_states, base.stats.unique_states);
+            assert_eq!(r.stats.transitions, base.stats.transitions);
+            assert_eq!(r.violations.len(), base.violations.len());
+            assert_eq!(
+                r.violations[0].path.len(),
+                base.violations[0].path.len(),
+                "parallel BFS still finds a shortest witness under {mode:?}"
+            );
+            assert_eq!(r.stats.store.mode, mode.label());
+        }
+    }
+
+    #[test]
+    fn parallel_bitstate_is_never_complete() {
+        use crate::checker::testmodels::Grid;
+        use crate::store::StoreMode;
+        let r = par_grid(
+            Grid {
+                side: 6,
+                forbid: None,
+                watch_y: None,
+            },
+            4,
+            StoreMode::Bitstate {
+                log2_bits: 20,
+                hashes: 3,
+            },
+        )
+        .run();
+        assert!(!r.complete);
+        assert_eq!(r.stop_reason, Some("bitstate store (possible omissions)"));
+        // 36 states in 2^20 bits: the Bloom array is effectively empty, so
+        // every state is discovered and the stated omission risk is tiny.
+        assert_eq!(r.stats.unique_states, 36);
+        let p = r.stats.omission_probability();
+        assert!(p > 0.0 && p < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn parallel_por_agrees_with_full_exploration() {
+        use crate::checker::testmodels::Grid;
+        let grid = || Grid {
+            side: 10,
+            forbid: None,
+            watch_y: Some(8),
+        };
+        let full = Checker::new(grid())
+            .strategy(SearchStrategy::ParallelBfs { workers: 4 })
+            .run();
+        let reduced = Checker::new(grid())
+            .strategy(SearchStrategy::ParallelBfs { workers: 4 })
+            .por(true)
+            .run();
+        assert_eq!(full.stats.unique_states, 100);
+        assert!(
+            reduced.stats.unique_states < full.stats.unique_states / 2,
+            "ample sets should collapse the interleaving diamond: {} vs {}",
+            reduced.stats.unique_states,
+            full.stats.unique_states
+        );
+        assert_eq!(full.violations.len(), 1);
+        assert_eq!(reduced.violations.len(), 1);
+        assert_eq!(reduced.violations[0].property, "y-limit");
+        assert!(full.complete && reduced.complete);
+    }
+
+    fn par_grid(
+        grid: crate::checker::testmodels::Grid,
+        workers: usize,
+        mode: crate::store::StoreMode,
+    ) -> Checker<crate::checker::testmodels::Grid> {
+        Checker::new(grid)
+            .strategy(SearchStrategy::ParallelBfs { workers })
+            .store(mode)
     }
 }

@@ -7,10 +7,17 @@
 
 use std::hash::{Hash, Hasher};
 
-/// A 64-bit FNV-1a hasher. FNV is not cryptographic, but for state spaces in
-/// the 10^6–10^8 range the collision probability is negligible for this
-/// tool's purpose (the paper's models are far smaller), and unlike SipHash
-/// with `RandomState` it is stable across runs.
+/// A 64-bit FNV-1a hasher. FNV is not cryptographic, and 64-bit
+/// fingerprinting is *not* collision-free at scale: over `n` visited states
+/// the expected number of colliding pairs is `n(n−1)/2 · 2⁻⁶⁴` — about
+/// 2.7 × 10⁻⁴ at 10⁸ states and ≈ 2.7 at 10¹⁰, where each collision silently
+/// prunes a genuinely new state. Runs that rely on fingerprint-only storage
+/// (hash-compact, bitstate) therefore report their expected omission
+/// probability in [`CheckStats`](crate::CheckStats::omission_probability)
+/// instead of assuming it away; the exact and collapse stores
+/// ([`StoreMode`](crate::StoreMode)) avoid the issue by construction.
+/// Unlike SipHash with `RandomState`, FNV is stable across runs, which keeps
+/// exploration reproducible.
 #[derive(Clone, Debug)]
 pub struct Fnv1a(u64);
 

@@ -1,0 +1,222 @@
+//! BFS frontier with optional disk spill.
+//!
+//! Layer-by-layer BFS at 10⁸ states has two resident costs: the visited set
+//! and the frontier (the unexpanded wavefront, which for wide models can be
+//! a large fraction of a whole layer). The store module shrinks the first;
+//! this module bounds the second. When a spill segment size is configured
+//! ([`Checker::spill`](crate::Checker::spill)) the frontier keeps at most
+//! two segments in memory (the head being consumed and the tail being
+//! filled); everything in between lives in temporary segment files and
+//! streams back in FIFO order. BFS depth then scales with disk, not RSS.
+//!
+//! Spill format (little-endian, per queued node):
+//!
+//! ```text
+//! depth: u32 | ebits: u32 | node: u32 | ncomps: u16 | ncomps × (len: u32, bytes)
+//! ```
+//!
+//! The component bytes are the model's own [`Model::components`] split —
+//! the same representation the collapse store interns — and are restored
+//! with [`Model::reassemble`]. Spilling therefore requires a componentized
+//! model; for models without a component split the spill setting is ignored
+//! and the frontier stays fully in memory.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::model::Model;
+use crate::store::pack_components;
+
+/// One queued BFS node. `node` indexes the provenance arena when path
+/// tracking is on (`u32::MAX` when off); `ebits` is the eventually-bits
+/// product mask.
+pub(crate) struct QItem<M: Model> {
+    pub(crate) state: M::State,
+    pub(crate) ebits: u32,
+    pub(crate) node: u32,
+    pub(crate) depth: u32,
+}
+
+/// Monotonic counter so concurrent checkers in one process never collide on
+/// segment file names.
+static SEG_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// FIFO frontier: fully in-memory, or spilling full segments to disk.
+pub(crate) enum Frontier<M: Model> {
+    /// Plain in-memory queue (the default).
+    Mem(VecDeque<QItem<M>>),
+    /// Bounded-memory queue with disk segments between head and tail.
+    Spill(SpillFrontier<M>),
+}
+
+impl<M: Model> Frontier<M> {
+    pub(crate) fn in_memory() -> Self {
+        Frontier::Mem(VecDeque::new())
+    }
+
+    /// A spilling frontier holding at most `segment` nodes in each of its
+    /// two resident segments. Files go to `dir`.
+    pub(crate) fn spilling(segment: usize, dir: PathBuf) -> Self {
+        Frontier::Spill(SpillFrontier {
+            head: VecDeque::new(),
+            tail: Vec::new(),
+            segs: VecDeque::new(),
+            segment: segment.max(1),
+            dir,
+            len: 0,
+            segments_written: 0,
+            spilled_nodes: 0,
+            spilled_bytes: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Frontier::Mem(q) => q.len(),
+            Frontier::Spill(s) => s.len,
+        }
+    }
+
+    pub(crate) fn push(&mut self, model: &M, item: QItem<M>) {
+        match self {
+            Frontier::Mem(q) => q.push_back(item),
+            Frontier::Spill(s) => s.push(model, item),
+        }
+    }
+
+    pub(crate) fn pop(&mut self, model: &M) -> Option<QItem<M>> {
+        match self {
+            Frontier::Mem(q) => q.pop_front(),
+            Frontier::Spill(s) => s.pop(model),
+        }
+    }
+
+    /// (segments written, nodes spilled, bytes spilled) over the whole run.
+    pub(crate) fn spill_stats(&self) -> (u64, u64, u64) {
+        match self {
+            Frontier::Mem(_) => (0, 0, 0),
+            Frontier::Spill(s) => (s.segments_written, s.spilled_nodes, s.spilled_bytes),
+        }
+    }
+}
+
+/// The spilling variant: `head` is being consumed, `tail` is being filled,
+/// and `segs` are full segments parked on disk between them.
+pub(crate) struct SpillFrontier<M: Model> {
+    head: VecDeque<QItem<M>>,
+    tail: Vec<QItem<M>>,
+    segs: VecDeque<PathBuf>,
+    segment: usize,
+    dir: PathBuf,
+    len: usize,
+    segments_written: u64,
+    spilled_nodes: u64,
+    spilled_bytes: u64,
+    buf: Vec<u8>,
+}
+
+impl<M: Model> SpillFrontier<M> {
+    fn push(&mut self, model: &M, item: QItem<M>) {
+        self.len += 1;
+        // While nothing has spilled yet the head doubles as the only
+        // segment, so short runs never touch disk.
+        if self.segs.is_empty() && self.tail.is_empty() && self.head.len() < self.segment {
+            self.head.push_back(item);
+            return;
+        }
+        self.tail.push(item);
+        if self.tail.len() >= self.segment {
+            self.spill_tail(model);
+        }
+    }
+
+    fn pop(&mut self, model: &M) -> Option<QItem<M>> {
+        if self.head.is_empty() {
+            if let Some(path) = self.segs.pop_front() {
+                self.head = self.read_segment(model, &path);
+            } else if !self.tail.is_empty() {
+                self.head.extend(self.tail.drain(..));
+            }
+        }
+        let item = self.head.pop_front();
+        if item.is_some() {
+            self.len -= 1;
+        }
+        item
+    }
+
+    fn spill_tail(&mut self, model: &M) {
+        let path = self.dir.join(format!(
+            "mck-frontier-{}-{}.seg",
+            std::process::id(),
+            SEG_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = File::create(&path).expect("frontier spill: create segment file");
+        let mut w = BufWriter::new(file);
+        let mut comps: Vec<Vec<u8>> = Vec::new();
+        let mut written = 0u64;
+        for item in self.tail.drain(..) {
+            assert!(
+                model.components(&item.state, &mut comps),
+                "spilling frontier requires a componentized model"
+            );
+            pack_components(&comps, &mut self.buf);
+            w.write_all(&item.depth.to_le_bytes()).expect("frontier spill: write");
+            w.write_all(&item.ebits.to_le_bytes()).expect("frontier spill: write");
+            w.write_all(&item.node.to_le_bytes()).expect("frontier spill: write");
+            w.write_all(&(comps.len() as u16).to_le_bytes()).expect("frontier spill: write");
+            w.write_all(&self.buf).expect("frontier spill: write");
+            written += 14 + self.buf.len() as u64;
+            self.spilled_nodes += 1;
+        }
+        w.flush().expect("frontier spill: flush");
+        self.spilled_bytes += written;
+        self.segments_written += 1;
+        self.segs.push_back(path);
+    }
+
+    fn read_segment(&mut self, model: &M, path: &PathBuf) -> VecDeque<QItem<M>> {
+        let file = File::open(path).expect("frontier spill: open segment file");
+        let mut r = BufReader::new(file);
+        let mut out = VecDeque::with_capacity(self.segment);
+        let mut comps: Vec<Vec<u8>> = Vec::new();
+        loop {
+            let mut hdr = [0u8; 14];
+            match r.read_exact(&mut hdr) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => panic!("frontier spill: read segment header: {e}"),
+            }
+            let depth = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+            let ebits = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+            let node = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+            let ncomps = u16::from_le_bytes(hdr[12..14].try_into().unwrap()) as usize;
+            comps.clear();
+            for _ in 0..ncomps {
+                let mut lenb = [0u8; 4];
+                r.read_exact(&mut lenb).expect("frontier spill: read component length");
+                let mut comp = vec![0u8; u32::from_le_bytes(lenb) as usize];
+                r.read_exact(&mut comp).expect("frontier spill: read component");
+                comps.push(comp);
+            }
+            let state = model
+                .reassemble(&comps)
+                .expect("frontier spill: reassemble state from its own components");
+            out.push_back(QItem { state, ebits, node, depth });
+        }
+        let _ = std::fs::remove_file(path);
+        out
+    }
+}
+
+impl<M: Model> Drop for SpillFrontier<M> {
+    fn drop(&mut self) {
+        for path in self.segs.drain(..) {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

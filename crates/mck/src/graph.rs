@@ -8,7 +8,6 @@
 
 use std::collections::HashMap;
 
-use crate::fingerprint::fingerprint;
 use crate::model::Model;
 
 /// A fully materialized reachable state graph.
@@ -79,8 +78,12 @@ fn escape(s: &str) -> String {
 }
 
 /// Explore the reachable graph breadth-first, up to `max_states` nodes.
+///
+/// Interning is *exact* (keyed on the state itself, not a fingerprint): a
+/// materialized graph is the ground truth other artifacts get diffed
+/// against, so it must never merge two distinct states on a hash collision.
 pub fn explore<M: Model>(model: &M, max_states: usize) -> StateGraph<M> {
-    let mut ids: HashMap<u64, usize> = HashMap::new();
+    let mut ids: HashMap<M::State, usize> = HashMap::new();
     let mut states: Vec<M::State> = Vec::new();
     let mut edges: Vec<(usize, M::Action, usize)> = Vec::new();
     let mut inits = Vec::new();
@@ -89,11 +92,10 @@ pub fn explore<M: Model>(model: &M, max_states: usize) -> StateGraph<M> {
 
     let intern = |state: M::State,
                       states: &mut Vec<M::State>,
-                      ids: &mut HashMap<u64, usize>,
+                      ids: &mut HashMap<M::State, usize>,
                       queue: &mut Vec<usize>|
      -> usize {
-        let fp = fingerprint(&state);
-        *ids.entry(fp).or_insert_with(|| {
+        *ids.entry(state.clone()).or_insert_with(|| {
             states.push(state);
             queue.push(states.len() - 1);
             states.len() - 1

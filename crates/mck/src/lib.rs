@@ -23,6 +23,15 @@
 //!   fingerprint table with per-worker node arenas. All three check the
 //!   same property classes with the same semantics and agree on state
 //!   counts, verdicts, and the `max_states`/`max_depth` bounds.
+//! * **Pluggable visited-state stores** ([`StoreMode`]): hash-compact
+//!   64-bit fingerprints (default), exact serialized states, COLLAPSE-style
+//!   component interning ([`store::CollapseSet`] — exact and ~an order of
+//!   magnitude smaller on protocol models), and Bloom bitstate hashing with
+//!   a stated omission probability ([`CheckStats::omission_probability`]).
+//! * **Hyper-scale search reductions**: ample-set partial-order reduction
+//!   ([`Checker::por`], driven by [`Model::reduced_actions`] independence
+//!   metadata) and a disk-spillable BFS frontier ([`Checker::spill`]) so
+//!   exploration depth is bounded by disk, not RSS.
 //!
 //! # Quick example
 //!
@@ -69,12 +78,14 @@
 pub mod channel;
 pub mod checker;
 pub mod fingerprint;
+pub(crate) mod frontier;
 pub mod graph;
 pub mod model;
 pub mod path;
 pub mod property;
 pub mod simulate;
 pub mod stats;
+pub mod store;
 
 pub use channel::{Chan, ChanSemantics, DeliveryChoice};
 pub use checker::{default_workers, CheckResult, Checker, SearchStrategy, Verdict, Violation};
@@ -84,4 +95,5 @@ pub use model::Model;
 pub use path::{render_path, Path};
 pub use property::{Expectation, Property};
 pub use simulate::{RandomWalk, WalkOutcome, WalkReport};
-pub use stats::CheckStats;
+pub use stats::{CheckStats, StoreKind, StoreStats};
+pub use store::StoreMode;

@@ -65,6 +65,51 @@ pub trait Model {
     fn format_action(&self, action: &Self::Action) -> String {
         format!("{action:?}")
     }
+
+    /// Split `state` into its independent components (per-process control +
+    /// locals, per-channel queues, globals) as byte vectors, returning `true`
+    /// when the model supports the split. The split powers the collapse and
+    /// exact stores and the spillable frontier; every call must produce the
+    /// same number of components in the same order, and
+    /// [`Model::reassemble`] must invert it exactly.
+    ///
+    /// `out` may carry previous contents; implementations must clear it.
+    /// The default (`false`) keeps the engines on fingerprint-only storage.
+    fn components(&self, _state: &Self::State, _out: &mut Vec<Vec<u8>>) -> bool {
+        false
+    }
+
+    /// Rebuild a state from the byte components produced by
+    /// [`Model::components`]. Returns `None` on malformed input. Required
+    /// (with `components`) for the spillable frontier and the exact store.
+    fn reassemble(&self, _comps: &[Vec<u8>]) -> Option<Self::State> {
+        None
+    }
+
+    /// Partial-order reduction hook: fill `out` with an *ample subset* of
+    /// the enabled actions of `state` and return `true`, or return `false`
+    /// to request full expansion. An implementation returning `true` asserts
+    /// the ample-set conditions: the chosen actions belong to one process
+    /// whose enabled transitions are independent of every other process's
+    /// (disjoint reads/writes, no shared channel), and invisible to all
+    /// properties and the boundary. The engines enforce the cycle proviso on
+    /// top (a fully-explored ample set forces full expansion), so a correct
+    /// implementation here preserves verdicts for the property classes the
+    /// checker supports.
+    ///
+    /// `out` may carry previous contents; implementations must clear it.
+    /// The default (`false`) means no reduction.
+    fn reduced_actions(&self, _state: &Self::State, _out: &mut Vec<Self::Action>) -> bool {
+        false
+    }
+
+    /// One-line self-description for benches and reports (so result files
+    /// name the model from its own config, not from string literals at call
+    /// sites). Defaults to the implementing type's name.
+    fn describe(&self) -> String {
+        let full = std::any::type_name::<Self>();
+        full.rsplit("::").next().unwrap_or(full).to_string()
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +152,16 @@ mod tests {
     fn default_formatting_uses_debug() {
         assert_eq!(TwoStep.format_state(&7), "7");
         assert_eq!(TwoStep.format_action(&()), "()");
+    }
+
+    #[test]
+    fn default_store_hooks_opt_out() {
+        let mut comps = Vec::new();
+        assert!(!TwoStep.components(&0, &mut comps));
+        assert!(TwoStep.reassemble(&comps).is_none());
+        let mut acts = Vec::new();
+        assert!(!TwoStep.reduced_actions(&0, &mut acts));
+        assert_eq!(TwoStep.describe(), "TwoStep");
     }
 
     #[test]

@@ -72,6 +72,27 @@ impl<S, A> Path<S, A> {
     }
 }
 
+impl<S: Clone, A: Clone> Path<S, A> {
+    /// Reconstruct a path by replaying `actions` from `init` through the
+    /// model's transition function. Returns `None` if any action is vetoed.
+    ///
+    /// This is how the BFS engine materializes counterexamples: it records
+    /// only `(parent, action)` provenance per node — never full states — and
+    /// replays the action sequence on demand, which is exact because models
+    /// are deterministic per `(state, action)`.
+    pub fn replay<M>(model: &M, init: S, actions: &[A]) -> Option<Self>
+    where
+        M: crate::model::Model<State = S, Action = A>,
+    {
+        let mut path = Path::new(init);
+        for action in actions {
+            let next = model.next_state(path.last_state(), action)?;
+            path.push(action.clone(), next);
+        }
+        Some(path)
+    }
+}
+
 impl<S: fmt::Debug, A: fmt::Debug> fmt::Display for Path<S, A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "  [init] {:?}", self.init)?;
@@ -162,6 +183,27 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.len(), 0);
         assert_eq!(*p.last_state(), 1);
+    }
+
+    #[test]
+    fn replay_reconstructs_exact_path() {
+        use crate::checker::testmodels::Counter;
+        let model = Counter { max: 10, forbid: None, must_reach: None };
+        let p = Path::replay(&model, 0u8, &[2u8, 2, 1]).expect("legal actions");
+        let states: Vec<u8> = p.states().copied().collect();
+        assert_eq!(states, vec![0, 2, 4, 5]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn replay_propagates_vetoed_transitions() {
+        use crate::checker::testmodels::Counter;
+        let model = Counter { max: 3, forbid: None, must_reach: None };
+        // Counter's next_state never vetoes, so replay always succeeds; an
+        // empty action list is the degenerate exact witness.
+        let p = Path::replay(&model, 1u8, &[]).unwrap();
+        assert_eq!(*p.last_state(), 1);
+        assert!(p.is_empty());
     }
 
     #[test]

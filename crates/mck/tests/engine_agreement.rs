@@ -1,5 +1,7 @@
 //! Cross-engine agreement: BFS, DFS and ParallelBfs must report the same
-//! state counts and the same property verdicts on the same model.
+//! state counts and the same property verdicts on the same model — and the
+//! visited-store mode (hash-compact, exact, collapse) must change nothing
+//! observable under any of them.
 //!
 //! The models here are seeded random DAGs — states carry a strictly
 //! increasing level, so the space is acyclic and DFS's extra lasso
@@ -86,6 +88,20 @@ impl Model for RandomDag {
             }),
         ]
     }
+
+    fn components(&self, state: &(u8, u8), out: &mut Vec<Vec<u8>>) -> bool {
+        out.clear();
+        out.push(vec![state.0]);
+        out.push(vec![state.1]);
+        true
+    }
+
+    fn reassemble(&self, comps: &[Vec<u8>]) -> Option<(u8, u8)> {
+        if comps.len() != 2 || comps[0].len() != 1 || comps[1].len() != 1 {
+            return None;
+        }
+        Some((comps[0][0], comps[1][0]))
+    }
 }
 
 /// What each engine reported; the fields the engines must agree on.
@@ -136,6 +152,68 @@ fn engines_agree_on_random_dags() {
                 got, reference,
                 "seed {seed}: {strategy:?} disagrees with BFS"
             );
+        }
+    }
+}
+
+/// Like [`outcome`], but with an explicit visited-store mode, also
+/// collecting per-property witness lengths (comparable only across runs of
+/// the *same* strategy: DFS counterexamples are legitimately longer).
+fn outcome_with_store(
+    model: RandomDag,
+    strategy: SearchStrategy,
+    store: mck::StoreMode,
+) -> (Outcome, Vec<(&'static str, usize)>) {
+    let checker = Checker::new(model).strategy(strategy).store(store);
+    let result = checker.run();
+    let mut lens: Vec<(&'static str, usize)> = result
+        .violations
+        .iter()
+        .map(|v| (v.property, v.path.len()))
+        .collect();
+    lens.sort_unstable();
+    let mut violated: Vec<&'static str> =
+        result.violations.iter().map(|v| v.property).collect();
+    violated.sort_unstable();
+    (
+        Outcome {
+            unique_states: result.stats.unique_states,
+            terminal_states: result.stats.terminal_states,
+            complete: result.complete,
+            violated,
+        },
+        lens,
+    )
+}
+
+#[test]
+fn stores_agree_with_hash_compact_across_engines() {
+    // The exact and collapse stores must change nothing observable next to
+    // the fingerprint store: same coverage, same verdicts, and — within
+    // each strategy — the same witness lengths.
+    for seed in 0..12u64 {
+        for strategy in [
+            SearchStrategy::Bfs,
+            SearchStrategy::Dfs,
+            SearchStrategy::ParallelBfs { workers: 2 },
+        ] {
+            let (reference, ref_lens) = outcome_with_store(
+                RandomDag::from_seed(seed),
+                strategy,
+                mck::StoreMode::HashCompact,
+            );
+            for store in [mck::StoreMode::Exact, mck::StoreMode::Collapse] {
+                let (got, lens) =
+                    outcome_with_store(RandomDag::from_seed(seed), strategy, store);
+                assert_eq!(
+                    got, reference,
+                    "seed {seed}: {strategy:?} × {store:?} disagrees with hash-compact"
+                );
+                assert_eq!(
+                    lens, ref_lens,
+                    "seed {seed}: {strategy:?} × {store:?} witness lengths drifted"
+                );
+            }
         }
     }
 }

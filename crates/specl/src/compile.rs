@@ -53,6 +53,34 @@ pub struct Program {
     pub props: Vec<PropDef>,
     /// Boundary predicate.
     pub boundary: Option<CExpr>,
+    /// Partial-order-reduction metadata derived during lowering.
+    pub por: PorInfo,
+}
+
+/// Static independence facts driving [`mck::Model::reduced_actions`].
+///
+/// A process `p` qualifies for ample-set reduction when nothing outside `p`
+/// can observe or perturb its moves:
+///
+/// * **unobserved** — no property, boundary, or other process's guard /
+///   assignment expression reads `p`'s locals or tests `p @ State`;
+/// * **undeliverable** — every channel routed to `p` either is never sent
+///   on (init included) or carries only messages `p` has no `recv` edge
+///   for anywhere, so a delivery can never execute `p`'s code;
+/// * **self-contained location** — every `when` edge at `p`'s current
+///   location has a guard reading only `p`'s own locals / own location and
+///   a body of own-local assignments and `goto`s (no sends, no globals).
+///
+/// Under those conditions `p`'s enabled `when` edges form a valid ample
+/// set: they commute with every other action and are invisible to the
+/// properties. The engines add the cycle proviso on top.
+#[derive(Debug)]
+pub struct PorInfo {
+    /// Per process: unobserved and undeliverable (conditions 1–2).
+    pub independent: Vec<bool>,
+    /// Per process, per state: condition 3 holds and the state has at
+    /// least one `when` edge.
+    pub ample_locs: Vec<Vec<bool>>,
 }
 
 /// A lowered channel.
@@ -447,6 +475,7 @@ pub fn lower(spec: &Spec) -> SpecModel {
         })
         .collect();
     let boundary = spec.boundary.as_ref().map(|b| lx(b, None));
+    let por = analyze_por(&chans, &procs, &props, &boundary);
 
     SpecModel {
         program: Arc::new(Program {
@@ -458,11 +487,144 @@ pub fn lower(spec: &Spec) -> SpecModel {
             procs,
             props,
             boundary,
+            por,
         }),
     }
 }
 
+/// True when `e` reads nothing outside process `pi` (its `locals` slot
+/// range and its own `@` location).
+fn expr_self_contained(e: &CExpr, pi: usize, locals: &std::ops::Range<usize>) -> bool {
+    match e {
+        CExpr::Lit(_) => true,
+        CExpr::Var(slot) => locals.contains(slot),
+        CExpr::AtLoc(p, _) => *p == pi,
+        CExpr::Unary(_, x) => expr_self_contained(x, pi, locals),
+        CExpr::Binary(_, a, b) => {
+            expr_self_contained(a, pi, locals) && expr_self_contained(b, pi, locals)
+        }
+    }
+}
+
+/// True when `e` reads any of process `pi`'s locals or tests its location.
+fn expr_observes(e: &CExpr, pi: usize, locals: &std::ops::Range<usize>) -> bool {
+    match e {
+        CExpr::Lit(_) => false,
+        CExpr::Var(slot) => locals.contains(slot),
+        CExpr::AtLoc(p, _) => *p == pi,
+        CExpr::Unary(_, x) => expr_observes(x, pi, locals),
+        CExpr::Binary(_, a, b) => {
+            expr_observes(a, pi, locals) || expr_observes(b, pi, locals)
+        }
+    }
+}
+
+/// Derive [`PorInfo`] from the lowered tables (see its docs for the three
+/// conditions). Purely syntactic and conservative: a `false` never makes
+/// the reduction unsound, only less effective.
+fn analyze_por(
+    chans: &[ChanDef],
+    procs: &[ProcDef],
+    props: &[PropDef],
+    boundary: &Option<CExpr>,
+) -> PorInfo {
+    // Channels that any init block or edge body ever sends on.
+    let mut sent = vec![false; chans.len()];
+    let mark = |ops: &[Op], sent: &mut Vec<bool>| {
+        for op in ops {
+            if let Op::Send(ci, _) = op {
+                sent[*ci] = true;
+            }
+        }
+    };
+    for p in procs {
+        mark(&p.init_ops, &mut sent);
+        for s in &p.states {
+            for e in &s.edges {
+                mark(&e.ops, &mut sent);
+            }
+        }
+    }
+    let recvs_on = |pi: usize, ci: usize| {
+        procs[pi].states.iter().any(|s| {
+            s.edges
+                .iter()
+                .any(|e| matches!(e.trigger, EdgeTrigger::Recv { chan, .. } if chan == ci))
+        })
+    };
+
+    let independent = (0..procs.len())
+        .map(|pi| {
+            let locals = &procs[pi].local_slots;
+            let observes = |e: &CExpr| expr_observes(e, pi, locals);
+            let ops_observe = |ops: &[Op]| {
+                ops.iter()
+                    .any(|op| matches!(op, Op::Set(_, e) if observes(e)))
+            };
+            let observed = props.iter().any(|p| observes(&p.cond))
+                || boundary.as_ref().is_some_and(observes)
+                || procs.iter().enumerate().any(|(qi, q)| {
+                    qi != pi
+                        && (ops_observe(&q.init_ops)
+                            || q.states.iter().any(|s| {
+                                s.edges.iter().any(|e| {
+                                    e.guard.as_ref().is_some_and(observes)
+                                        || ops_observe(&e.ops)
+                                })
+                            }))
+                });
+            let deliverable = chans
+                .iter()
+                .enumerate()
+                .any(|(ci, c)| c.to == pi && sent[ci] && recvs_on(pi, ci));
+            !observed && !deliverable
+        })
+        .collect();
+
+    let ample_locs = procs
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            let locals = &p.local_slots;
+            p.states
+                .iter()
+                .map(|s| {
+                    let mut whens = s
+                        .edges
+                        .iter()
+                        .filter(|e| e.trigger == EdgeTrigger::When)
+                        .peekable();
+                    whens.peek().is_some()
+                        && whens.all(|e| {
+                            e.guard
+                                .as_ref()
+                                .is_none_or(|g| expr_self_contained(g, pi, locals))
+                                && e.ops.iter().all(|op| match op {
+                                    Op::Set(slot, v) => {
+                                        locals.contains(slot)
+                                            && expr_self_contained(v, pi, locals)
+                                    }
+                                    Op::Goto(_) => true,
+                                    Op::Send(..) => false,
+                                })
+                        })
+                })
+                .collect()
+        })
+        .collect();
+
+    PorInfo {
+        independent,
+        ample_locs,
+    }
+}
+
 impl Program {
+    /// Number of global variable slots (they precede all locals).
+    pub fn global_count(&self) -> usize {
+        self.vars.len() - self.procs.iter().map(|p| p.local_slots.len()).sum::<usize>()
+    }
+
     fn eval(&self, e: &CExpr, s: &SpecState) -> i64 {
         match e {
             CExpr::Lit(n) => *n,
@@ -701,6 +863,126 @@ impl Model for SpecModel {
         }
     }
 
+    /// Component split for collapse interning and frontier spilling: one
+    /// component of globals, one per process (location + locals), one per
+    /// channel (budget, overflow, queue).
+    fn components(&self, s: &SpecState, out: &mut Vec<Vec<u8>>) -> bool {
+        out.clear();
+        let prog = &*self.program;
+        let n_globals = prog.global_count();
+        let mut g = Vec::with_capacity(n_globals * 8);
+        for slot in 0..n_globals {
+            g.extend_from_slice(&s.vars[slot].to_le_bytes());
+        }
+        out.push(g);
+        for (pi, p) in prog.procs.iter().enumerate() {
+            let mut c = Vec::with_capacity(2 + p.local_slots.len() * 8);
+            c.extend_from_slice(&s.locs[pi].to_le_bytes());
+            for slot in p.local_slots.clone() {
+                c.extend_from_slice(&s.vars[slot].to_le_bytes());
+            }
+            out.push(c);
+        }
+        for cs in &s.chans {
+            let mut c = Vec::with_capacity(7 + cs.queue.len() * 2);
+            c.push(cs.dup_left);
+            c.extend_from_slice(&cs.overflow.to_le_bytes());
+            c.extend_from_slice(&(cs.queue.len() as u16).to_le_bytes());
+            for &m in &cs.queue {
+                c.extend_from_slice(&m.to_le_bytes());
+            }
+            out.push(c);
+        }
+        true
+    }
+
+    fn reassemble(&self, comps: &[Vec<u8>]) -> Option<SpecState> {
+        let prog = &*self.program;
+        if comps.len() != 1 + prog.procs.len() + prog.chans.len() {
+            return None;
+        }
+        let n_globals = prog.global_count();
+        let mut vars = vec![0i64; prog.vars.len()];
+        let g = &comps[0];
+        if g.len() != n_globals * 8 {
+            return None;
+        }
+        for (i, chunk) in g.chunks_exact(8).enumerate() {
+            vars[i] = i64::from_le_bytes(chunk.try_into().ok()?);
+        }
+        let mut locs = vec![0u16; prog.procs.len()];
+        for (pi, p) in prog.procs.iter().enumerate() {
+            let c = &comps[1 + pi];
+            if c.len() != 2 + p.local_slots.len() * 8 {
+                return None;
+            }
+            locs[pi] = u16::from_le_bytes([c[0], c[1]]);
+            for (j, slot) in p.local_slots.clone().enumerate() {
+                let off = 2 + j * 8;
+                vars[slot] = i64::from_le_bytes(c[off..off + 8].try_into().ok()?);
+            }
+        }
+        let mut chans = Vec::with_capacity(prog.chans.len());
+        for ci in 0..prog.chans.len() {
+            let c = &comps[1 + prog.procs.len() + ci];
+            if c.len() < 7 {
+                return None;
+            }
+            let dup_left = c[0];
+            let overflow = u32::from_le_bytes(c[1..5].try_into().ok()?);
+            let qlen = usize::from(u16::from_le_bytes([c[5], c[6]]));
+            if c.len() != 7 + qlen * 2 {
+                return None;
+            }
+            let queue = c[7..]
+                .chunks_exact(2)
+                .map(|b| u16::from_le_bytes([b[0], b[1]]))
+                .collect();
+            chans.push(ChanState {
+                queue,
+                dup_left,
+                overflow,
+            });
+        }
+        Some(SpecState { locs, vars, chans })
+    }
+
+    /// Ample set from the lowering's [`PorInfo`]: the enabled `when` edges
+    /// of the first process that is independent and self-contained at its
+    /// current location (see [`PorInfo`] for why that set is sound).
+    fn reduced_actions(&self, s: &SpecState, out: &mut Vec<SpecAction>) -> bool {
+        let prog = &*self.program;
+        for (pi, p) in prog.procs.iter().enumerate() {
+            if !prog.por.independent[pi] {
+                continue;
+            }
+            let loc = s.locs[pi] as usize;
+            if !prog.por.ample_locs[pi][loc] {
+                continue;
+            }
+            out.clear();
+            for (k, e) in p.states[loc].edges.iter().enumerate() {
+                if e.trigger == EdgeTrigger::When
+                    && e.guard.as_ref().is_none_or(|g| prog.eval_bool(g, s))
+                {
+                    out.push(SpecAction::Edge {
+                        proc: pi as u16,
+                        state: loc as u16,
+                        edge: k as u16,
+                    });
+                }
+            }
+            if !out.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn describe(&self) -> String {
+        format!("spec:{}", self.program.name)
+    }
+
     fn format_state(&self, s: &SpecState) -> String {
         use std::fmt::Write;
         let prog = &*self.program;
@@ -723,7 +1005,7 @@ impl Model for SpecModel {
                 out.push('}');
             }
         }
-        let n_globals = prog.vars.len() - prog.procs.iter().map(|p| p.local_slots.len()).sum::<usize>();
+        let n_globals = prog.global_count();
         if n_globals > 0 {
             out.push_str(" |");
             for slot in 0..n_globals {
@@ -934,6 +1216,86 @@ never RallyDone: p @ Done;
         assert!(txt.contains("rallies=0"), "{txt}");
         assert!(txt.contains("up=[Ping] dup=1 lost=0"), "{txt}");
         assert!(txt.contains("down=[]"), "{txt}");
+    }
+
+    #[test]
+    fn components_roundtrip_every_reachable_state() {
+        let model = compile(PINGPONG).unwrap();
+        let graph = mck::explore(&model, 10_000);
+        assert!(graph.complete);
+        let mut comps = Vec::new();
+        for s in &graph.states {
+            comps.clear();
+            assert!(model.components(s, &mut comps));
+            assert_eq!(comps.len(), 1 + 2 + 2, "globals + 2 procs + 2 chans");
+            let back = model.reassemble(&comps).expect("well-formed components");
+            assert_eq!(&back, s, "intern→reconstruct must be the identity");
+        }
+    }
+
+    #[test]
+    fn reassemble_rejects_malformed_components() {
+        let model = compile(PINGPONG).unwrap();
+        let s = model.init_states().remove(0);
+        let mut comps = Vec::new();
+        model.components(&s, &mut comps);
+        assert!(model.reassemble(&comps[..2]).is_none(), "wrong arity");
+        let mut bad = comps.clone();
+        bad[1].push(0xff);
+        assert!(model.reassemble(&bad).is_none(), "wrong proc length");
+        let mut bad = comps.clone();
+        let last = bad.len() - 1;
+        bad[last].truncate(3);
+        assert!(model.reassemble(&bad).is_none(), "truncated channel");
+    }
+
+    const POR_SPEC: &str = "
+        spec por;
+        global done: bool = false;
+        proc a { state S { when !done { goto T; } } state T { } }
+        proc b {
+            var n: int 0..3 = 0;
+            state U { when n < 3 { n = n + 1; } }
+        }
+        never Impossible: done;
+    ";
+
+    #[test]
+    fn por_metadata_separates_private_from_observed_procs() {
+        let model = compile(POR_SPEC).unwrap();
+        let por = &model.program.por;
+        // `a` guards on the global `done`, so its edges are not
+        // self-contained; `b` touches only its own counter.
+        assert_eq!(por.independent, vec![true, true]);
+        assert!(!por.ample_locs[0][0], "a@S reads a global");
+        assert!(por.ample_locs[1][0], "b@U is self-contained");
+    }
+
+    #[test]
+    fn por_reduces_interleavings_and_agrees_on_verdicts() {
+        let full = Checker::new(compile(POR_SPEC).unwrap())
+            .strategy(SearchStrategy::Bfs)
+            .run();
+        let reduced = Checker::new(compile(POR_SPEC).unwrap())
+            .strategy(SearchStrategy::Bfs)
+            .por(true)
+            .run();
+        assert_eq!(full.stats.unique_states, 8, "{{S,T}} × n∈0..=3");
+        assert_eq!(reduced.stats.unique_states, 5, "b runs to completion first");
+        assert!(full.complete && reduced.complete);
+        assert!(full.violations.is_empty() && reduced.violations.is_empty());
+    }
+
+    #[test]
+    fn sending_procs_never_get_ample_sets() {
+        // p sends and q receives: neither qualifies (p's edge sends, q is
+        // deliverable), so reduced_actions must decline.
+        let model = compile(PINGPONG).unwrap();
+        let por = &model.program.por;
+        assert_eq!(por.independent, vec![false, false]);
+        let s = model.init_states().remove(0);
+        let mut ample = Vec::new();
+        assert!(!model.reduced_actions(&s, &mut ample));
     }
 
     #[test]
