@@ -166,6 +166,10 @@ fn main() {
         remedies_exp(seed);
         ran_any = true;
     }
+    if exp == "fivegs" {
+        fivegs();
+        ran_any = true;
+    }
     if run("f12l") {
         figure12_left(seed);
         ran_any = true;
@@ -219,6 +223,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fleetdigest", "deterministic fleet report digest (golden-diffed)"),
     ("live", "in-line fleet verdicts under a fault campaign (golden-diffed; --trace sets retention)"),
     ("remedies", "differential remedy matrix + spec overlays + fleet rollout (golden-diffed)"),
+    ("fivegs", "5G NR / NSA corpus: timing-lattice sweep, S7-S10 diagnosis, witnesses (golden-diffed)"),
     ("t1", "Table 1 — finding summary"),
     ("t2", "Table 2 — studied protocols"),
     ("t3", "Table 3 — PDP context deactivation causes"),
@@ -482,16 +487,26 @@ fn statespace() {
 
     section("Partial-order reduction — full vs reduced on every shipped spec");
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
-    let specs = match cnetverifier::load_specs(&dir) {
+    let mut specs = match cnetverifier::load_specs(&dir) {
         Ok(specs) => specs,
         Err(e) => {
             eprintln!("spec loading failed:\n{e}");
             std::process::exit(1);
         }
     };
+    // The 5G corpus rides along: its timer fires serialize through the
+    // priority cell, so it exercises the ample-set filter differently from
+    // the message-only Table-1 specs.
+    match cnetverifier::load_specs(&dir.join("fivegs")) {
+        Ok(more) => specs.extend(more),
+        Err(e) => {
+            eprintln!("fivegs spec loading failed:\n{e}");
+            std::process::exit(1);
+        }
+    }
     println!(
-        "{:<25} {:>11} {:>11} {:>11} {:>11}  verdicts-agree",
-        "file", "full-states", "por-states", "full-trans", "por-trans"
+        "{:<28} {:>11} {:>11} {:>11} {:>11} {:>9}  verdicts-agree",
+        "file", "full-states", "por-states", "full-trans", "por-trans", "trans-cut"
     );
     let mut all_agree = true;
     for spec in &specs {
@@ -509,13 +524,17 @@ fn statespace() {
         };
         let agree = full.complete == red.complete && verdicts(&full) == verdicts(&red);
         all_agree &= agree;
+        // POR effectiveness: the share of full-exploration transitions the
+        // ample sets eliminated.
+        let cut = 100.0 * (1.0 - red.stats.transitions as f64 / full.stats.transitions.max(1) as f64);
         println!(
-            "{:<25} {:>11} {:>11} {:>11} {:>11}  {}",
+            "{:<28} {:>11} {:>11} {:>11} {:>11} {:>9}  {}",
             spec.file,
             full.stats.unique_states,
             red.stats.unique_states,
             full.stats.transitions,
             red.stats.transitions,
+            format!("{cut:.0}%"),
             if agree { "yes" } else { "NO" },
         );
     }
@@ -1217,4 +1236,155 @@ fn section93(seed: u64) {
         "MME LU-failure recovery verified on FSMs: {}",
         remedies::verify_mme_lu_recovery()
     );
+}
+
+/// `--exp fivegs` — the 5G NR / NSA scenario corpus under the timing
+/// lattice. Every spec in `specs/fivegs/` is swept across the `{1,4}^n`
+/// product of per-timer scale stretches with exhaustive sequential BFS at
+/// each point: a property violated at *every* point is a candidate design
+/// defect (no retuning of timers closes it), one violated only at *some*
+/// points is a timing-induced operational slip. The lattice tables, the
+/// S7-S10 candidate-defect summary, the replayable witnesses, and the
+/// dual-engine conformance table are all pure functions of the specs, so
+/// CI diffs stdout against `crates/bench/golden/fivegs_smoke.txt`.
+fn fivegs() {
+    use cnetverifier::{Instance, LatticeDiagnosis};
+
+    section("5G NR / NSA corpus — timing-lattice screening (specs/fivegs)");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/fivegs");
+    let lattices =
+        match cnetverifier::sweep_timer_scales(&dir, cnetverifier::ScreenBudget::default()) {
+            Ok(lattices) => lattices,
+            Err(e) => {
+                eprintln!("timing-lattice sweep failed:\n{e}");
+                std::process::exit(1);
+            }
+        };
+    for l in &lattices {
+        println!(
+            "\nspec {} <{}> — {} against {}",
+            l.name, l.file, l.instance, l.property
+        );
+        println!(
+            "  {:<24} {:>9} {:>9} {:>8}",
+            "scale point", "states", "verdict", "witness"
+        );
+        for p in &l.points {
+            println!(
+                "  {:<24} {:>9} {:>9} {:>8}",
+                p.label,
+                p.states,
+                if p.violated { "violated" } else { "holds" },
+                p.witness.map_or_else(|| "-".to_string(), |n| n.to_string()),
+            );
+        }
+        println!(
+            "  -> {}/{} lattice points violated: {}",
+            l.violated_points(),
+            l.points.len(),
+            l.diagnosis()
+        );
+    }
+
+    section("Candidate defects beyond Table 1 — S7-S10 diagnosis");
+    let mut ordered: Vec<_> = lattices.iter().collect();
+    ordered.sort_by_key(|l| l.instance);
+    println!(
+        "{:<5} {:<21} {:<25} {:<20}  problem",
+        "inst", "property", "protocols", "diagnosis"
+    );
+    for l in &ordered {
+        let protocols = match l.instance {
+            Instance::S7 => "5GMM, NR-RRC",
+            Instance::S8 => "LTE-RRC anchor, NR SCG",
+            Instance::S9 => "5GMM, EMM",
+            Instance::S10 => "EMM, RRC",
+            _ => "-",
+        };
+        println!(
+            "{:<5} {:<21} {:<25} {:<20}  {}",
+            l.instance.to_string(),
+            l.property,
+            protocols,
+            l.diagnosis().to_string(),
+            l.instance.problem(),
+        );
+    }
+    let timing = ordered
+        .iter()
+        .filter(|l| l.diagnosis() == LatticeDiagnosis::TimingInduced)
+        .count();
+    let design = ordered
+        .iter()
+        .filter(|l| l.diagnosis() == LatticeDiagnosis::DesignDefect)
+        .count();
+    println!(
+        "\n{timing} timing-induced operational slip(s), {design} scale-independent candidate design defect(s)"
+    );
+
+    section("Replayable witnesses — first violated lattice point per spec");
+    for l in &ordered {
+        match &l.finding {
+            Some(f) => {
+                let point = l
+                    .points
+                    .iter()
+                    .find(|p| p.violated)
+                    .expect("a pinned finding implies a violated point");
+                println!(
+                    "\n{} <{}> at {}: {} [{} steps{}]",
+                    l.instance,
+                    l.file,
+                    point.label,
+                    f.property,
+                    f.steps,
+                    if f.lasso { "; lasso" } else { "" }
+                );
+                for (i, step) in f.witness.iter().enumerate() {
+                    println!("  {:>2}. {step}", i + 1);
+                }
+            }
+            None => println!("\n{} <{}>: clean at every lattice point", l.instance, l.file),
+        }
+    }
+
+    section("Corpus conformance — canonical fixpoint, BFS vs parallel BFS");
+    let rows = match cnetverifier::fiveg_corpus_check(&dir) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("corpus conformance check failed:\n{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<19} {:<27} {:<5} {:>8} {:>15} {:<19}  agree",
+        "spec", "file", "inst", "fixpoint", "states bfs/par", "verdict bfs/par"
+    );
+    let side = |violated: bool| if violated { "violated" } else { "holds" };
+    let mut all_agree = true;
+    for r in &rows {
+        all_agree &= r.agree();
+        println!(
+            "{:<19} {:<27} {:<5} {:>8} {:>15} {:<19}  {}",
+            r.name,
+            r.file,
+            r.instance.to_string(),
+            if r.canonical_fixpoint { "yes" } else { "NO" },
+            format!("{}/{}", r.bfs_states, r.par_states),
+            format!("{}/{}", side(r.bfs_violated), side(r.par_violated)),
+            if r.agree() { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "\nconformance: {}/{} specs parse, canonical-print to a fixpoint, and screen identically under both engines",
+        rows.iter().filter(|r| r.agree()).count(),
+        rows.len()
+    );
+    if timing < 2 {
+        eprintln!("expected >= 2 timing-induced candidates, found {timing}");
+        std::process::exit(1);
+    }
+    if !all_agree {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,793 @@
+//! 5GMM — 5G NR registration and service-request mobility management
+//! (TS 24.501), one protocol generation above [`crate::emm`].
+//!
+//! The paper's S1–S6 live in the 3G/4G slice of the interaction space;
+//! this module grows the stack a generation so the same interaction
+//! classes can be screened in 5G NR / NSA deployments:
+//!
+//! * **Registration with authentication.** Unlike the modeled EMM attach,
+//!   the 5GMM registration here carries the authentication + security-mode
+//!   exchange explicitly, because the 5G race defects (the S7 family)
+//!   hinge on the AMF aborting a half-authenticated procedure when a
+//!   retransmitted Registration Request arrives. The invariant the corpus
+//!   checks — *no registration without successful authentication* — is a
+//!   real TS 33.501 obligation.
+//! * **NSA dual connectivity.** In EN-DC the device anchors on LTE (or on
+//!   NR in option 3x terms the master leg) and adds a secondary leg;
+//!   secondary-leg failure must degrade to the master leg, never detach
+//!   the device (the S8 family).
+//! * **EPS ↔ 5GS fallback.** Voice service falls back from NR to LTE the
+//!   way CSFB falls from LTE to 3G — the same cross-system return hazard
+//!   one generation up (the S9 family). The invariant: *fallback always
+//!   returns to a camped state*, on either system.
+//!
+//! Both sides are pure FSMs in the crate's house style: `step(state,
+//! input) → (state', outputs)` over `Clone + Hash + Eq` data, so the
+//! checker explores them exhaustively and `netsim` could execute them
+//! under time. The timers are the [`crate::timers::FgTimer`] family; the
+//! environment owns the clock, exactly as for the T3410 family.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timers::{FgTimer, MAX_NAS_RETRIES};
+use crate::types::Registration;
+
+/// 5GMM cause codes (TS 24.501 Annex A), trimmed to what the scenarios
+/// exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgmmCause {
+    /// The network has no context for this UE (implicit deregistration).
+    ImplicitlyDeregistered,
+    /// Registration refused outright.
+    IllegalUe,
+    /// Congestion back-off.
+    Congestion,
+}
+
+/// 5G NAS messages exchanged by the 5GMM procedures modeled here.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgNasMessage {
+    /// UE → AMF: start (or retransmit) the registration procedure.
+    RegistrationRequest {
+        /// 1-based attempt counter (TS 24.501 §5.5.1.2.7 caps it).
+        attempt: u8,
+    },
+    /// AMF → UE: authentication challenge (TS 24.501 §5.4.1).
+    AuthenticationRequest,
+    /// UE → AMF: authentication response.
+    AuthenticationResponse,
+    /// AMF → UE: activate the NAS security context (TS 24.501 §5.4.2).
+    SecurityModeCommand,
+    /// UE → AMF: security context active.
+    SecurityModeComplete,
+    /// AMF → UE: registration accepted.
+    RegistrationAccept,
+    /// UE → AMF: acknowledges the accept; the AMF context becomes stable.
+    RegistrationComplete,
+    /// AMF → UE: registration refused.
+    RegistrationReject(FgmmCause),
+    /// UE → AMF: leave idle mode / re-establish user-plane resources.
+    ServiceRequest,
+    /// AMF → UE: service request granted.
+    ServiceAccept,
+    /// AMF → UE: service request refused (e.g. no context).
+    ServiceReject(FgmmCause),
+}
+
+/// State of the NSA (EN-DC) secondary leg.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecondaryLeg {
+    /// No secondary cell group configured.
+    Idle,
+    /// Secondary-leg addition in progress.
+    Adding,
+    /// Secondary leg carrying user-plane traffic.
+    Active,
+    /// The secondary leg failed; traffic fell back to the master leg.
+    Failed,
+}
+
+/// Device-side 5GMM main states (TS 24.501 §5.1.3, trimmed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgmmDeviceState {
+    /// Not registered with any AMF.
+    Deregistered,
+    /// Registration Request sent; waiting for the network (T3510 runs).
+    RegistrationInitiated,
+    /// Authentication challenge answered; waiting for security mode.
+    Authenticating,
+    /// Security context active; waiting for Registration Accept.
+    AwaitingAccept,
+    /// Registered; services available.
+    Registered,
+    /// Service Request sent from idle (T3517 runs).
+    ServiceRequestInitiated,
+    /// EPS fallback in progress: the device is between systems and is
+    /// *not* camped until the fallback completes or aborts.
+    FallbackToEps,
+}
+
+/// Inputs to the device-side 5GMM machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgmmDeviceInput {
+    /// Upper layers ask for 5GS registration (power-on, return from EPS).
+    RegistrationTrigger,
+    /// Upper layers ask for user-plane service from idle.
+    ServiceTrigger,
+    /// A downlink 5G NAS message arrived.
+    Network(FgNasMessage),
+    /// A [`FgTimer`] owned by this machine expired.
+    TimerExpiry(FgTimer),
+    /// Voice service needs EPS fallback (the 5G CSFB analogue).
+    FallbackTrigger,
+    /// The fallback finished. `returned_to_nr` is true when the device
+    /// came back to NR (call never set up / RAT released back), false when
+    /// it stays camped on LTE.
+    FallbackDone {
+        /// Did the device return to NR coverage?
+        returned_to_nr: bool,
+    },
+    /// RRC asks to add the NSA secondary leg (data demand).
+    AddSecondaryLeg,
+    /// The secondary leg came up.
+    SecondaryLegUp,
+    /// The secondary leg failed (radio-link failure on the SCG).
+    SecondaryLegFailure,
+}
+
+/// Outputs of the device-side 5GMM machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgmmDeviceOutput {
+    /// Send a 5G NAS message uplink.
+    Send(FgNasMessage),
+    /// (Re)arm a 5GS NAS timer.
+    ArmTimer(FgTimer),
+    /// 5GS registration status changed.
+    RegChanged(Registration),
+    /// The device is leaving NR for LTE (environment runs the EPS side).
+    FallbackStarted,
+    /// The NSA secondary leg changed state.
+    SecondaryLegChanged(SecondaryLeg),
+}
+
+/// The device-side 5GMM machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FgmmDevice {
+    /// Main 5GMM state.
+    pub state: FgmmDeviceState,
+    /// Has the authentication + security-mode exchange completed for the
+    /// current registration? Reset whenever the device deregisters or a
+    /// fresh registration attempt starts.
+    pub authenticated: bool,
+    /// 1-based registration attempt counter (caps at
+    /// [`MAX_NAS_RETRIES`]).
+    pub reg_attempts: u8,
+    /// 1-based service-request attempt counter.
+    pub service_attempts: u8,
+    /// NSA secondary-leg state.
+    pub secondary: SecondaryLeg,
+    /// Was the device registered when fallback started (so a return to NR
+    /// resumes the registered state)?
+    pub registered_before_fallback: bool,
+}
+
+impl FgmmDevice {
+    /// A powered-off, deregistered 5GMM machine.
+    pub fn new() -> Self {
+        Self {
+            state: FgmmDeviceState::Deregistered,
+            authenticated: false,
+            reg_attempts: 0,
+            service_attempts: 0,
+            secondary: SecondaryLeg::Idle,
+            registered_before_fallback: false,
+        }
+    }
+
+    /// Registered with the 5GS?
+    pub fn registered(&self) -> bool {
+        matches!(
+            self.state,
+            FgmmDeviceState::Registered | FgmmDeviceState::ServiceRequestInitiated
+        )
+    }
+
+    /// Is the device mid-fallback (between systems, camped on neither)?
+    pub fn in_fallback(&self) -> bool {
+        self.state == FgmmDeviceState::FallbackToEps
+    }
+
+    /// Is the device camped on NR? (During fallback it is camped nowhere
+    /// on the 5G side; the stack-level invariant requires that every
+    /// fallback outcome ends camped *somewhere*.)
+    pub fn camped_on_nr(&self) -> bool {
+        !self.in_fallback()
+    }
+
+    fn start_registration(&mut self, out: &mut Vec<FgmmDeviceOutput>) {
+        self.state = FgmmDeviceState::RegistrationInitiated;
+        self.authenticated = false;
+        self.reg_attempts = self.reg_attempts.saturating_add(1);
+        out.push(FgmmDeviceOutput::Send(FgNasMessage::RegistrationRequest {
+            attempt: self.reg_attempts,
+        }));
+        out.push(FgmmDeviceOutput::ArmTimer(FgTimer::T3510));
+    }
+
+    fn deregister(&mut self, out: &mut Vec<FgmmDeviceOutput>) {
+        let was = self.registered();
+        self.state = FgmmDeviceState::Deregistered;
+        self.authenticated = false;
+        if self.secondary != SecondaryLeg::Idle {
+            self.secondary = SecondaryLeg::Idle;
+            out.push(FgmmDeviceOutput::SecondaryLegChanged(SecondaryLeg::Idle));
+        }
+        if was {
+            out.push(FgmmDeviceOutput::RegChanged(Registration::Deregistered));
+        }
+    }
+
+    /// Feed one input; outputs are appended to `out`.
+    pub fn on_input(&mut self, input: FgmmDeviceInput, out: &mut Vec<FgmmDeviceOutput>) {
+        use FgmmDeviceInput as I;
+        use FgmmDeviceState as S;
+        match input {
+            I::RegistrationTrigger => {
+                if self.state == S::Deregistered {
+                    self.reg_attempts = 0;
+                    self.start_registration(out);
+                }
+            }
+            I::ServiceTrigger => {
+                if self.state == S::Registered {
+                    self.state = S::ServiceRequestInitiated;
+                    self.service_attempts = 1;
+                    out.push(FgmmDeviceOutput::Send(FgNasMessage::ServiceRequest));
+                    out.push(FgmmDeviceOutput::ArmTimer(FgTimer::T3517));
+                }
+            }
+            I::Network(msg) => self.on_network(msg, out),
+            I::TimerExpiry(t) => self.on_timer(t, out),
+            I::FallbackTrigger => {
+                if self.registered() {
+                    self.registered_before_fallback = true;
+                    self.state = S::FallbackToEps;
+                    out.push(FgmmDeviceOutput::FallbackStarted);
+                }
+            }
+            I::FallbackDone { returned_to_nr } => {
+                if self.state == S::FallbackToEps {
+                    if returned_to_nr && self.registered_before_fallback {
+                        // The 5GS registration survives a bounced fallback.
+                        self.state = S::Registered;
+                    } else {
+                        // Camped on LTE now; the 5GS side is deregistered
+                        // (local release, no signaling).
+                        self.state = S::Deregistered;
+                        self.authenticated = false;
+                        if self.secondary != SecondaryLeg::Idle {
+                            self.secondary = SecondaryLeg::Idle;
+                            out.push(FgmmDeviceOutput::SecondaryLegChanged(SecondaryLeg::Idle));
+                        }
+                        out.push(FgmmDeviceOutput::RegChanged(Registration::Deregistered));
+                    }
+                    self.registered_before_fallback = false;
+                }
+            }
+            I::AddSecondaryLeg => {
+                if self.registered()
+                    && matches!(self.secondary, SecondaryLeg::Idle | SecondaryLeg::Failed)
+                {
+                    self.secondary = SecondaryLeg::Adding;
+                    out.push(FgmmDeviceOutput::SecondaryLegChanged(SecondaryLeg::Adding));
+                }
+            }
+            I::SecondaryLegUp => {
+                if self.secondary == SecondaryLeg::Adding {
+                    self.secondary = SecondaryLeg::Active;
+                    out.push(FgmmDeviceOutput::SecondaryLegChanged(SecondaryLeg::Active));
+                }
+            }
+            I::SecondaryLegFailure => {
+                if matches!(self.secondary, SecondaryLeg::Adding | SecondaryLeg::Active) {
+                    // SCG failure degrades to the master leg; it must never
+                    // detach the device (the S8 invariant).
+                    self.secondary = SecondaryLeg::Failed;
+                    out.push(FgmmDeviceOutput::SecondaryLegChanged(SecondaryLeg::Failed));
+                }
+            }
+        }
+    }
+
+    fn on_network(&mut self, msg: FgNasMessage, out: &mut Vec<FgmmDeviceOutput>) {
+        use FgmmDeviceState as S;
+        match msg {
+            FgNasMessage::AuthenticationRequest => {
+                if matches!(self.state, S::RegistrationInitiated | S::Authenticating) {
+                    self.state = S::Authenticating;
+                    out.push(FgmmDeviceOutput::Send(FgNasMessage::AuthenticationResponse));
+                }
+            }
+            FgNasMessage::SecurityModeCommand => {
+                if self.state == S::Authenticating {
+                    self.state = S::AwaitingAccept;
+                    self.authenticated = true;
+                    out.push(FgmmDeviceOutput::Send(FgNasMessage::SecurityModeComplete));
+                }
+            }
+            FgNasMessage::RegistrationAccept => {
+                // TS 33.501: an accept outside an authenticated procedure
+                // is discarded — this is the no-registration-without-auth
+                // invariant in executable form.
+                if self.state == S::AwaitingAccept && self.authenticated {
+                    self.state = S::Registered;
+                    self.reg_attempts = 0;
+                    out.push(FgmmDeviceOutput::Send(FgNasMessage::RegistrationComplete));
+                    out.push(FgmmDeviceOutput::RegChanged(Registration::Registered));
+                }
+            }
+            FgNasMessage::RegistrationReject(_) => {
+                if matches!(
+                    self.state,
+                    S::RegistrationInitiated | S::Authenticating | S::AwaitingAccept
+                ) {
+                    self.deregister(out);
+                    out.push(FgmmDeviceOutput::ArmTimer(FgTimer::T3511));
+                }
+            }
+            FgNasMessage::ServiceAccept => {
+                if self.state == S::ServiceRequestInitiated {
+                    self.state = S::Registered;
+                    self.service_attempts = 0;
+                }
+            }
+            FgNasMessage::ServiceReject(_) => {
+                if self.state == S::ServiceRequestInitiated {
+                    // No context at the AMF: local release, then register
+                    // from scratch (TS 24.501 §5.6.1.5).
+                    self.deregister(out);
+                    self.reg_attempts = 0;
+                    self.start_registration(out);
+                }
+            }
+            // Uplink-only messages are never delivered to the device.
+            FgNasMessage::RegistrationRequest { .. }
+            | FgNasMessage::AuthenticationResponse
+            | FgNasMessage::SecurityModeComplete
+            | FgNasMessage::RegistrationComplete
+            | FgNasMessage::ServiceRequest => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: FgTimer, out: &mut Vec<FgmmDeviceOutput>) {
+        use FgmmDeviceState as S;
+        match timer {
+            FgTimer::T3510 => {
+                if matches!(
+                    self.state,
+                    S::RegistrationInitiated | S::Authenticating | S::AwaitingAccept
+                ) {
+                    if self.reg_attempts < MAX_NAS_RETRIES {
+                        // Retransmit — this duplicate Registration Request
+                        // is the S7 race ingredient.
+                        self.start_registration(out);
+                    } else {
+                        self.deregister(out);
+                        out.push(FgmmDeviceOutput::ArmTimer(FgTimer::T3502));
+                    }
+                }
+            }
+            FgTimer::T3511 => {
+                if self.state == S::Deregistered {
+                    self.start_registration(out);
+                }
+            }
+            FgTimer::T3502 => {
+                if self.state == S::Deregistered {
+                    self.reg_attempts = 0;
+                    self.start_registration(out);
+                }
+            }
+            FgTimer::T3517 => {
+                if self.state == S::ServiceRequestInitiated {
+                    if self.service_attempts < MAX_NAS_RETRIES {
+                        self.service_attempts = self.service_attempts.saturating_add(1);
+                        out.push(FgmmDeviceOutput::Send(FgNasMessage::ServiceRequest));
+                        out.push(FgmmDeviceOutput::ArmTimer(FgTimer::T3517));
+                    } else {
+                        // Abandon the service request; stay registered.
+                        self.state = S::Registered;
+                        self.service_attempts = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for FgmmDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// AMF-side 5GMM states for one UE context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgmmAmfState {
+    /// No context for the UE.
+    Idle,
+    /// Authentication challenge sent; waiting for the response.
+    WaitAuth,
+    /// Security Mode Command sent; waiting for completion.
+    WaitSmc,
+    /// Registration Accept sent; waiting for Registration Complete
+    /// (guarded — expiry implicitly deregisters, the S7 ingredient).
+    WaitComplete,
+    /// Stable registered context.
+    Registered,
+}
+
+/// Inputs to the AMF-side machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgmmAmfInput {
+    /// An uplink 5G NAS message arrived from the UE.
+    Uplink(FgNasMessage),
+    /// The registration guard timer expired.
+    GuardExpiry,
+}
+
+/// Outputs of the AMF-side machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgmmAmfOutput {
+    /// Send a 5G NAS message downlink.
+    Send(FgNasMessage),
+    /// (Re)arm the registration guard timer.
+    ArmGuard,
+    /// Stop the registration guard timer.
+    StopGuard,
+    /// The UE context was released (implicit deregistration).
+    ContextReleased,
+}
+
+/// The AMF-side 5GMM machine for one UE.
+///
+/// The interesting transition is the TS 24.501 §5.5.1.2.7 abort rule: a
+/// *new* Registration Request received mid-procedure aborts the ongoing
+/// one and restarts from authentication. Combined with the registration
+/// guard, a retransmitted request racing the in-flight Accept resets the
+/// context while the UE side completes — the 5G replay of S2's
+/// out-of-sequence attach, and the defect the `fivegs_s7` spec screens.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FgmmAmf {
+    /// Context state for the UE.
+    pub state: FgmmAmfState,
+    /// How many times the ongoing procedure was aborted by a duplicate
+    /// Registration Request (diagnostic, capped).
+    pub aborts: u8,
+}
+
+impl FgmmAmf {
+    /// An AMF with no context for the UE.
+    pub fn new() -> Self {
+        Self {
+            state: FgmmAmfState::Idle,
+            aborts: 0,
+        }
+    }
+
+    /// Feed one input; outputs are appended to `out`.
+    pub fn on_input(&mut self, input: FgmmAmfInput, out: &mut Vec<FgmmAmfOutput>) {
+        use FgmmAmfInput as I;
+        use FgmmAmfState as S;
+        match input {
+            I::Uplink(FgNasMessage::RegistrationRequest { .. }) => {
+                if !matches!(self.state, S::Idle) {
+                    // Abort the ongoing procedure (or tear down the stable
+                    // context for a fresh initial registration).
+                    self.aborts = self.aborts.saturating_add(1);
+                    out.push(FgmmAmfOutput::ContextReleased);
+                }
+                self.state = S::WaitAuth;
+                out.push(FgmmAmfOutput::Send(FgNasMessage::AuthenticationRequest));
+                out.push(FgmmAmfOutput::ArmGuard);
+            }
+            I::Uplink(FgNasMessage::AuthenticationResponse) => {
+                if self.state == S::WaitAuth {
+                    self.state = S::WaitSmc;
+                    out.push(FgmmAmfOutput::Send(FgNasMessage::SecurityModeCommand));
+                }
+            }
+            I::Uplink(FgNasMessage::SecurityModeComplete) => {
+                if self.state == S::WaitSmc {
+                    self.state = S::WaitComplete;
+                    out.push(FgmmAmfOutput::Send(FgNasMessage::RegistrationAccept));
+                }
+            }
+            I::Uplink(FgNasMessage::RegistrationComplete) => {
+                if self.state == S::WaitComplete {
+                    self.state = S::Registered;
+                    out.push(FgmmAmfOutput::StopGuard);
+                }
+            }
+            I::Uplink(FgNasMessage::ServiceRequest) => match self.state {
+                S::Registered => out.push(FgmmAmfOutput::Send(FgNasMessage::ServiceAccept)),
+                _ => out.push(FgmmAmfOutput::Send(FgNasMessage::ServiceReject(
+                    FgmmCause::ImplicitlyDeregistered,
+                ))),
+            },
+            // Downlink-only messages never arrive on the uplink.
+            I::Uplink(
+                FgNasMessage::AuthenticationRequest
+                | FgNasMessage::SecurityModeCommand
+                | FgNasMessage::RegistrationAccept
+                | FgNasMessage::RegistrationReject(_)
+                | FgNasMessage::ServiceAccept
+                | FgNasMessage::ServiceReject(_),
+            ) => {}
+            I::GuardExpiry => {
+                if !matches!(self.state, S::Idle | S::Registered) {
+                    // Give up on the half-done registration: implicit
+                    // deregistration. If the UE believed the in-flight
+                    // Accept, the two sides now disagree — S7.
+                    self.state = S::Idle;
+                    out.push(FgmmAmfOutput::ContextReleased);
+                }
+            }
+        }
+    }
+}
+
+impl Default for FgmmAmf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev_in(dev: &mut FgmmDevice, input: FgmmDeviceInput) -> Vec<FgmmDeviceOutput> {
+        let mut out = Vec::new();
+        dev.on_input(input, &mut out);
+        out
+    }
+
+    fn amf_in(amf: &mut FgmmAmf, input: FgmmAmfInput) -> Vec<FgmmAmfOutput> {
+        let mut out = Vec::new();
+        amf.on_input(input, &mut out);
+        out
+    }
+
+    /// Run the full registration handshake between the two machines,
+    /// relaying every message faithfully.
+    fn register(dev: &mut FgmmDevice, amf: &mut FgmmAmf) {
+        let mut uplink: Vec<FgNasMessage> = dev_in(dev, FgmmDeviceInput::RegistrationTrigger)
+            .into_iter()
+            .filter_map(|o| match o {
+                FgmmDeviceOutput::Send(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        for _ in 0..16 {
+            let mut downlink = Vec::new();
+            for m in uplink.drain(..) {
+                for o in amf_in(amf, FgmmAmfInput::Uplink(m)) {
+                    if let FgmmAmfOutput::Send(d) = o {
+                        downlink.push(d);
+                    }
+                }
+            }
+            if downlink.is_empty() {
+                break;
+            }
+            for m in downlink {
+                for o in dev_in(dev, FgmmDeviceInput::Network(m)) {
+                    if let FgmmDeviceOutput::Send(u) = o {
+                        uplink.push(u);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_registration_handshake() {
+        let mut dev = FgmmDevice::new();
+        let mut amf = FgmmAmf::new();
+        register(&mut dev, &mut amf);
+        assert_eq!(dev.state, FgmmDeviceState::Registered);
+        assert!(dev.authenticated);
+        assert_eq!(amf.state, FgmmAmfState::Registered);
+    }
+
+    #[test]
+    fn no_registration_without_successful_authentication() {
+        // A spoofed / out-of-sequence Registration Accept must be dropped
+        // at every pre-authentication stage.
+        let mut dev = FgmmDevice::new();
+        dev_in(&mut dev, FgmmDeviceInput::RegistrationTrigger);
+        let out = dev_in(
+            &mut dev,
+            FgmmDeviceInput::Network(FgNasMessage::RegistrationAccept),
+        );
+        assert!(out.is_empty(), "accept before authentication is discarded");
+        assert!(!dev.registered());
+
+        // Mid-authentication (challenge answered, no security mode yet).
+        dev_in(
+            &mut dev,
+            FgmmDeviceInput::Network(FgNasMessage::AuthenticationRequest),
+        );
+        assert!(!dev.authenticated);
+        let out = dev_in(
+            &mut dev,
+            FgmmDeviceInput::Network(FgNasMessage::RegistrationAccept),
+        );
+        assert!(out.is_empty());
+        assert!(!dev.registered());
+
+        // Only after SecurityModeCommand does the accept land.
+        dev_in(
+            &mut dev,
+            FgmmDeviceInput::Network(FgNasMessage::SecurityModeCommand),
+        );
+        assert!(dev.authenticated);
+        let out = dev_in(
+            &mut dev,
+            FgmmDeviceInput::Network(FgNasMessage::RegistrationAccept),
+        );
+        assert!(out.contains(&FgmmDeviceOutput::RegChanged(Registration::Registered)));
+        assert!(dev.registered());
+    }
+
+    #[test]
+    fn t3510_retransmits_then_backs_off() {
+        let mut dev = FgmmDevice::new();
+        dev_in(&mut dev, FgmmDeviceInput::RegistrationTrigger);
+        assert_eq!(dev.reg_attempts, 1);
+        for attempt in 2..=MAX_NAS_RETRIES {
+            let out = dev_in(&mut dev, FgmmDeviceInput::TimerExpiry(FgTimer::T3510));
+            assert!(out.contains(&FgmmDeviceOutput::Send(
+                FgNasMessage::RegistrationRequest { attempt }
+            )));
+            assert!(out.contains(&FgmmDeviceOutput::ArmTimer(FgTimer::T3510)));
+        }
+        // Attempts exhausted: deregister and wait out T3502.
+        let out = dev_in(&mut dev, FgmmDeviceInput::TimerExpiry(FgTimer::T3510));
+        assert!(out.contains(&FgmmDeviceOutput::ArmTimer(FgTimer::T3502)));
+        assert_eq!(dev.state, FgmmDeviceState::Deregistered);
+        // T3502 resets the counter and re-registers.
+        let out = dev_in(&mut dev, FgmmDeviceInput::TimerExpiry(FgTimer::T3502));
+        assert!(out.contains(&FgmmDeviceOutput::Send(
+            FgNasMessage::RegistrationRequest { attempt: 1 }
+        )));
+    }
+
+    #[test]
+    fn duplicate_registration_request_resets_the_amf_context() {
+        // Drive the AMF to WaitComplete, then replay the UE's retransmitted
+        // request: the ongoing procedure aborts — the S7 race ingredient.
+        let mut amf = FgmmAmf::new();
+        amf_in(
+            &mut amf,
+            FgmmAmfInput::Uplink(FgNasMessage::RegistrationRequest { attempt: 1 }),
+        );
+        amf_in(
+            &mut amf,
+            FgmmAmfInput::Uplink(FgNasMessage::AuthenticationResponse),
+        );
+        amf_in(
+            &mut amf,
+            FgmmAmfInput::Uplink(FgNasMessage::SecurityModeComplete),
+        );
+        assert_eq!(amf.state, FgmmAmfState::WaitComplete);
+        let out = amf_in(
+            &mut amf,
+            FgmmAmfInput::Uplink(FgNasMessage::RegistrationRequest { attempt: 2 }),
+        );
+        assert!(out.contains(&FgmmAmfOutput::ContextReleased));
+        assert_eq!(amf.state, FgmmAmfState::WaitAuth, "restarted from auth");
+        assert_eq!(amf.aborts, 1);
+    }
+
+    #[test]
+    fn guard_expiry_implicitly_deregisters_and_service_request_bounces() {
+        let mut amf = FgmmAmf::new();
+        amf_in(
+            &mut amf,
+            FgmmAmfInput::Uplink(FgNasMessage::RegistrationRequest { attempt: 1 }),
+        );
+        amf_in(
+            &mut amf,
+            FgmmAmfInput::Uplink(FgNasMessage::AuthenticationResponse),
+        );
+        amf_in(
+            &mut amf,
+            FgmmAmfInput::Uplink(FgNasMessage::SecurityModeComplete),
+        );
+        let out = amf_in(&mut amf, FgmmAmfInput::GuardExpiry);
+        assert!(out.contains(&FgmmAmfOutput::ContextReleased));
+        assert_eq!(amf.state, FgmmAmfState::Idle);
+        // A UE that believed the in-flight Accept now gets rejected.
+        let out = amf_in(&mut amf, FgmmAmfInput::Uplink(FgNasMessage::ServiceRequest));
+        assert!(out.contains(&FgmmAmfOutput::Send(FgNasMessage::ServiceReject(
+            FgmmCause::ImplicitlyDeregistered
+        ))));
+    }
+
+    #[test]
+    fn service_reject_triggers_reregistration() {
+        let mut dev = FgmmDevice::new();
+        let mut amf = FgmmAmf::new();
+        register(&mut dev, &mut amf);
+        dev_in(&mut dev, FgmmDeviceInput::ServiceTrigger);
+        assert_eq!(dev.state, FgmmDeviceState::ServiceRequestInitiated);
+        let out = dev_in(
+            &mut dev,
+            FgmmDeviceInput::Network(FgNasMessage::ServiceReject(
+                FgmmCause::ImplicitlyDeregistered,
+            )),
+        );
+        assert!(out.contains(&FgmmDeviceOutput::RegChanged(Registration::Deregistered)));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            FgmmDeviceOutput::Send(FgNasMessage::RegistrationRequest { attempt: 1 })
+        )));
+        assert_eq!(dev.state, FgmmDeviceState::RegistrationInitiated);
+    }
+
+    #[test]
+    fn secondary_leg_failure_degrades_but_never_detaches() {
+        let mut dev = FgmmDevice::new();
+        let mut amf = FgmmAmf::new();
+        register(&mut dev, &mut amf);
+        dev_in(&mut dev, FgmmDeviceInput::AddSecondaryLeg);
+        dev_in(&mut dev, FgmmDeviceInput::SecondaryLegUp);
+        assert_eq!(dev.secondary, SecondaryLeg::Active);
+        let out = dev_in(&mut dev, FgmmDeviceInput::SecondaryLegFailure);
+        assert!(out.contains(&FgmmDeviceOutput::SecondaryLegChanged(SecondaryLeg::Failed)));
+        assert!(dev.registered(), "SCG failure must not detach the device");
+        // The leg can be re-added after a failure.
+        dev_in(&mut dev, FgmmDeviceInput::AddSecondaryLeg);
+        assert_eq!(dev.secondary, SecondaryLeg::Adding);
+    }
+
+    #[test]
+    fn fallback_always_returns_to_a_camped_state() {
+        // Outcome 1: the call bounced / RAT released back — camped on NR,
+        // still registered.
+        let mut dev = FgmmDevice::new();
+        let mut amf = FgmmAmf::new();
+        register(&mut dev, &mut amf);
+        let out = dev_in(&mut dev, FgmmDeviceInput::FallbackTrigger);
+        assert!(out.contains(&FgmmDeviceOutput::FallbackStarted));
+        assert!(dev.in_fallback() && !dev.camped_on_nr());
+        dev_in(
+            &mut dev,
+            FgmmDeviceInput::FallbackDone {
+                returned_to_nr: true,
+            },
+        );
+        assert!(dev.camped_on_nr());
+        assert!(dev.registered(), "registration survives a bounced fallback");
+
+        // Outcome 2: stays on LTE — 5G side deregisters locally but the
+        // device is camped (on LTE) and can re-register on return.
+        let out = dev_in(&mut dev, FgmmDeviceInput::FallbackTrigger);
+        assert!(out.contains(&FgmmDeviceOutput::FallbackStarted));
+        dev_in(
+            &mut dev,
+            FgmmDeviceInput::FallbackDone {
+                returned_to_nr: false,
+            },
+        );
+        assert!(dev.camped_on_nr(), "fallback resolved: no limbo state");
+        assert!(!dev.registered());
+        let out = dev_in(&mut dev, FgmmDeviceInput::RegistrationTrigger);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            FgmmDeviceOutput::Send(FgNasMessage::RegistrationRequest { .. })
+        )));
+    }
+}

@@ -67,6 +67,7 @@ pub mod context;
 pub mod csfb;
 pub mod emm;
 pub mod esm;
+pub mod fivegmm;
 pub mod gmm;
 pub mod mm;
 pub mod mobility;
@@ -82,11 +83,15 @@ pub mod types;
 pub use causes::{AttachRejectCause, EmmCause, MmCause, Originator, PdpDeactivationCause};
 pub use context::{ContextState, EpsBearerContext, IpAddr, PdpContext, QosProfile};
 pub use csfb::{CsfbCall, CsfbPhase, ReturnBehavior};
+pub use fivegmm::{
+    FgNasMessage, FgmmAmf, FgmmAmfInput, FgmmAmfOutput, FgmmAmfState, FgmmCause, FgmmDevice,
+    FgmmDeviceInput, FgmmDeviceOutput, FgmmDeviceState, SecondaryLeg,
+};
 pub use mobility::{ContextMigration, SwitchReason, UpdateTrigger};
 pub use msg::{NasMessage, RrcMessage, SwitchMechanism, UpdateKind};
 pub use rrc3g::{Modulation, Rrc3g, Rrc3gState};
 pub use rrc4g::{DrxMode, Rrc4g, Rrc4gState};
 pub use session::SessionTable;
 pub use stack::{DeviceStack, StackEvent};
-pub use timers::{NasTimer, MAX_NAS_RETRIES};
+pub use timers::{FgTimer, NasTimer, MAX_NAS_RETRIES};
 pub use types::{Dimension, Domain, IssueKind, MsgClass, Protocol, RatSystem, Registration, Sublayer};

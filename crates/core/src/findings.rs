@@ -1,10 +1,14 @@
-//! Findings: the instances S1–S6 and their classification (paper Table 1).
+//! Findings: the instances S1–S6 and their classification (paper Table 1),
+//! plus the beyond-paper 5G NR / NSA candidates S7–S10 surfaced by the
+//! timing-lattice sweep (`--exp fivegs`).
 
 use serde::{Deserialize, Serialize};
 
 use cellstack::{Dimension, IssueKind, Protocol};
 
-/// The six problematic-interaction instances.
+/// The six problematic-interaction instances of the paper, plus the
+/// repository's 5G NR / NSA candidate instances S7–S10 (kept out of
+/// [`Instance::ALL`] so every Table-1 artifact stays byte-identical).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Instance {
     /// Out-of-service during 3G→4G switching (unprotected shared context).
@@ -19,10 +23,24 @@ pub enum Instance {
     S5,
     /// Out-of-service after 3G→4G switch (3G failure propagated to 4G).
     S6,
+    /// 5GS registration aborted by a T3510 retransmission racing the AMF's
+    /// own identification guard (candidate, timing-lattice sweep).
+    S7,
+    /// NSA secondary-leg (EN-DC) failure silently degrades user-plane
+    /// service while 5GMM still reports registered (candidate).
+    S8,
+    /// EPS↔5GS fallback strands the device outside both registrations
+    /// (candidate).
+    S9,
+    /// S2's attach race re-cut with explicit T3410 retransmission timers
+    /// (candidate; the lattice shows it at every timer scale).
+    S10,
 }
 
 impl Instance {
-    /// All instances in order.
+    /// The paper's instances in Table 1 order. Deliberately excludes
+    /// S7–S10: every golden that renders Table 1, diagnoses against the
+    /// fleet, or validates operators iterates this array.
     pub const ALL: [Instance; 6] = [
         Instance::S1,
         Instance::S2,
@@ -31,6 +49,9 @@ impl Instance {
         Instance::S5,
         Instance::S6,
     ];
+
+    /// The 5G NR / NSA candidate instances screened by `--exp fivegs`.
+    pub const FIVEG: [Instance; 4] = [Instance::S7, Instance::S8, Instance::S9, Instance::S10];
 
     /// Table 1 problem statement.
     pub fn problem(self) -> &'static str {
@@ -47,6 +68,19 @@ impl Instance {
             Instance::S6 => {
                 "User device is temporarily \"out-of-service\" after 3G->4G switching."
             }
+            Instance::S7 => {
+                "5GS registration is aborted when a T3510 retransmission races \
+                 the AMF's identification guard."
+            }
+            Instance::S8 => {
+                "User-plane service silently degrades after an NSA secondary-leg \
+                 (EN-DC) failure while 5GMM still reports registered."
+            }
+            Instance::S9 => "EPS<->5GS fallback strands the device outside both registrations.",
+            Instance::S10 => {
+                "User device is temporarily \"out-of-service\" during attach, \
+                 with T3410 retransmissions modeled explicitly."
+            }
         }
     }
 
@@ -55,6 +89,10 @@ impl Instance {
         match self {
             Instance::S1 | Instance::S2 | Instance::S3 | Instance::S4 => IssueKind::Design,
             Instance::S5 | Instance::S6 => IssueKind::Operational,
+            // The lattice classifies S7/S8 as timing-induced (violated only
+            // at some timer-scale points) and S9/S10 as scale-independent.
+            Instance::S7 | Instance::S8 => IssueKind::Operational,
+            Instance::S9 | Instance::S10 => IssueKind::Design,
         }
     }
 
@@ -67,6 +105,10 @@ impl Instance {
             Instance::S4 => &[Protocol::CmCc, Protocol::Mm, Protocol::Sm, Protocol::Gmm],
             Instance::S5 => &[Protocol::Rrc3g, Protocol::CmCc, Protocol::Sm],
             Instance::S6 => &[Protocol::Mm, Protocol::Emm],
+            // The 5G-side protocols (5GMM, NR-RRC) are not in the 3G/4G
+            // `Protocol` taxonomy; the fivegs report prints its own
+            // protocol strings for these rows.
+            Instance::S7 | Instance::S8 | Instance::S9 | Instance::S10 => &[],
         }
     }
 
@@ -79,6 +121,8 @@ impl Instance {
             Instance::S4 => &[Dimension::CrossLayer],
             Instance::S5 => &[Dimension::CrossDomain],
             Instance::S6 => &[Dimension::CrossSystem],
+            Instance::S7 | Instance::S10 => &[Dimension::CrossLayer],
+            Instance::S8 | Instance::S9 => &[Dimension::CrossSystem],
         }
     }
 
@@ -108,6 +152,23 @@ impl Instance {
                 "Information and action on location update failure in 3G \
                  are exposed to 4G (6.3)"
             }
+            Instance::S7 => {
+                "T3510 retransmission and the AMF identification guard run \
+                 unsynchronized; whichever fires first decides whether the \
+                 registration attempt survives"
+            }
+            Instance::S8 => {
+                "EN-DC couples the user plane to an NR leg whose failure \
+                 the LTE anchor's mobility state never reflects"
+            }
+            Instance::S9 => {
+                "EPS and 5GS registrations are torn down before the target \
+                 system's registration is confirmed"
+            }
+            Instance::S10 => {
+                "MME assumes reliable transfer of signals by RRC; explicit \
+                 T3410 retransmission narrows but cannot close the race"
+            }
         }
     }
 
@@ -116,6 +177,8 @@ impl Instance {
         match self {
             Instance::S1 | Instance::S2 | Instance::S3 => Category::NecessaryButProblematic,
             Instance::S4 | Instance::S5 | Instance::S6 => Category::IndependentButCoupled,
+            Instance::S7 | Instance::S9 | Instance::S10 => Category::NecessaryButProblematic,
+            Instance::S8 => Category::IndependentButCoupled,
         }
     }
 
@@ -127,6 +190,8 @@ impl Instance {
         match self {
             Instance::S1 | Instance::S2 | Instance::S3 | Instance::S4 => Phase::Screening,
             Instance::S5 | Instance::S6 => Phase::Validation,
+            // S7–S10 come out of the screening-side timing-lattice sweep.
+            Instance::S7 | Instance::S8 | Instance::S9 | Instance::S10 => Phase::Screening,
         }
     }
 
@@ -136,6 +201,10 @@ impl Instance {
             Instance::S1 | Instance::S2 => crate::props::PACKET_SERVICE_OK,
             Instance::S4 | Instance::S5 => crate::props::CALL_SERVICE_OK,
             Instance::S3 | Instance::S6 => crate::props::MM_OK,
+            Instance::S7 => crate::props::REGISTRATION_OK,
+            Instance::S8 => crate::props::DUAL_CONNECTIVITY_OK,
+            Instance::S9 => crate::props::FALLBACK_OK,
+            Instance::S10 => crate::props::PACKET_SERVICE_OK,
         }
     }
 }
@@ -196,6 +265,21 @@ mod tests {
     #[test]
     fn six_instances() {
         assert_eq!(Instance::ALL.len(), 6);
+    }
+
+    #[test]
+    fn fiveg_candidates_stay_out_of_table1() {
+        assert_eq!(Instance::FIVEG.len(), 4);
+        for i in Instance::FIVEG {
+            assert!(!Instance::ALL.contains(&i), "{i} must not join Table 1");
+            assert!(!i.property().is_empty());
+            assert!(!i.problem().is_empty());
+            assert_eq!(i.discovered_by(), Phase::Screening);
+        }
+        assert_eq!(Instance::S7.property(), "Registration_OK");
+        assert_eq!(Instance::S8.property(), "DualConnectivity_OK");
+        assert_eq!(Instance::S9.property(), "Fallback_OK");
+        assert_eq!(Instance::S10.property(), "PacketService_OK");
     }
 
     #[test]

@@ -62,9 +62,11 @@ pub use remedydiff::{
     render_overlay_agreement, DiffRow, FaultCampaign, OverlayCheck, PropDiff,
 };
 pub use screening::{
-    load_specs, run_screening, run_screening_budgeted, run_screening_deterministic,
-    run_screening_remedied, run_screening_with_retries, run_spec_screening, spec_agreement,
-    LoadedSpec, ModelRun, ScreenBudget, ScreeningReport, SpecAgreement,
+    fiveg_corpus_check, load_specs, run_screening, run_screening_budgeted,
+    run_screening_deterministic, run_screening_remedied, run_screening_with_retries,
+    run_spec_screening, spec_agreement, sweep_timer_scales, CorpusCheck, LatticeDiagnosis,
+    LatticePoint, LoadedSpec, ModelRun, ScreenBudget, ScreeningReport, SpecAgreement,
+    TimingLattice,
 };
 pub use validation::{
     diagnose, diagnose_against, validate_all, validate_instance, DefectClass, Diagnosis,

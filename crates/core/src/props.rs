@@ -30,6 +30,22 @@ pub const MM_OK: &str = "MM_OK";
 /// desired properties, so deliberately kept out of [`ALL`].
 pub const DATA_SERVICE_OK: &str = "DataService_OK";
 
+/// Name of the 5GS registration-availability property checked by the
+/// `fivegs` corpus: a device that started registration must not end up
+/// silently deregistered. Beyond the paper's three desired properties
+/// (the paper predates 5G), so kept out of [`ALL`].
+pub const REGISTRATION_OK: &str = "Registration_OK";
+
+/// Name of the NSA dual-connectivity property: once the EN-DC secondary
+/// leg is configured, user-plane service survives a secondary-leg failure.
+/// Beyond the paper's three desired properties, so kept out of [`ALL`].
+pub const DUAL_CONNECTIVITY_OK: &str = "DualConnectivity_OK";
+
+/// Name of the EPS↔5GS fallback property: an inter-system fallback must
+/// not strand the device outside both registrations. Beyond the paper's
+/// three desired properties, so kept out of [`ALL`].
+pub const FALLBACK_OK: &str = "Fallback_OK";
+
 /// All three property names.
 pub const ALL: [&str; 3] = [PACKET_SERVICE_OK, CALL_SERVICE_OK, MM_OK];
 

@@ -602,6 +602,7 @@ pub struct LoadedSpec {
 fn instance_from_tag(tag: &str) -> Option<Instance> {
     Instance::ALL
         .into_iter()
+        .chain(Instance::FIVEG)
         .find(|i| i.to_string() == tag)
 }
 
@@ -636,7 +637,7 @@ pub fn load_specs(dir: &Path) -> Result<Vec<LoadedSpec>, String> {
             format!("{file}: spec `{}` declares no `instance` tag", model.program.name)
         })?;
         let instance = instance_from_tag(&tag)
-            .ok_or_else(|| format!("{file}: unknown instance tag `{tag}` (expected S1..S6)"))?;
+            .ok_or_else(|| format!("{file}: unknown instance tag `{tag}` (expected S1..S10)"))?;
         specs.push(LoadedSpec {
             name: model.program.name.clone(),
             file,
@@ -784,6 +785,271 @@ pub fn spec_agreement(dir: &Path) -> Result<Vec<SpecAgreement>, String> {
             hand_violated,
             spec_witness,
             hand_witness,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Timing-lattice sweep — the 5G NR / NSA corpus (`--exp fivegs`).
+//
+// Each `.specl` scenario under `specs/fivegs/` declares `timer`/`deadline`
+// primitives; the sweep re-screens the compiled model at every point of a
+// small per-timer scale lattice. A violation that survives *every* scale
+// assignment is scale-independent — a candidate design defect. One that
+// appears only at some points exists only in a timing window — a
+// timing-induced operational slip, the class the paper's Promela models
+// cannot distinguish because they abstract timers into nondeterminism.
+// ---------------------------------------------------------------------------
+
+/// Scale factor each timer is stretched by when building lattice points.
+/// 4× is enough to flip any fire-priority race in the corpus: base
+/// durations keep their pairwise ratios under 4.
+const LATTICE_FACTOR: i64 = 4;
+
+/// One point of a spec's timing lattice: a per-timer scale assignment and
+/// the exhaustive-BFS verdict at that assignment.
+#[derive(Clone, Debug)]
+pub struct LatticePoint {
+    /// Human-readable assignment, e.g. `t3510x4 guard5gx1`.
+    pub label: String,
+    /// Scale factor per declared timer, in declaration order.
+    pub scales: Vec<i64>,
+    /// Did BFS violate the instance property at this point?
+    pub violated: bool,
+    /// Unique states reached at this point.
+    pub states: u64,
+    /// BFS counterexample length, when violated.
+    pub witness: Option<usize>,
+}
+
+/// The complete timing lattice of one spec: every scale point's verdict
+/// plus the first replayable witness.
+#[derive(Clone, Debug)]
+pub struct TimingLattice {
+    /// Spec name (`spec <name>;`).
+    pub name: String,
+    /// Source file inside the corpus directory.
+    pub file: String,
+    /// The candidate instance the spec tags.
+    pub instance: Instance,
+    /// The property screened at every point ([`Instance::property`]).
+    pub property: String,
+    /// Every lattice point, in deterministic scale-mask order (the
+    /// all-ones base point first).
+    pub points: Vec<LatticePoint>,
+    /// The finding from the first violated point — its witness replays on
+    /// the scaled model like any screening counterexample.
+    pub finding: Option<Finding>,
+}
+
+/// The lattice's defect-class call, mirroring the §4 design-defect vs
+/// operational-slip split but decided by scale coverage instead of
+/// carrier divergence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatticeDiagnosis {
+    /// Violated at every scale point: the defect is scale-independent.
+    DesignDefect,
+    /// Violated only at some points: the defect lives in a timing window.
+    TimingInduced,
+    /// No point violated the property.
+    Clean,
+}
+
+impl std::fmt::Display for LatticeDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatticeDiagnosis::DesignDefect => write!(f, "design defect"),
+            LatticeDiagnosis::TimingInduced => write!(f, "timing-induced slip"),
+            LatticeDiagnosis::Clean => write!(f, "clean"),
+        }
+    }
+}
+
+impl TimingLattice {
+    /// How many points violated the property.
+    pub fn violated_points(&self) -> usize {
+        self.points.iter().filter(|p| p.violated).count()
+    }
+
+    /// All-points violated → design defect; some → timing-induced; none →
+    /// clean.
+    pub fn diagnosis(&self) -> LatticeDiagnosis {
+        match self.violated_points() {
+            0 => LatticeDiagnosis::Clean,
+            n if n == self.points.len() => LatticeDiagnosis::DesignDefect,
+            _ => LatticeDiagnosis::TimingInduced,
+        }
+    }
+}
+
+/// Enumerate the scale lattice of a model: the full `{1, 4}^n` product
+/// over its `n` timers (mask order, base point first). Past 4 timers the
+/// product is cut to one-at-a-time stretches so a wide spec cannot
+/// explode the sweep; a spec with no timers degenerates to its base point.
+fn lattice_points(model: &SpecModel) -> Vec<(String, Vec<i64>, SpecModel)> {
+    let timers = &model.program.timers;
+    let n = timers.len();
+    if n == 0 {
+        return vec![("(no timers)".to_string(), Vec::new(), model.clone())];
+    }
+    let combos: Vec<Vec<i64>> = if n <= 4 {
+        (0..1u32 << n)
+            .map(|mask| {
+                (0..n)
+                    .map(|i| if mask >> i & 1 == 1 { LATTICE_FACTOR } else { 1 })
+                    .collect()
+            })
+            .collect()
+    } else {
+        std::iter::once(vec![1; n])
+            .chain((0..n).map(|i| {
+                let mut v = vec![1; n];
+                v[i] = LATTICE_FACTOR;
+                v
+            }))
+            .collect()
+    };
+    combos
+        .into_iter()
+        .map(|scales| {
+            let mut scaled = model.clone();
+            for (t, &s) in timers.iter().zip(&scales) {
+                if s != 1 {
+                    scaled = scaled
+                        .with_timer_scale(&t.name, s)
+                        .expect("declared timer scales by a positive factor");
+                }
+            }
+            let label = timers
+                .iter()
+                .zip(&scales)
+                .map(|(t, s)| format!("{}x{s}", t.name))
+                .collect::<Vec<_>>()
+                .join(" ");
+            (label, scales, scaled)
+        })
+        .collect()
+}
+
+/// Sweep every spec under `dir` across its timing lattice with exhaustive
+/// sequential BFS (deterministic — this run feeds the `--exp fivegs`
+/// golden). Errors if a point cannot be exhausted within `budget`: a
+/// truncated point would make the all-points/some-points split unsound.
+pub fn sweep_timer_scales(dir: &Path, budget: ScreenBudget) -> Result<Vec<TimingLattice>, String> {
+    let specs = load_specs(dir)?;
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let property = spec.instance.property();
+        let mut points = Vec::new();
+        let mut finding = None;
+        for (label, scales, model) in lattice_points(&spec.model) {
+            let result = check_rung(&model, SearchStrategy::Bfs, budget);
+            if !result.complete {
+                return Err(format!(
+                    "{}: lattice point `{label}` exhausted the screening budget — \
+                     the lattice verdict would be unsound",
+                    spec.file
+                ));
+            }
+            let v = result.violation(property);
+            if finding.is_none() {
+                if let Some(v) = v {
+                    finding = Some(finding_from(&model, spec.instance, v));
+                }
+            }
+            points.push(LatticePoint {
+                label,
+                scales,
+                violated: v.is_some(),
+                states: result.stats.unique_states,
+                witness: v.map(|v| v.path.len()),
+            });
+        }
+        out.push(TimingLattice {
+            name: spec.name.clone(),
+            file: spec.file.clone(),
+            instance: spec.instance,
+            property: property.to_string(),
+            points,
+            finding,
+        });
+    }
+    Ok(out)
+}
+
+/// One row of the corpus conformance table: canonical-print fixpoint plus
+/// BFS / parallel-BFS verdict agreement for a single spec.
+#[derive(Clone, Debug)]
+pub struct CorpusCheck {
+    /// Spec name.
+    pub name: String,
+    /// Source file.
+    pub file: String,
+    /// Tagged instance.
+    pub instance: Instance,
+    /// Printing the parse and reparsing reproduces the same canonical text.
+    pub canonical_fixpoint: bool,
+    /// Unique states under sequential BFS.
+    pub bfs_states: u64,
+    /// Unique states under parallel BFS.
+    pub par_states: u64,
+    /// Instance property violated under sequential BFS?
+    pub bfs_violated: bool,
+    /// Instance property violated under parallel BFS?
+    pub par_violated: bool,
+}
+
+impl CorpusCheck {
+    /// Full conformance: canonical fixpoint holds and the two engines
+    /// agree on both the verdict and the reachable-state count.
+    pub fn agree(&self) -> bool {
+        self.canonical_fixpoint
+            && self.bfs_violated == self.par_violated
+            && self.bfs_states == self.par_states
+    }
+}
+
+/// Check every spec under `dir` for the corpus contract: the source
+/// parses, canonical-prints to a fixpoint, lowers, and screens to the
+/// same verdict under sequential and parallel BFS.
+pub fn fiveg_corpus_check(dir: &Path) -> Result<Vec<CorpusCheck>, String> {
+    let specs = load_specs(dir)?;
+    let budget = ScreenBudget::default();
+    let mut rows = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let source = fs::read_to_string(dir.join(&spec.file))
+            .map_err(|e| format!("cannot re-read {}: {e}", spec.file))?;
+        let parsed = specl::parse(&source)
+            .map_err(|d| format!("{}: reparse failed: {d}", spec.file))?;
+        let printed = parsed.to_string();
+        let reprinted = specl::parse(&printed)
+            .map_err(|d| format!("{}: canonical form does not reparse: {d}", spec.file))?
+            .to_string();
+        let property = spec.instance.property();
+        let bfs = check_rung(&spec.model, SearchStrategy::Bfs, budget);
+        let par = check_rung(
+            &spec.model,
+            SearchStrategy::ParallelBfs {
+                workers: per_run_workers(),
+            },
+            budget,
+        );
+        if !bfs.complete || !par.complete {
+            return Err(format!(
+                "{}: conformance sweeps must be exhaustive",
+                spec.file
+            ));
+        }
+        rows.push(CorpusCheck {
+            name: spec.name.clone(),
+            file: spec.file.clone(),
+            instance: spec.instance,
+            canonical_fixpoint: printed == reprinted,
+            bfs_states: bfs.stats.unique_states,
+            par_states: par.stats.unique_states,
+            bfs_violated: bfs.violation(property).is_some(),
+            par_violated: par.violation(property).is_some(),
         });
     }
     Ok(rows)

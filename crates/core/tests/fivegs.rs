@@ -1,0 +1,119 @@
+//! The 5G NR / NSA corpus contract: every spec under `specs/fivegs/`
+//! parses, canonical-prints to a fixpoint, lowers, and screens to the same
+//! verdict under sequential and parallel BFS; the timing-lattice sweep
+//! classifies at least two scenarios as timing-induced and pins a
+//! replayable witness on every violated lattice.
+
+use std::path::PathBuf;
+
+use cnetverifier::{
+    fiveg_corpus_check, sweep_timer_scales, Instance, LatticeDiagnosis, ScreenBudget,
+};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs/fivegs")
+}
+
+#[test]
+fn corpus_loads_in_file_order_with_fiveg_instances() {
+    let lattices = sweep_timer_scales(&corpus_dir(), ScreenBudget::default()).unwrap();
+    let summary: Vec<_> = lattices
+        .iter()
+        .map(|l| (l.name.as_str(), l.file.as_str(), l.instance))
+        .collect();
+    assert_eq!(
+        summary,
+        [
+            ("attach_timer_race", "attach_timer_race_s10.specl", Instance::S10),
+            ("eps_fallback", "eps_fallback_s9.specl", Instance::S9),
+            ("fiveg_registration", "fiveg_registration_s7.specl", Instance::S7),
+            ("nsa_secondary", "nsa_secondary_s8.specl", Instance::S8),
+        ]
+    );
+}
+
+#[test]
+fn lattice_diagnoses_split_timing_induced_from_design() {
+    let lattices = sweep_timer_scales(&corpus_dir(), ScreenBudget::default()).unwrap();
+    let diag = |inst: Instance| {
+        lattices
+            .iter()
+            .find(|l| l.instance == inst)
+            .unwrap()
+            .diagnosis()
+    };
+    // S7/S8 exist only in a timing window; S9/S10 survive every scale.
+    assert_eq!(diag(Instance::S7), LatticeDiagnosis::TimingInduced);
+    assert_eq!(diag(Instance::S8), LatticeDiagnosis::TimingInduced);
+    assert_eq!(diag(Instance::S9), LatticeDiagnosis::DesignDefect);
+    assert_eq!(diag(Instance::S10), LatticeDiagnosis::DesignDefect);
+    let timing = lattices
+        .iter()
+        .filter(|l| l.diagnosis() == LatticeDiagnosis::TimingInduced)
+        .count();
+    assert!(timing >= 2, "the corpus must carry >= 2 timing-induced candidates");
+}
+
+#[test]
+fn violated_lattices_carry_replayable_witnesses() {
+    let lattices = sweep_timer_scales(&corpus_dir(), ScreenBudget::default()).unwrap();
+    for l in &lattices {
+        assert_eq!(
+            l.points.len(),
+            1 << l.points[0].scales.len().min(4),
+            "{}: full {{1,4}}^n lattice",
+            l.file
+        );
+        if l.violated_points() > 0 {
+            let f = l.finding.as_ref().unwrap_or_else(|| {
+                panic!("{}: violated lattice must pin a witness", l.file)
+            });
+            assert_eq!(f.property, l.property);
+            assert!(!f.witness.is_empty(), "{}: witness replays as steps", l.file);
+            assert!(f.steps > 0);
+        } else {
+            assert!(l.finding.is_none());
+        }
+        // The base point (all scales 1) comes first.
+        assert!(l.points[0].scales.iter().all(|&s| s == 1));
+    }
+}
+
+#[test]
+fn fiveg_registration_is_clean_only_when_t3510_outlasts_identification() {
+    let lattices = sweep_timer_scales(&corpus_dir(), ScreenBudget::default()).unwrap();
+    let s7 = lattices
+        .iter()
+        .find(|l| l.instance == Instance::S7)
+        .unwrap();
+    for p in &s7.points {
+        // scales = [t3510, ident5g]: stretching T3510 past the
+        // identification deadline (60 > 20) is the one clean point.
+        let clean = p.scales == [4, 1];
+        assert_eq!(
+            p.violated, !clean,
+            "unexpected verdict at point `{}`",
+            p.label
+        );
+    }
+}
+
+#[test]
+fn corpus_conformance_holds_under_both_engines() {
+    let rows = fiveg_corpus_check(&corpus_dir()).unwrap();
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        assert!(row.canonical_fixpoint, "{}: print∘parse fixpoint", row.file);
+        assert_eq!(
+            row.bfs_violated, row.par_violated,
+            "{}: BFS vs ParallelBfs verdict",
+            row.file
+        );
+        assert_eq!(
+            row.bfs_states, row.par_states,
+            "{}: BFS vs ParallelBfs reachable states",
+            row.file
+        );
+        assert!(row.agree());
+    }
+}

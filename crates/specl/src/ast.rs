@@ -46,6 +46,8 @@ pub struct Spec {
     pub msgs: Vec<Ident>,
     /// Channels.
     pub chans: Vec<ChanDecl>,
+    /// Timers and deadlines.
+    pub timers: Vec<TimerDecl>,
     /// Shared globals.
     pub globals: Vec<VarDecl>,
     /// Processes.
@@ -72,6 +74,27 @@ pub struct ChanDecl {
     /// Duplication budget, if the channel duplicates.
     pub dup: Option<i64>,
     /// Whole-declaration span (errors about bounds point here).
+    pub span: Span,
+}
+
+/// `timer NAME = DURATION;` or `deadline NAME = DURATION;`
+///
+/// Timers are the in-language form of the T3410 family: a process `start`s
+/// one, and once armed its expiry (`expire NAME` edges) races the other
+/// armed timers — only timers whose effective duration is minimal among
+/// the armed set may fire, so relative durations, not absolute clocks,
+/// shape the interleavings. A `timer` re-arms freely; a `deadline` is
+/// one-shot — once expired it stays expired and `start` is a no-op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimerDecl {
+    /// Timer name.
+    pub name: Ident,
+    /// Abstract duration (positive). Only *ratios* between durations are
+    /// meaningful; the timing-lattice sweep rescales them per scenario.
+    pub duration: i64,
+    /// `deadline` (one-shot) rather than `timer` (rearmable).
+    pub oneshot: bool,
+    /// Whole-declaration span.
     pub span: Span,
 }
 
@@ -150,11 +173,24 @@ pub enum Trigger {
         /// Extra guard over variables.
         guard: Option<Expr>,
     },
+    /// `expire TIMER [when EXPR]` — fires when the named timer expires
+    /// while this process sits in this state.
+    Expire {
+        /// The expiring timer.
+        timer: Ident,
+        /// Extra guard over variables.
+        guard: Option<Expr>,
+    },
 }
 
 /// One guarded transition.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EdgeDecl {
+    /// `atomic` prefix: the author asserts this edge is independent of
+    /// every other process (sema restricts what such an edge may do), so
+    /// partial-order reduction may pick it as an ample set even when the
+    /// syntactic self-containment analysis cannot prove independence.
+    pub atomic: bool,
     /// Enabling trigger.
     pub trigger: Trigger,
     /// Optional `as "label"` used in rendered counterexamples.
@@ -186,6 +222,18 @@ pub enum Stmt {
     Goto {
         /// Target state.
         target: Ident,
+    },
+    /// `start TIMER;` — arm the timer (re-arm for `timer`, no-op for an
+    /// already-expired `deadline`).
+    Start {
+        /// The timer to arm.
+        timer: Ident,
+    },
+    /// `stop TIMER;` — disarm the timer (an expired `deadline` stays
+    /// expired).
+    Stop {
+        /// The timer to disarm.
+        timer: Ident,
     },
 }
 
@@ -401,6 +449,8 @@ fn fmt_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: &str) -> fmt::R
             }
             Stmt::Send { chan, msg } => writeln!(f, "{indent}send {} {};", chan.name, msg.name)?,
             Stmt::Goto { target } => writeln!(f, "{indent}goto {};", target.name)?,
+            Stmt::Start { timer } => writeln!(f, "{indent}start {};", timer.name)?,
+            Stmt::Stop { timer } => writeln!(f, "{indent}stop {};", timer.name)?,
         }
     }
     Ok(())
@@ -435,6 +485,18 @@ impl fmt::Display for Spec {
             }
             writeln!(f, ";")?;
         }
+        if !self.timers.is_empty() {
+            writeln!(f)?;
+        }
+        for t in &self.timers {
+            writeln!(
+                f,
+                "{} {} = {};",
+                if t.oneshot { "deadline" } else { "timer" },
+                t.name.name,
+                t.duration
+            )?;
+        }
         if !self.globals.is_empty() {
             writeln!(f)?;
         }
@@ -467,10 +529,19 @@ impl fmt::Display for Spec {
                 writeln!(f, "    state {} {{", st.name.name)?;
                 for e in &st.edges {
                     write!(f, "        ")?;
+                    if e.atomic {
+                        write!(f, "atomic ")?;
+                    }
                     match &e.trigger {
                         Trigger::When(g) => write!(f, "when {g}")?,
                         Trigger::Recv { chan, msg, guard } => {
                             write!(f, "recv {} {}", chan.name, msg.name)?;
+                            if let Some(g) = guard {
+                                write!(f, " when {g}")?;
+                            }
+                        }
+                        Trigger::Expire { timer, guard } => {
+                            write!(f, "expire {}", timer.name)?;
                             if let Some(g) = guard {
                                 write!(f, " when {g}")?;
                             }
@@ -537,6 +608,7 @@ impl Spec {
                     ident(msg);
                 }
                 Stmt::Goto { target } => ident(target),
+                Stmt::Start { timer } | Stmt::Stop { timer } => ident(timer),
             }
         }
         ident(&mut self.name);
@@ -549,6 +621,10 @@ impl Spec {
             ident(&mut c.from);
             ident(&mut c.to);
             c.span = dummy_span();
+        }
+        for t in &mut self.timers {
+            ident(&mut t.name);
+            t.span = dummy_span();
         }
         for g in &mut self.globals {
             ident(&mut g.name);
@@ -571,6 +647,12 @@ impl Spec {
                         Trigger::Recv { chan, msg, guard } => {
                             ident(chan);
                             ident(msg);
+                            if let Some(g) = guard {
+                                expr(g);
+                            }
+                        }
+                        Trigger::Expire { timer, guard } => {
+                            ident(timer);
                             if let Some(g) = guard {
                                 expr(g);
                             }

@@ -24,6 +24,26 @@
 //!
 //! Integer assignment clamps to the variable's declared range, which is what
 //! keeps every spec finite-state by construction.
+//!
+//! # Timer semantics
+//!
+//! Timers are lowered to a **priority abstraction** rather than a clock:
+//! each declared `timer`/`deadline` is a three-valued cell (idle / armed /
+//! expired), `start`/`stop` flip it, and the checker gets one
+//! `TimerFire` action per armed timer whose *effective duration* is
+//! minimal among all armed timers — shorter timers always beat longer
+//! ones, equal durations race nondeterministically. Firing runs the first
+//! declared `expire` edge (process order, then declaration order) whose
+//! guard holds in the pre-fire state; with no taker the expiry is
+//! consumed silently, like an unexpected NAS message. A `timer` returns
+//! to idle when it fires and may be re-`start`ed; a `deadline` is
+//! one-shot: it fires into a sticky `expired` state that `start` and
+//! `stop` cannot leave.
+//!
+//! Effective durations are the declared ones multiplied per-timer by
+//! [`SpecModel::with_timer_scale`]; sweeping those factors is how the
+//! screening pipeline asks "which races survive when this timer is slow
+//! and that one is fast?" without adding a single bit of state.
 
 use std::sync::Arc;
 
@@ -45,6 +65,8 @@ pub struct Program {
     pub msgs: Vec<String>,
     /// Channels.
     pub chans: Vec<ChanDef>,
+    /// Timers and deadlines; a timer id is an index here.
+    pub timers: Vec<TimerDef>,
     /// All variables: globals first, then each process's locals.
     pub vars: Vec<VarDef>,
     /// Processes.
@@ -100,6 +122,17 @@ pub struct ChanDef {
     pub dup_budget: u8,
 }
 
+/// A lowered timer or deadline.
+#[derive(Debug)]
+pub struct TimerDef {
+    /// Name (for rendering and scale lookup).
+    pub name: String,
+    /// Declared duration (abstract units; only relative order matters).
+    pub duration: i64,
+    /// True for `deadline`: fires once into a sticky expired state.
+    pub oneshot: bool,
+}
+
 /// A lowered variable.
 #[derive(Debug)]
 pub struct VarDef {
@@ -149,11 +182,23 @@ pub enum EdgeTrigger {
         /// Message id.
         msg: u16,
     },
+    /// Fires when the checker expires a timer.
+    Expire {
+        /// Timer index.
+        timer: usize,
+    },
 }
 
 /// A lowered edge.
 #[derive(Debug)]
 pub struct EdgeDef {
+    /// User-asserted atomicity (`atomic when ...`): the partial-order
+    /// reducer may treat this edge as invisible to every other component
+    /// even where the syntactic self-containment analysis cannot prove
+    /// it. Sema bounds the blast radius (no sends, no timer ops); the
+    /// full-vs-reduced verdict agreement in the statespace experiment
+    /// checks the assertion empirically.
+    pub atomic: bool,
     /// Trigger kind.
     pub trigger: EdgeTrigger,
     /// Guard (the `when` expression); `None` means always enabled.
@@ -173,6 +218,10 @@ pub enum Op {
     Send(usize, u16),
     /// Move the executing process to a state index.
     Goto(u16),
+    /// Arm a timer (no-op on an expired deadline).
+    Start(usize),
+    /// Disarm a timer (expired deadlines stay expired).
+    Stop(usize),
 }
 
 /// A lowered property.
@@ -223,6 +272,18 @@ pub struct SpecState {
     pub vars: Vec<i64>,
     /// Channel contents.
     pub chans: Vec<ChanState>,
+    /// Timer cells: 0 = idle, 1 = armed, 2 = expired (deadlines only).
+    pub timers: Vec<u8>,
+}
+
+/// Timer-cell values in [`SpecState::timers`].
+pub mod timer_state {
+    /// Not running.
+    pub const IDLE: u8 = 0;
+    /// Running; eligible to fire when minimal among armed.
+    pub const ARMED: u8 = 1;
+    /// A fired deadline (sticky).
+    pub const EXPIRED: u8 = 2;
 }
 
 /// A transition label of the interpreted model.
@@ -259,6 +320,12 @@ pub enum SpecAction {
         /// Expected head.
         msg: u16,
     },
+    /// Expire an armed timer whose effective duration is minimal among
+    /// all armed timers (see the module docs' priority abstraction).
+    TimerFire {
+        /// Timer index.
+        timer: u16,
+    },
 }
 
 /// An executable spec: a thin, cloneable handle around the lowered
@@ -267,6 +334,43 @@ pub enum SpecAction {
 pub struct SpecModel {
     /// The lowered program.
     pub program: Arc<Program>,
+    /// Per-timer duration multipliers (all 1 after lowering); private so
+    /// scaled models only arise through [`SpecModel::with_timer_scale`].
+    timer_scale: Vec<i64>,
+}
+
+impl SpecModel {
+    /// A copy of this model with `timer`'s effective duration multiplied
+    /// by `factor` (composing with any earlier scaling). `None` when no
+    /// such timer is declared or `factor < 1`. State spaces of scaled
+    /// models share the same state type — only which `TimerFire` actions
+    /// are enabled shifts, which is exactly what a timing sweep varies.
+    pub fn with_timer_scale(&self, timer: &str, factor: i64) -> Option<SpecModel> {
+        let t = self.program.timers.iter().position(|d| d.name == timer)?;
+        if factor < 1 {
+            return None;
+        }
+        let mut scaled = self.clone();
+        scaled.timer_scale[t] = scaled.timer_scale[t].saturating_mul(factor);
+        Some(scaled)
+    }
+
+    /// Current per-timer multipliers, indexed like [`Program::timers`].
+    pub fn timer_scales(&self) -> &[i64] {
+        &self.timer_scale
+    }
+
+    fn effective_duration(&self, t: usize) -> i64 {
+        self.program.timers[t].duration.saturating_mul(self.timer_scale[t])
+    }
+
+    /// The minimal effective duration among armed timers, if any is armed.
+    fn armed_min(&self, s: &SpecState) -> Option<i64> {
+        (0..self.program.timers.len())
+            .filter(|&t| s.timers[t] == timer_state::ARMED)
+            .map(|t| self.effective_duration(t))
+            .min()
+    }
 }
 
 /// Parse + check + lower a spec source into a runnable model.
@@ -309,6 +413,22 @@ pub fn lower(spec: &Spec) -> SpecModel {
             .iter()
             .position(|c| c.name.name == name)
             .expect("sema checked chans")
+    };
+
+    let timers: Vec<TimerDef> = spec
+        .timers
+        .iter()
+        .map(|t| TimerDef {
+            name: t.name.name.clone(),
+            duration: t.duration,
+            oneshot: t.oneshot,
+        })
+        .collect();
+    let timer_idx = |name: &str| -> usize {
+        spec.timers
+            .iter()
+            .position(|t| t.name.name == name)
+            .expect("sema checked timers")
     };
 
     // Variable slots: globals first, then each process's locals in order.
@@ -417,6 +537,8 @@ pub fn lower(spec: &Spec) -> SpecModel {
                 }
                 Stmt::Send { chan, msg } => Op::Send(chan_idx(&chan.name), msg_id(&msg.name)),
                 Stmt::Goto { target } => Op::Goto(state_idx(pi, &target.name)),
+                Stmt::Start { timer } => Op::Start(timer_idx(&timer.name)),
+                Stmt::Stop { timer } => Op::Stop(timer_idx(&timer.name)),
             })
             .collect()
     };
@@ -448,11 +570,18 @@ pub fn lower(spec: &Spec) -> SpecModel {
                                     },
                                     guard.as_ref().map(|g| lx(g, Some(pi))),
                                 ),
+                                Trigger::Expire { timer, guard } => (
+                                    EdgeTrigger::Expire {
+                                        timer: timer_idx(&timer.name),
+                                    },
+                                    guard.as_ref().map(|g| lx(g, Some(pi))),
+                                ),
                             };
                             let display = e.label.clone().unwrap_or_else(|| {
                                 format!("{}@{}#{}", p.name.name, s.name.name, k)
                             });
                             EdgeDef {
+                                atomic: e.atomic,
                                 trigger,
                                 guard,
                                 ops: lower_stmts(&e.body, pi),
@@ -477,18 +606,21 @@ pub fn lower(spec: &Spec) -> SpecModel {
     let boundary = spec.boundary.as_ref().map(|b| lx(b, None));
     let por = analyze_por(&chans, &procs, &props, &boundary);
 
+    let timer_scale = vec![1; timers.len()];
     SpecModel {
         program: Arc::new(Program {
             name: spec.name.name.clone(),
             instance: spec.instance.as_ref().map(|i| i.name.clone()),
             msgs,
             chans,
+            timers,
             vars,
             procs,
             props,
             boundary,
             por,
         }),
+        timer_scale,
     }
 }
 
@@ -589,6 +721,15 @@ fn analyze_por(
             p.states
                 .iter()
                 .map(|s| {
+                    // A location with an `expire` edge depends on the
+                    // globally shared timer cells, so its process can
+                    // never be an ample candidate there.
+                    if s.edges
+                        .iter()
+                        .any(|e| matches!(e.trigger, EdgeTrigger::Expire { .. }))
+                    {
+                        return false;
+                    }
                     let mut whens = s
                         .edges
                         .iter()
@@ -596,17 +737,24 @@ fn analyze_por(
                         .peekable();
                     whens.peek().is_some()
                         && whens.all(|e| {
-                            e.guard
-                                .as_ref()
-                                .is_none_or(|g| expr_self_contained(g, pi, locals))
-                                && e.ops.iter().all(|op| match op {
-                                    Op::Set(slot, v) => {
-                                        locals.contains(slot)
-                                            && expr_self_contained(v, pi, locals)
-                                    }
-                                    Op::Goto(_) => true,
-                                    Op::Send(..) => false,
-                                })
+                            // `atomic` is the user asserting this edge is
+                            // invisible where the syntax can't prove it.
+                            e.atomic
+                                || (e
+                                    .guard
+                                    .as_ref()
+                                    .is_none_or(|g| expr_self_contained(g, pi, locals))
+                                    && e.ops.iter().all(|op| match op {
+                                        Op::Set(slot, v) => {
+                                            locals.contains(slot)
+                                                && expr_self_contained(v, pi, locals)
+                                        }
+                                        Op::Goto(_) => true,
+                                        // Sends are visible to the receiver;
+                                        // timer ops are visible to every
+                                        // process with an `expire` edge.
+                                        Op::Send(..) | Op::Start(_) | Op::Stop(_) => false,
+                                    }))
                         })
                 })
                 .collect()
@@ -682,6 +830,16 @@ impl Program {
                     }
                 }
                 Op::Goto(loc) => s.locs[pi] = *loc,
+                Op::Start(t) => {
+                    if !(self.timers[*t].oneshot && s.timers[*t] == timer_state::EXPIRED) {
+                        s.timers[*t] = timer_state::ARMED;
+                    }
+                }
+                Op::Stop(t) => {
+                    if !(self.timers[*t].oneshot && s.timers[*t] == timer_state::EXPIRED) {
+                        s.timers[*t] = timer_state::IDLE;
+                    }
+                }
             }
         }
     }
@@ -702,6 +860,24 @@ impl Program {
         None
     }
 
+    /// The first `expire` edge for timer `t` (process order, then
+    /// declaration order) at its process's current location whose guard
+    /// holds; `None` means the expiry is consumed silently.
+    fn matching_expire(&self, s: &SpecState, t: usize) -> Option<(usize, usize)> {
+        for (pi, p) in self.procs.iter().enumerate() {
+            let loc = s.locs[pi] as usize;
+            for (k, e) in p.states[loc].edges.iter().enumerate() {
+                if e.trigger == (EdgeTrigger::Expire { timer: t }) {
+                    let open = e.guard.as_ref().is_none_or(|g| self.eval_bool(g, s));
+                    if open {
+                        return Some((pi, k));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     fn initial_state(&self) -> SpecState {
         let mut s = SpecState {
             locs: vec![0; self.procs.len()],
@@ -715,6 +891,7 @@ impl Program {
                     overflow: 0,
                 })
                 .collect(),
+            timers: vec![timer_state::IDLE; self.timers.len()],
         };
         for (pi, p) in self.procs.iter().enumerate() {
             let ops: &[Op] = &p.init_ops;
@@ -768,6 +945,13 @@ impl Model for SpecModel {
                     chan: ci as u16,
                     msg: head,
                 });
+            }
+        }
+        if let Some(min) = self.armed_min(s) {
+            for t in 0..prog.timers.len() {
+                if s.timers[t] == timer_state::ARMED && self.effective_duration(t) == min {
+                    out.push(SpecAction::TimerFire { timer: t as u16 });
+                }
             }
         }
     }
@@ -834,6 +1018,26 @@ impl Model for SpecModel {
                 }
                 Some(n)
             }
+            SpecAction::TimerFire { timer } => {
+                let t = timer as usize;
+                let ok = s.timers.get(t) == Some(&timer_state::ARMED)
+                    && self.armed_min(s) == Some(self.effective_duration(t));
+                if !ok {
+                    return None;
+                }
+                let mut n = s.clone();
+                n.timers[t] = if prog.timers[t].oneshot {
+                    timer_state::EXPIRED
+                } else {
+                    timer_state::IDLE
+                };
+                if let Some((pi, k)) = prog.matching_expire(s, t) {
+                    let loc = s.locs[pi] as usize;
+                    let ops = &prog.procs[pi].states[loc].edges[k].ops;
+                    prog.exec(&mut n, pi, ops);
+                }
+                Some(n)
+            }
         }
     }
 
@@ -865,7 +1069,8 @@ impl Model for SpecModel {
 
     /// Component split for collapse interning and frontier spilling: one
     /// component of globals, one per process (location + locals), one per
-    /// channel (budget, overflow, queue).
+    /// channel (budget, overflow, queue), plus one trailing component of
+    /// timer cells when the spec declares any.
     fn components(&self, s: &SpecState, out: &mut Vec<Vec<u8>>) -> bool {
         out.clear();
         let prog = &*self.program;
@@ -893,12 +1098,16 @@ impl Model for SpecModel {
             }
             out.push(c);
         }
+        if !prog.timers.is_empty() {
+            out.push(s.timers.clone());
+        }
         true
     }
 
     fn reassemble(&self, comps: &[Vec<u8>]) -> Option<SpecState> {
         let prog = &*self.program;
-        if comps.len() != 1 + prog.procs.len() + prog.chans.len() {
+        let timer_comps = usize::from(!prog.timers.is_empty());
+        if comps.len() != 1 + prog.procs.len() + prog.chans.len() + timer_comps {
             return None;
         }
         let n_globals = prog.global_count();
@@ -944,7 +1153,23 @@ impl Model for SpecModel {
                 overflow,
             });
         }
-        Some(SpecState { locs, vars, chans })
+        let timers = if timer_comps == 1 {
+            let c = comps.last()?;
+            if c.len() != prog.timers.len()
+                || c.iter().any(|&b| b > timer_state::EXPIRED)
+            {
+                return None;
+            }
+            c.clone()
+        } else {
+            Vec::new()
+        };
+        Some(SpecState {
+            locs,
+            vars,
+            chans,
+            timers,
+        })
     }
 
     /// Ample set from the lowering's [`PorInfo`]: the enabled `when` edges
@@ -1024,6 +1249,14 @@ impl Model for SpecModel {
                 let _ = write!(out, " lost={}", cs.overflow);
             }
         }
+        for (ti, t) in prog.timers.iter().enumerate() {
+            let cell = match s.timers[ti] {
+                timer_state::ARMED => "armed",
+                timer_state::EXPIRED => "expired",
+                _ => "idle",
+            };
+            let _ = write!(out, " | {}={}", t.name, cell);
+        }
         out
     }
 
@@ -1047,6 +1280,11 @@ impl Model for SpecModel {
                 "{} duplicates {}",
                 prog.chans[chan as usize].name, prog.msgs[msg as usize]
             ),
+            SpecAction::TimerFire { timer } => {
+                let t = &prog.timers[timer as usize];
+                let kind = if t.oneshot { "deadline" } else { "timer" };
+                format!("{kind} {} fires", t.name)
+            }
         }
     }
 }
@@ -1296,6 +1534,238 @@ never RallyDone: p @ Done;
         let s = model.init_states().remove(0);
         let mut ample = Vec::new();
         assert!(!model.reduced_actions(&s, &mut ample));
+    }
+
+    const TIMED: &str = r#"
+spec timed;
+timer short = 5;
+timer long = 20;
+global fired_short: bool = false;
+global fired_long: bool = false;
+
+proc p {
+    init {
+        start short;
+        start long;
+        goto Waiting;
+    }
+    state Waiting {
+        expire short as "short timer fires" {
+            fired_short = true;
+        }
+        expire long as "long timer fires" {
+            fired_long = true;
+            goto Done;
+        }
+    }
+    state Done {
+    }
+}
+
+never LongBeatsShort: fired_long && !fired_short;
+"#;
+
+    #[test]
+    fn shorter_timers_always_fire_first() {
+        let model = compile(TIMED).expect("compiles");
+        let s0 = model.init_states().remove(0);
+        let mut acts = Vec::new();
+        model.actions(&s0, &mut acts);
+        assert_eq!(
+            acts,
+            vec![SpecAction::TimerFire { timer: 0 }],
+            "only the minimal armed timer may fire"
+        );
+        let result = Checker::new(model).strategy(SearchStrategy::Bfs).run();
+        assert!(result.complete);
+        assert!(
+            result.violations.is_empty(),
+            "long can never overtake short at equal scales"
+        );
+    }
+
+    #[test]
+    fn equal_effective_durations_race() {
+        let model = compile(TIMED).unwrap();
+        let scaled = model.with_timer_scale("short", 4).expect("short exists");
+        let s0 = scaled.init_states().remove(0);
+        let mut acts = Vec::new();
+        scaled.actions(&s0, &mut acts);
+        assert_eq!(
+            acts,
+            vec![
+                SpecAction::TimerFire { timer: 0 },
+                SpecAction::TimerFire { timer: 1 },
+            ],
+            "5×4 == 20 ties, so both race"
+        );
+        let result = Checker::new(scaled).strategy(SearchStrategy::Bfs).run();
+        assert!(
+            result.violation("LongBeatsShort").is_some(),
+            "at the tied scale the long timer can win the race"
+        );
+    }
+
+    #[test]
+    fn timer_scaling_flips_fire_priority() {
+        let model = compile(TIMED).unwrap();
+        let scaled = model.with_timer_scale("short", 8).expect("short exists");
+        let s0 = scaled.init_states().remove(0);
+        let mut acts = Vec::new();
+        scaled.actions(&s0, &mut acts);
+        assert_eq!(
+            acts,
+            vec![SpecAction::TimerFire { timer: 1 }],
+            "5×8 == 40 > 20: long now fires first"
+        );
+        assert!(model.with_timer_scale("nosuch", 2).is_none());
+        assert!(model.with_timer_scale("short", 0).is_none());
+    }
+
+    #[test]
+    fn deadlines_are_oneshot_and_sticky() {
+        let model = compile(
+            "spec t;
+             deadline guard = 10;
+             global fires: int 0..3 = 0;
+             proc p {
+                 init { start guard; }
+                 state S {
+                     expire guard { fires = fires + 1; start guard; goto S2; }
+                 }
+                 state S2 {
+                     when fires == 1 { stop guard; start guard; }
+                 }
+             }",
+        )
+        .unwrap();
+        let s0 = model.init_states().remove(0);
+        let s1 = model
+            .next_state(&s0, &SpecAction::TimerFire { timer: 0 })
+            .expect("armed deadline fires");
+        assert_eq!(s1.timers[0], timer_state::EXPIRED, "restart in the body is a no-op");
+        assert!(
+            model.next_state(&s1, &SpecAction::TimerFire { timer: 0 }).is_none(),
+            "an expired deadline never fires again"
+        );
+        let s2 = model
+            .next_state(&s1, &SpecAction::Edge { proc: 0, state: 1, edge: 0 })
+            .expect("when edge enabled");
+        assert_eq!(
+            s2.timers[0],
+            timer_state::EXPIRED,
+            "stop/start leave an expired deadline expired"
+        );
+    }
+
+    #[test]
+    fn rearmable_timer_cycles_and_unmatched_expiry_is_silent() {
+        let model = compile(
+            "spec t;
+             timer tick = 3;
+             global n: int 0..5 = 0;
+             proc p {
+                 init { start tick; }
+                 state S {
+                     expire tick when n < 2 { n = n + 1; start tick; }
+                 }
+             }",
+        )
+        .unwrap();
+        let fire = SpecAction::TimerFire { timer: 0 };
+        let s0 = model.init_states().remove(0);
+        let s1 = model.next_state(&s0, &fire).expect("fires");
+        assert_eq!((s1.vars[0], s1.timers[0]), (1, timer_state::ARMED), "rearmed");
+        let s2 = model.next_state(&s1, &fire).expect("fires again");
+        let s3 = model.next_state(&s2, &fire).expect("guard now false; silent");
+        assert_eq!(s3.vars[0], 2, "unmatched expiry runs no body");
+        assert_eq!(s3.timers[0], timer_state::IDLE, "consumed without rearm");
+        assert!(model.next_state(&s3, &fire).is_none(), "idle timers never fire");
+        let result = Checker::new(model).strategy(SearchStrategy::Bfs).run();
+        assert!(result.complete, "timer cycles stay finite-state");
+    }
+
+    #[test]
+    fn components_roundtrip_with_timers() {
+        let model = compile(TIMED).unwrap();
+        let graph = mck::explore(&model, 10_000);
+        assert!(graph.complete);
+        let mut comps = Vec::new();
+        for s in &graph.states {
+            comps.clear();
+            assert!(model.components(s, &mut comps));
+            assert_eq!(comps.len(), 3, "globals slab + 1 proc slab + timers slab");
+            let back = model.reassemble(&comps).expect("well-formed components");
+            assert_eq!(&back, s);
+        }
+        let s = model.init_states().remove(0);
+        comps.clear();
+        model.components(&s, &mut comps);
+        let last = comps.len() - 1;
+        comps[last][0] = 9;
+        assert!(model.reassemble(&comps).is_none(), "garbage timer cell rejected");
+    }
+
+    #[test]
+    fn timer_state_renders_in_states_and_actions() {
+        let model = compile(TIMED).unwrap();
+        let s = model.init_states().remove(0);
+        let txt = model.format_state(&s);
+        assert!(txt.contains("short=armed"), "{txt}");
+        assert!(txt.contains("long=armed"), "{txt}");
+        assert_eq!(
+            model.format_action(&SpecAction::TimerFire { timer: 0 }),
+            "timer short fires",
+            "labelled edges don't rename the fire action"
+        );
+        let dl = compile("spec t; deadline d = 2; proc p { state S { } }").unwrap();
+        assert_eq!(
+            dl.format_action(&SpecAction::TimerFire { timer: 0 }),
+            "deadline d fires"
+        );
+    }
+
+    #[test]
+    fn atomic_edges_unlock_ample_sets() {
+        // `a` guards on the global `done`, so the syntactic analysis
+        // refuses an ample set — `atomic` overrides it.
+        let plain = compile(
+            "spec t;
+             global done: bool = false;
+             proc a { state S { when !done { goto T; } } state T { } }
+             never P: done;",
+        )
+        .unwrap();
+        assert!(!plain.program.por.ample_locs[0][0]);
+        let atomic = compile(
+            "spec t;
+             global done: bool = false;
+             proc a { state S { atomic when !done { goto T; } } state T { } }
+             never P: done;",
+        )
+        .unwrap();
+        assert!(atomic.program.por.ample_locs[0][0], "atomic asserts invisibility");
+        let s = atomic.init_states().remove(0);
+        let mut ample = Vec::new();
+        assert!(atomic.reduced_actions(&s, &mut ample));
+        assert_eq!(ample.len(), 1);
+    }
+
+    #[test]
+    fn timer_ops_and_expire_edges_block_ample_sets() {
+        let model = compile(
+            "spec t;
+             timer tick = 3;
+             proc a {
+                 var n: int 0..3 = 0;
+                 state S { when n < 3 { n = n + 1; start tick; } }
+                 state T { expire tick { goto S; } when n > 0 { n = n - 1; } }
+             }",
+        )
+        .unwrap();
+        let por = &model.program.por;
+        assert!(!por.ample_locs[0][0], "start in the body is visible to expire edges");
+        assert!(!por.ample_locs[0][1], "expire locations depend on shared timer cells");
     }
 
     #[test]

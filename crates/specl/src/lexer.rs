@@ -39,6 +39,12 @@ pub enum Tok {
     Never,
     Eventually,
     Boundary,
+    Timer,
+    Deadline,
+    Start,
+    Stop,
+    Expire,
+    Atomic,
     // Literals and names.
     Ident(String),
     Number(i64),
@@ -113,6 +119,12 @@ impl Tok {
             Tok::Never => "never",
             Tok::Eventually => "eventually",
             Tok::Boundary => "boundary",
+            Tok::Timer => "timer",
+            Tok::Deadline => "deadline",
+            Tok::Start => "start",
+            Tok::Stop => "stop",
+            Tok::Expire => "expire",
+            Tok::Atomic => "atomic",
             Tok::Semi => ";",
             Tok::Colon => ":",
             Tok::Comma => ",",
@@ -178,6 +190,12 @@ fn keyword(s: &str) -> Option<Tok> {
         "never" => Tok::Never,
         "eventually" => Tok::Eventually,
         "boundary" => Tok::Boundary,
+        "timer" => Tok::Timer,
+        "deadline" => Tok::Deadline,
+        "start" => Tok::Start,
+        "stop" => Tok::Stop,
+        "expire" => Tok::Expire,
+        "atomic" => Tok::Atomic,
         _ => return None,
     })
 }

@@ -57,7 +57,7 @@ pub mod overlay;
 pub mod parser;
 pub mod sema;
 
-pub use compile::{compile, lower, PorInfo, Program, SpecAction, SpecModel, SpecState};
+pub use compile::{compile, lower, PorInfo, Program, SpecAction, SpecModel, SpecState, TimerDef};
 pub use diag::{Diagnostic, Span};
 pub use overlay::apply_overlay;
 pub use parser::parse;

@@ -22,8 +22,10 @@ use crate::ast::Spec;
 ///   different spec; agreement tables key on the name);
 /// * `instance` and `boundary` are overridden only when the patch declares
 ///   them;
-/// * channels, globals, processes and properties are replaced by name,
-///   with unmatched patch declarations appended in declaration order;
+/// * channels, timers, globals, processes and properties are replaced by
+///   name, with unmatched patch declarations appended in declaration
+///   order (so a remedy can stretch one guard timer without restating
+///   the rest);
 /// * the message alphabet is the union, base first.
 pub fn apply_overlay(base: &Spec, patch: &Spec) -> Spec {
     let mut out = base.clone();
@@ -43,6 +45,12 @@ pub fn apply_overlay(base: &Spec, patch: &Spec) -> Spec {
         match out.chans.iter_mut().find(|x| x.name.name == c.name.name) {
             Some(slot) => *slot = c.clone(),
             None => out.chans.push(c.clone()),
+        }
+    }
+    for t in &patch.timers {
+        match out.timers.iter_mut().find(|x| x.name.name == t.name.name) {
+            Some(slot) => *slot = t.clone(),
+            None => out.timers.push(t.clone()),
         }
     }
     for g in &patch.globals {
@@ -165,6 +173,23 @@ never Stuck: false;
         assert_eq!(b.states.len(), 1);
         assert_eq!(b.states[0].edges.len(), 1);
         // The merged spec still checks as a whole.
+        crate::check(&merged).expect("merged spec is well-formed");
+    }
+
+    #[test]
+    fn timers_are_replaced_by_name_and_appended() {
+        let base = parse(
+            "spec t;\ntimer retry = 10;\n\
+             proc p { init { start retry; } state S { expire retry { } } }\n",
+        )
+        .expect("base parses");
+        let patch = parse("spec t_slow;\ntimer retry = 40;\ndeadline guard = 99;\n")
+            .expect("patch parses");
+        let merged = apply_overlay(&base, &patch);
+        assert_eq!(merged.timers.len(), 2);
+        assert_eq!(merged.timers[0].duration, 40, "retry replaced in place");
+        assert!(!merged.timers[0].oneshot);
+        assert!(merged.timers[1].oneshot, "guard appended");
         crate::check(&merged).expect("merged spec is well-formed");
     }
 

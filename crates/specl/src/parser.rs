@@ -7,6 +7,7 @@
 //! Item     := "instance" IDENT ";"
 //!           | "msg" IDENT ("," IDENT)* ";"
 //!           | "chan" IDENT "from" IDENT "to" IDENT "cap" NUM ["lossy"] ["dup" NUM] ";"
+//!           | ("timer" | "deadline") IDENT "=" NUM ";"
 //!           | "global" IDENT ":" Ty "=" Lit ";"
 //!           | "proc" IDENT "{" ProcItem* "}"
 //!           | ("always" | "never" | "eventually") IDENT ":" Expr ";"
@@ -16,10 +17,13 @@
 //! ProcItem := "var" IDENT ":" Ty "=" Lit ";"
 //!           | "init" Block
 //!           | "state" IDENT "{" Edge* "}"
-//! Edge     := "when" Expr ["as" STR] Block
+//! Edge     := ["atomic"] EdgeCore
+//! EdgeCore := "when" Expr ["as" STR] Block
 //!           | "recv" IDENT IDENT ["when" Expr] ["as" STR] Block
+//!           | "expire" IDENT ["when" Expr] ["as" STR] Block
 //! Block    := "{" Stmt* "}"
-//! Stmt     := "send" IDENT IDENT ";" | "goto" IDENT ";" | IDENT "=" Expr ";"
+//! Stmt     := "send" IDENT IDENT ";" | "goto" IDENT ";"
+//!           | "start" IDENT ";" | "stop" IDENT ";" | IDENT "=" Expr ";"
 //! Expr     := Or ;  Or := And ("||" And)* ;  And := Cmp ("&&" Cmp)*
 //! Cmp      := Add [("==" | "!=" | "<" | "<=" | ">" | ">=") Add]
 //! Add      := Unary (("+" | "-") Unary)*
@@ -119,6 +123,7 @@ impl Parser {
             instance: None,
             msgs: Vec::new(),
             chans: Vec::new(),
+            timers: Vec::new(),
             globals: Vec::new(),
             procs: Vec::new(),
             props: Vec::new(),
@@ -145,6 +150,20 @@ impl Parser {
                     self.expect(Tok::Semi)?;
                 }
                 Tok::Chan => spec.chans.push(self.chan_decl()?),
+                Tok::Timer | Tok::Deadline => {
+                    let kw = self.bump();
+                    let oneshot = kw.tok == Tok::Deadline;
+                    let name = self.ident("timer name")?;
+                    self.expect(Tok::Assign)?;
+                    let (duration, _) = self.number("timer duration")?;
+                    let end = self.expect(Tok::Semi)?;
+                    spec.timers.push(TimerDecl {
+                        name,
+                        duration,
+                        oneshot,
+                        span: kw.span.to(end.span),
+                    });
+                }
                 Tok::Global => {
                     self.bump();
                     spec.globals.push(self.var_decl()?);
@@ -166,8 +185,9 @@ impl Parser {
                 other => {
                     return Err(Diagnostic::new(
                         format!(
-                            "expected a declaration (`msg`, `chan`, `global`, `proc`, \
-                             `always`, `never`, `eventually`, `boundary`), found {}",
+                            "expected a declaration (`msg`, `chan`, `timer`, `deadline`, \
+                             `global`, `proc`, `always`, `never`, `eventually`, \
+                             `boundary`), found {}",
                             other.describe()
                         ),
                         self.peek_span(),
@@ -323,6 +343,7 @@ impl Parser {
 
     fn edge(&mut self) -> Result<EdgeDecl, Diagnostic> {
         let start = self.peek_span();
+        let atomic = self.eat(&Tok::Atomic);
         let trigger = match self.peek().clone() {
             Tok::When => {
                 self.bump();
@@ -339,13 +360,23 @@ impl Parser {
                 };
                 Trigger::Recv { chan, msg, guard }
             }
+            Tok::Expire => {
+                self.bump();
+                let timer = self.ident("timer name")?;
+                let guard = if self.eat(&Tok::When) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                Trigger::Expire { timer, guard }
+            }
             other => {
                 return Err(Diagnostic::new(
                     format!(
-                        "expected an edge (`when ...` or `recv ...`), found {}",
+                        "expected an edge (`when ...`, `recv ...`, or `expire ...`), found {}",
                         other.describe()
                     ),
-                    start,
+                    self.peek_span(),
                 ))
             }
         };
@@ -368,6 +399,7 @@ impl Parser {
         let body = self.block()?;
         let end = self.toks[self.pos.saturating_sub(1)].span;
         Ok(EdgeDecl {
+            atomic,
             trigger,
             label,
             body,
@@ -397,6 +429,18 @@ impl Parser {
                     self.expect(Tok::Semi)?;
                     stmts.push(Stmt::Goto { target });
                 }
+                Tok::Start => {
+                    self.bump();
+                    let timer = self.ident("timer name")?;
+                    self.expect(Tok::Semi)?;
+                    stmts.push(Stmt::Start { timer });
+                }
+                Tok::Stop => {
+                    self.bump();
+                    let timer = self.ident("timer name")?;
+                    self.expect(Tok::Semi)?;
+                    stmts.push(Stmt::Stop { timer });
+                }
                 Tok::Ident(_) => {
                     let target = self.ident("variable name")?;
                     self.expect(Tok::Assign)?;
@@ -407,7 +451,8 @@ impl Parser {
                 other => {
                     return Err(Diagnostic::new(
                         format!(
-                            "expected a statement (`send`, `goto`, or an assignment), found {}",
+                            "expected a statement (`send`, `goto`, `start`, `stop`, or an \
+                             assignment), found {}",
                             other.describe()
                         ),
                         self.peek_span(),
@@ -631,6 +676,90 @@ boundary: p.tries <= 3;
         assert_eq!(first, second);
         // And printing is a fixpoint.
         assert_eq!(printed, second.to_string());
+    }
+
+    const TIMED: &str = r#"
+spec timed;
+
+msg Req;
+
+chan up from p to q cap 1;
+
+timer t3510 = 15;
+deadline guard = 20;
+
+proc p {
+    init {
+        start t3510;
+        goto Waiting;
+    }
+    state Waiting {
+        expire t3510 as "registration timer fires" {
+            send up Req;
+        }
+        atomic expire guard when p @ Waiting {
+            stop t3510;
+            goto Lost;
+        }
+        atomic when false {
+            goto Lost;
+        }
+    }
+    state Lost {
+    }
+}
+
+proc q {
+    state Idle {
+        recv up Req {
+        }
+    }
+}
+
+never Lost: p @ Lost;
+"#;
+
+    #[test]
+    fn parses_timer_declarations_and_edges() {
+        let spec = parse(TIMED).expect("parses");
+        assert_eq!(spec.timers.len(), 2);
+        assert!(!spec.timers[0].oneshot && spec.timers[0].duration == 15);
+        assert!(spec.timers[1].oneshot && spec.timers[1].duration == 20);
+        let edges = &spec.procs[0].states[0].edges;
+        assert!(!edges[0].atomic);
+        assert!(matches!(
+            edges[0].trigger,
+            Trigger::Expire { ref timer, guard: None } if timer.name == "t3510"
+        ));
+        assert!(edges[1].atomic);
+        assert!(matches!(
+            edges[1].trigger,
+            Trigger::Expire { ref timer, guard: Some(_) } if timer.name == "guard"
+        ));
+        assert!(edges[2].atomic && matches!(edges[2].trigger, Trigger::When(_)));
+        assert!(matches!(spec.procs[0].init[0], Stmt::Start { ref timer } if timer.name == "t3510"));
+        assert!(matches!(
+            spec.procs[0].states[0].edges[1].body[0],
+            Stmt::Stop { ref timer } if timer.name == "t3510"
+        ));
+    }
+
+    #[test]
+    fn timed_print_parse_roundtrip_is_identity() {
+        let mut first = parse(TIMED).unwrap();
+        let printed = first.to_string();
+        let mut second = parse(&printed)
+            .unwrap_or_else(|d| panic!("canonical print must reparse: {d}\n{printed}"));
+        first.strip_spans();
+        second.strip_spans();
+        assert_eq!(first, second);
+        assert_eq!(printed, second.to_string());
+    }
+
+    #[test]
+    fn timer_declaration_requires_a_duration() {
+        let err = parse("spec x; timer t = ;").unwrap_err();
+        assert!(err.message.contains("expected timer duration"), "{}", err.message);
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //! - guards, properties and the boundary are boolean; assignments are
 //!   type-correct; unqualified names resolve local-then-global inside a
 //!   process, globals-only in properties and the boundary; `p.var` and
-//!   `p @ State` are allowed everywhere.
+//!   `p @ State` are allowed everywhere;
+//! - timers are declared once, with a positive duration; `start`, `stop`
+//!   and `expire` reference declared timers; `expire` guards are boolean;
+//! - `atomic` applies only to `when` edges, and the edge body may not
+//!   `send`, `start` or `stop` — an atomic step must stay local to the
+//!   process so the partial-order reducer can keep treating it as
+//!   invisible to every other component.
 
 use std::collections::{HashMap, HashSet};
 
@@ -52,6 +58,7 @@ struct Ck<'a> {
     globals: HashMap<&'a str, &'a VarDecl>,
     chans: HashMap<&'a str, &'a ChanDecl>,
     msgs: HashSet<&'a str>,
+    timers: HashMap<&'a str, &'a TimerDecl>,
     diags: Vec<Diagnostic>,
 }
 
@@ -63,10 +70,12 @@ pub fn check(spec: &Spec) -> Result<(), Vec<Diagnostic>> {
         globals: HashMap::new(),
         chans: HashMap::new(),
         msgs: HashSet::new(),
+        timers: HashMap::new(),
         diags: Vec::new(),
     };
     ck.collect_names();
     ck.check_chans();
+    ck.check_timers();
     for g in &spec.globals {
         ck.check_var(g);
     }
@@ -107,6 +116,34 @@ impl<'a> Ck<'a> {
             if self.procs.insert(&p.name.name, p).is_some() {
                 self.err(format!("process `{}` declared twice", p.name.name), p.name.span);
             }
+        }
+        for t in &spec.timers {
+            if self.timers.insert(&t.name.name, t).is_some() {
+                self.err(format!("timer `{}` declared twice", t.name.name), t.name.span);
+            }
+        }
+    }
+
+    fn check_timers(&mut self) {
+        for t in &self.spec.timers {
+            if !(1..=1_000_000).contains(&t.duration) {
+                self.err(
+                    format!(
+                        "timer `{}` duration must be between 1 and 1000000, got {}",
+                        t.name.name, t.duration
+                    ),
+                    t.span,
+                );
+            }
+        }
+    }
+
+    fn check_timer_ref(&mut self, what: &str, timer: &Ident) {
+        if !self.timers.contains_key(timer.name.as_str()) {
+            self.err(
+                format!("`{what} {}`: no such timer or deadline", timer.name),
+                timer.span,
+            );
         }
     }
 
@@ -242,6 +279,41 @@ impl<'a> Ck<'a> {
                             self.expect_ty(g, STy::Bool, Some(p), "a `recv` guard");
                         }
                     }
+                    Trigger::Expire { timer, guard } => {
+                        self.check_timer_ref("expire", timer);
+                        if let Some(g) = guard {
+                            self.expect_ty(g, STy::Bool, Some(p), "an `expire` guard");
+                        }
+                    }
+                }
+                if e.atomic {
+                    if !matches!(e.trigger, Trigger::When(_)) {
+                        self.err(
+                            format!(
+                                "`atomic` in process `{}` applies only to `when` edges",
+                                p.name.name
+                            ),
+                            e.span,
+                        );
+                    }
+                    for stmt in &e.body {
+                        let offender = match stmt {
+                            Stmt::Send { .. } => Some("send"),
+                            Stmt::Start { .. } => Some("start"),
+                            Stmt::Stop { .. } => Some("stop"),
+                            Stmt::Assign { .. } | Stmt::Goto { .. } => None,
+                        };
+                        if let Some(kw) = offender {
+                            self.err(
+                                format!(
+                                    "`atomic` edge in process `{}` may not `{kw}` — atomic \
+                                     steps must stay local to the process",
+                                    p.name.name
+                                ),
+                                e.span,
+                            );
+                        }
+                    }
                 }
                 for stmt in &e.body {
                     self.check_stmt(p, stmt);
@@ -299,6 +371,8 @@ impl<'a> Ck<'a> {
                     );
                 }
             }
+            Stmt::Start { timer } => self.check_timer_ref("start", timer),
+            Stmt::Stop { timer } => self.check_timer_ref("stop", timer),
         }
     }
 
@@ -522,6 +596,78 @@ never P: g && b.n >= 1 && b @ T;
         assert!(es.iter().any(|e| e.contains("state `S` declared twice")), "{es:?}");
         assert!(es.iter().any(|e| e.contains("process `p` declared twice")), "{es:?}");
         assert!(es.iter().any(|e| e.contains("property `P` declared twice")), "{es:?}");
+    }
+
+    const TIMED_OK: &str = "
+spec t;
+timer retry = 10;
+deadline guard = 25;
+proc p {
+    var n: int 0..3 = 0;
+    init { start retry; }
+    state S {
+        expire retry when n < 3 { n = n + 1; start retry; }
+        expire guard { stop retry; goto Dead; }
+        atomic when n == 3 { n = 0; goto Dead; }
+    }
+    state Dead { }
+}
+never P: p @ Dead;
+";
+
+    #[test]
+    fn accepts_timers_and_atomic_edges() {
+        assert!(errs(TIMED_OK).is_empty(), "{:?}", errs(TIMED_OK));
+    }
+
+    #[test]
+    fn rejects_bad_timer_declarations_and_references() {
+        let es = errs(
+            "spec x;
+             timer t = 0;
+             timer t = 5;
+             proc p { init { start u; stop v; } state S { expire w { } } }",
+        );
+        assert!(es.iter().any(|e| e.contains("duration must be between")), "{es:?}");
+        assert!(es.iter().any(|e| e.contains("timer `t` declared twice")), "{es:?}");
+        assert!(es.iter().any(|e| e.contains("`start u`")), "{es:?}");
+        assert!(es.iter().any(|e| e.contains("`stop v`")), "{es:?}");
+        assert!(es.iter().any(|e| e.contains("`expire w`")), "{es:?}");
+    }
+
+    #[test]
+    fn rejects_unsound_atomic_edges() {
+        let es = errs(
+            "spec x; msg M; chan c from p to q cap 1;
+             timer t = 5;
+             proc p {
+                 state S {
+                     atomic when true { send c M; }
+                     atomic when true { start t; }
+                     atomic expire t { }
+                 }
+             }
+             proc q { state T { recv c M { } } }",
+        );
+        assert!(es.iter().any(|e| e.contains("may not `send`")), "{es:?}");
+        assert!(es.iter().any(|e| e.contains("may not `start`")), "{es:?}");
+        assert!(
+            es.iter().any(|e| e.contains("applies only to `when` edges")),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn expire_guards_must_be_boolean() {
+        let es = errs(
+            "spec x;
+             timer t = 5;
+             proc p { var n: int 0..3 = 0; state S { expire t when n + 1 { } } }",
+        );
+        assert!(
+            es.iter().any(|e| e.contains("`expire` guard must be bool")),
+            "{es:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! The generator draws from the full grammar — nested expressions across
 //! every operator and precedence level, qualified reads (`p.var`,
 //! `p @ State`), channels with `lossy`/`dup` knobs, labelled edges, `init`
-//! blocks, properties and `boundary` — but only *structural* validity: the
+//! blocks, timer/deadline declarations with `start`/`stop`/`expire` and
+//! `atomic` edge markers, properties and `boundary` — but only *structural*
+//! validity: the
 //! specs need not pass `sema::check` (round-tripping is a parser/printer
 //! contract, not a type-system one). Integer literals stay non-negative
 //! because `-3` canonically reparses as unary negation.
@@ -13,7 +15,7 @@
 use proptest::prelude::*;
 use specl::ast::{
     BinOp, ChanDecl, EdgeDecl, Expr, Ident, Literal, ProcDecl, PropDecl, Quant, Spec, StateDecl,
-    Stmt, Trigger, Ty, UnOp, VarDecl,
+    Stmt, TimerDecl, Trigger, Ty, UnOp, VarDecl,
 };
 use specl::ast::dummy_span;
 use specl::parse;
@@ -132,7 +134,7 @@ impl Gen {
     }
 
     fn stmt(&mut self) -> Stmt {
-        match self.below(3) {
+        match self.below(5) {
             0 => Stmt::Assign {
                 target: self.ident(),
                 value: self.expr(2),
@@ -140,6 +142,12 @@ impl Gen {
             1 => Stmt::Send {
                 chan: self.ident(),
                 msg: self.ident(),
+            },
+            2 => Stmt::Start {
+                timer: self.ident(),
+            },
+            3 => Stmt::Stop {
+                timer: self.ident(),
             },
             _ => Stmt::Goto {
                 target: self.ident(),
@@ -152,16 +160,20 @@ impl Gen {
     }
 
     fn edge(&mut self) -> EdgeDecl {
-        let trigger = if self.chance(50) {
-            Trigger::When(self.expr(3))
-        } else {
-            Trigger::Recv {
+        let trigger = match self.below(3) {
+            0 => Trigger::When(self.expr(3)),
+            1 => Trigger::Recv {
                 chan: self.ident(),
                 msg: self.ident(),
                 guard: self.chance(50).then(|| self.expr(2)),
-            }
+            },
+            _ => Trigger::Expire {
+                timer: self.ident(),
+                guard: self.chance(50).then(|| self.expr(2)),
+            },
         };
         EdgeDecl {
+            atomic: self.chance(25),
             trigger,
             label: self.chance(50).then(|| self.label()),
             body: self.stmts(3),
@@ -207,6 +219,14 @@ impl Gen {
                     cap: self.below(16) as i64,
                     lossy: self.chance(50),
                     dup: self.chance(40).then(|| 1 + self.below(4) as i64),
+                    span: dummy_span(),
+                })
+                .collect(),
+            timers: (0..self.below(3))
+                .map(|_| TimerDecl {
+                    name: self.ident(),
+                    duration: 1 + self.below(500) as i64,
+                    oneshot: self.chance(50),
                     span: dummy_span(),
                 })
                 .collect(),
